@@ -1,0 +1,8 @@
+//! Benchmark support crate.
+//!
+//! The real content of this crate lives in `benches/`: Criterion benchmarks
+//! that regenerate the paper's tables and figures and microbenchmarks of the
+//! allocator, write barrier and collectors. The library itself only re-exports
+//! the experiment harness so the benches share one entry point.
+
+pub use experiments;

@@ -1,0 +1,137 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment> [--scale N] [--quick]
+//!
+//! experiments: fig1 fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+//!              table1 table2 table3 table4 headline all
+//! ```
+//!
+//! `--scale N` divides the paper's allocation volumes and heap sizes by `N`
+//! (default 256). `--quick` uses the small smoke-test configuration.
+//! Build with `--release`; full-scale runs of `all` take a few minutes.
+
+use std::env;
+use std::process::ExitCode;
+
+use experiments::runner::ExperimentConfig;
+use experiments::{composition, energy_time, lifetime, tables, writes};
+
+fn usage() -> &'static str {
+    "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table1|table2|table3|table4|headline|all> [--scale N] [--quick]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let mut experiment = String::new();
+    let mut sim = ExperimentConfig::simulation();
+    let mut hw = ExperimentConfig::architecture_independent();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => {
+                sim = ExperimentConfig { mode: experiments::MeasurementMode::Simulation, ..ExperimentConfig::quick() };
+                hw = ExperimentConfig::quick();
+            }
+            "--scale" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--scale requires a value");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<u64>() {
+                    Ok(scale) if scale > 0 => {
+                        sim = sim.with_scale(scale);
+                        hw = hw.with_scale(scale);
+                    }
+                    _ => {
+                        eprintln!("invalid --scale value: {value}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            name if experiment.is_empty() && !name.starts_with('-') => experiment = name.to_string(),
+            other => {
+                eprintln!("unknown argument: {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if experiment.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    let run_one = |name: &str| -> Option<String> {
+        match name {
+            "fig1" => Some(lifetime::figure1(&sim).figure1_report()),
+            "fig5" => Some(lifetime::figure5(&sim).figure5_report()),
+            "fig2" => Some(writes::figure2(&hw).report()),
+            "fig6" => Some(writes::figure6(&sim).report()),
+            "fig7" => Some(writes::figure7(&sim).report()),
+            "fig8" => Some(energy_time::figure8(&sim).report()),
+            "fig9" => Some(energy_time::figure9(&sim).report()),
+            "fig10" => Some(writes::figure10(&sim).report()),
+            "fig11" => Some(writes::figure11(&hw).report()),
+            "fig12" => Some(energy_time::figure12(&hw).report()),
+            "fig13" => Some(composition::figure13(&hw).report()),
+            "table1" => Some(tables::table1()),
+            "table2" => Some(tables::table2()),
+            "table3" => Some(tables::table3(&sim).report()),
+            "table4" => Some(tables::table4(&hw, true).report()),
+            "headline" => {
+                let life = lifetime::run(&sim);
+                let wp = writes::figure7(&sim);
+                let hwv = writes::figure11(&hw);
+                let edp = energy_time::figure8(&sim);
+                Some(format!(
+                    "Headline results (paper's claims in parentheses)\n\
+                     KG-N lifetime improvement over PCM-only: {:.1}x (paper: ~5x)\n\
+                     KG-W lifetime improvement over PCM-only: {:.1}x (paper: ~11x)\n\
+                     KG-N PCM writes vs PCM-only: {:.2} (paper: ~0.19)\n\
+                     KG-W PCM writes vs PCM-only: {:.2} (paper: ~0.09)\n\
+                     WP PCM writes vs PCM-only: {:.2} (paper: ~0.31)\n\
+                     KG-W application PCM writes vs KG-N: {:.2} (paper: ~0.20)\n\
+                     KG-N EDP vs DRAM-only: {:.2} (paper: ~0.64)\n\
+                     KG-W EDP vs DRAM-only: {:.2} (paper: ~0.68)\n",
+                    life.average_kg_n_improvement(),
+                    life.average_kg_w_improvement(),
+                    wp.average_kg_n(),
+                    wp.average_kg_w(),
+                    wp.average_wp(),
+                    hwv.average_kg_w(),
+                    edp.average_kg_n(),
+                    edp.average_kg_w(),
+                ))
+            }
+            _ => None,
+        }
+    };
+
+    let experiments: Vec<&str> = if experiment == "all" {
+        vec![
+            "table1", "table2", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "fig13", "table3", "table4", "headline",
+        ]
+    } else {
+        vec![experiment.as_str()]
+    };
+
+    for name in experiments {
+        match run_one(name) {
+            Some(report) => {
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment: {name}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

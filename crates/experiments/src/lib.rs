@@ -1,0 +1,34 @@
+//! Evaluation harness: regenerates every table and figure of the paper.
+//!
+//! Each experiment module produces plain data rows plus a formatted text
+//! report so that results can be consumed programmatically (tests, Criterion
+//! benches) or read directly from the `repro` binary's output. The mapping
+//! from paper figure/table to module is listed in `DESIGN.md`.
+//!
+//! | Experiment | Function |
+//! |---|---|
+//! | Figure 1 (PCM lifetime in years vs endurance) | [`lifetime::figure1`] |
+//! | Figure 2 (write demographics) | [`writes::figure2`] |
+//! | Figure 5 (lifetime relative to PCM-only) | [`lifetime::figure5`] |
+//! | Figure 6 (PCM writes relative to PCM-only) | [`writes::figure6`] |
+//! | Figure 7 (comparison with OS Write Partitioning) | [`writes::figure7`] |
+//! | Figure 8 (energy-delay product) | [`energy_time::figure8`] |
+//! | Figure 9 (KG-W overhead breakdown) | [`energy_time::figure9`] |
+//! | Figure 10 (origin of PCM writes) | [`writes::figure10`] |
+//! | Figure 11 (application PCM writes, architecture-independent) | [`writes::figure11`] |
+//! | Figure 12 (execution time relative to KG-N) | [`energy_time::figure12`] |
+//! | Figure 13 (heap composition over time) | [`composition::figure13`] |
+//! | Table 1 (collector configurations) | [`tables::table1`] |
+//! | Table 2 (simulated system parameters) | [`tables::table2`] |
+//! | Table 3 (write-rate scaling) | [`tables::table3`] |
+//! | Table 4 (object demographics) | [`tables::table4`] |
+
+pub mod composition;
+pub mod energy_time;
+pub mod lifetime;
+pub mod report;
+pub mod runner;
+pub mod tables;
+pub mod writes;
+
+pub use runner::{ExperimentConfig, ExperimentResult, MeasurementMode};

@@ -1,0 +1,119 @@
+//! Plain-text table formatting for experiment reports.
+
+/// A simple fixed-width text table builder.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        TextTable {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have as many cells as the header).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let mut line = String::new();
+        for (i, header) in self.header.iter().enumerate() {
+            line.push_str(&format!("{:<width$}  ", header, width = widths[i]));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio as e.g. "0.19".
+pub fn ratio(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Formats a percentage as e.g. "81%".
+pub fn percent(value: f64) -> String {
+    format!("{:.0}%", value * 100.0)
+}
+
+/// Formats a byte count in MB.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1 << 20) as f64)
+}
+
+/// Geometric-mean helper used for "Average" rows (the paper averages ratios).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut table = TextTable::new("Demo", &["name", "value"]);
+        table.row(vec!["a".into(), "1".into()]);
+        table.row(vec!["longer-name".into(), "2".into()]);
+        let text = table.render();
+        assert!(text.contains("Demo"));
+        assert!(text.contains("longer-name"));
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+        // Header line and separator present.
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(0.191), "0.19");
+        assert_eq!(percent(0.81), "81%");
+        assert_eq!(mb(32 << 20), "32.0");
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Experiment runner: executes one (benchmark, collector) pair and derives
+//! every metric the paper reports from the run.
+
+use hybrid_mem::energy::{EnergyBreakdown, EnergyModel};
+use hybrid_mem::lifetime::LifetimeModel;
+use hybrid_mem::timing::{ExecutionModel, TimeBreakdown};
+use hybrid_mem::{MemoryConfig, MemoryKind, MemoryStats, Phase};
+use kingsguard::{GcStats, HeapConfig, KingsguardHeap};
+use oswp::{WritePartitioning, WritePartitioningConfig, WritePartitioningStats};
+use workloads::{BenchmarkProfile, SyntheticMutator, WorkloadConfig};
+
+/// How the memory system is measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MeasurementMode {
+    /// Cycle-level simulation mode: scaled cache hierarchy + memory
+    /// controller (used for Figures 5–10, as in Section 6.1).
+    Simulation,
+    /// Architecture-independent mode: no caches, every heap store reaches
+    /// the device counters (used for Figures 11–12 and Table 4, matching the
+    /// paper's barrier-reported "real hardware" numbers of Section 6.2).
+    ArchitectureIndependent,
+}
+
+/// Configuration shared by all experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExperimentConfig {
+    /// Divisor applied to the paper's allocation volumes and heap sizes.
+    pub scale: u64,
+    /// RNG seed for the synthetic mutators.
+    pub seed: u64,
+    /// Divisor applied to the cache hierarchy in simulation mode so the
+    /// scaled-down working sets see realistic miss rates.
+    pub cache_scale: usize,
+    /// Measurement mode.
+    pub mode: MeasurementMode,
+}
+
+impl ExperimentConfig {
+    /// The default experiment configuration (scale 256, simulation mode).
+    pub fn simulation() -> Self {
+        ExperimentConfig { scale: 256, seed: 0xC0FFEE, cache_scale: 16, mode: MeasurementMode::Simulation }
+    }
+
+    /// Architecture-independent mode at the default scale.
+    pub fn architecture_independent() -> Self {
+        ExperimentConfig { mode: MeasurementMode::ArchitectureIndependent, ..Self::simulation() }
+    }
+
+    /// A much smaller configuration for unit tests and smoke runs.
+    pub fn quick() -> Self {
+        ExperimentConfig { scale: 2048, seed: 7, cache_scale: 64, mode: MeasurementMode::ArchitectureIndependent }
+    }
+
+    /// Same configuration with a different scale.
+    pub fn with_scale(mut self, scale: u64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    fn memory_config(&self) -> MemoryConfig {
+        match self.mode {
+            MeasurementMode::Simulation => MemoryConfig::hybrid_scaled(self.cache_scale),
+            MeasurementMode::ArchitectureIndependent => MemoryConfig::architecture_independent(),
+        }
+    }
+
+    fn workload(&self) -> WorkloadConfig {
+        WorkloadConfig { scale: self.scale, seed: self.seed }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::simulation()
+    }
+}
+
+/// The outcome of running one benchmark under one collector.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Collector label ("KG-N", "KG-W", "PCM-only", "WP", ...).
+    pub collector: String,
+    /// Collector statistics.
+    pub gc: GcStats,
+    /// Memory-system statistics (caches flushed).
+    pub memory: MemoryStats,
+    /// Execution-time breakdown from the mechanistic model.
+    pub time: TimeBreakdown,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Energy-delay product in joule-seconds.
+    pub edp: f64,
+    /// OS Write Partitioning statistics when the WP baseline was active.
+    pub wp: Option<WritePartitioningStats>,
+    /// The profile's 4→32-core write-rate scaling factor (1.0 if the paper
+    /// did not report one).
+    pub scaling_factor: f64,
+}
+
+impl ExperimentResult {
+    /// Device writes to PCM (cache lines).
+    pub fn pcm_writes(&self) -> u64 {
+        self.memory.writes(MemoryKind::Pcm)
+    }
+
+    /// Device writes to DRAM (cache lines).
+    pub fn dram_writes(&self) -> u64 {
+        self.memory.writes(MemoryKind::Dram)
+    }
+
+    /// Application (barrier-level) writes that reached PCM, i.e. mutator
+    /// phase device writes.
+    pub fn pcm_app_writes(&self) -> u64 {
+        self.memory.phase_writes(MemoryKind::Pcm).get(Phase::Mutator)
+    }
+
+    /// Execution time in seconds from the mechanistic model.
+    pub fn execution_time_s(&self) -> f64 {
+        self.time.total_s()
+    }
+
+    /// Simulated 4-core PCM write rate in bytes per second.
+    pub fn pcm_write_rate_4core(&self) -> f64 {
+        let time = self.execution_time_s();
+        if time <= 0.0 {
+            return 0.0;
+        }
+        self.memory.bytes_written(MemoryKind::Pcm) as f64 / time
+    }
+
+    /// Estimated 32-core PCM write rate in bytes per second: the simulated
+    /// 4-core rate multiplied by the measured scaling factor (Table 3
+    /// methodology).
+    pub fn pcm_write_rate_32core(&self) -> f64 {
+        self.pcm_write_rate_4core() * self.scaling_factor
+    }
+
+    /// PCM lifetime in years for `endurance_writes` per cell under the
+    /// estimated 32-core write rate (Equation 1 of the paper).
+    pub fn pcm_lifetime_years(&self, endurance_writes: u64) -> f64 {
+        let model = LifetimeModel { capacity_bytes: 32 << 30, endurance_writes };
+        model.years(self.pcm_write_rate_32core())
+    }
+}
+
+fn heap_config_for(profile: &BenchmarkProfile, mut base: HeapConfig, config: &ExperimentConfig) -> HeapConfig {
+    let budget = profile.scaled_heap_bytes(config.scale).max(2 << 20) as usize;
+    base = base.with_heap_budget(budget);
+    base
+}
+
+fn finalize(
+    profile: &BenchmarkProfile,
+    collector: String,
+    heap: KingsguardHeap,
+    wp: Option<WritePartitioningStats>,
+    dram_fraction: f64,
+    pcm_fraction: f64,
+) -> ExperimentResult {
+    let report = heap.finish();
+    let model = ExecutionModel::default();
+    let time = model.breakdown(&report.gc.work, &report.memory);
+    let energy_model = EnergyModel::default();
+    let energy = energy_model.breakdown(&report.memory, time.total_s(), dram_fraction, pcm_fraction);
+    let edp = energy.total_j() * time.total_s();
+    ExperimentResult {
+        benchmark: profile.name.to_string(),
+        collector,
+        gc: report.gc,
+        memory: report.memory,
+        time,
+        energy,
+        edp,
+        wp,
+        scaling_factor: profile.scaling_factor.unwrap_or(1.0),
+    }
+}
+
+/// Runs `profile` under the collector described by `heap_config`.
+pub fn run_benchmark(
+    profile: &BenchmarkProfile,
+    heap_config: HeapConfig,
+    config: &ExperimentConfig,
+) -> ExperimentResult {
+    let label = heap_config.label();
+    let heap_config = heap_config_for(profile, heap_config, config);
+    // Provisioned capacities of the paper's memory systems: 32 GB DRAM-only,
+    // 32 GB PCM-only, or hybrid 1 GB DRAM + 32 GB PCM.
+    let (dram_fraction, pcm_fraction) = if heap_config.is_hybrid() {
+        (1.0 / 32.0, 1.0)
+    } else if heap_config.nursery_kind() == MemoryKind::Dram {
+        (1.0, 0.0)
+    } else {
+        (0.0, 1.0)
+    };
+    let mut heap = KingsguardHeap::new(heap_config, config.memory_config());
+    let mutator = SyntheticMutator::new(profile.clone(), config.workload());
+    mutator.run(&mut heap);
+    finalize(profile, label, heap, None, dram_fraction, pcm_fraction)
+}
+
+/// Runs `profile` on a PCM-only generational Immix heap managed by the OS
+/// Write Partitioning baseline (Section 6.1.3).
+pub fn run_benchmark_with_wp(profile: &BenchmarkProfile, config: &ExperimentConfig) -> ExperimentResult {
+    let heap_config = heap_config_for(profile, HeapConfig::gen_immix_pcm(), config);
+    let mut heap = KingsguardHeap::new(heap_config, config.memory_config());
+    let mut wp = WritePartitioning::new(WritePartitioningConfig::default());
+    let mutator = SyntheticMutator::new(profile.clone(), config.workload());
+    mutator.run_with(&mut heap, |heap, progress| {
+        wp.advance(heap.memory_mut(), progress.elapsed_ms);
+    });
+    finalize(profile, "WP".to_string(), heap, Some(wp.stats()), 1.0 / 32.0, 1.0)
+}
+
+/// Convenience: the Table 1 collector configurations plus the two baselines,
+/// as `(label, config)` pairs.
+pub fn standard_configs() -> Vec<(String, HeapConfig)> {
+    let configs = vec![
+        HeapConfig::gen_immix_dram(),
+        HeapConfig::gen_immix_pcm(),
+        HeapConfig::kg_n(),
+        HeapConfig::kg_w(),
+        HeapConfig::kg_w_no_loo(),
+        HeapConfig::kg_w_no_loo_no_mdo(),
+        HeapConfig::kg_w_no_primitive_monitoring(),
+    ];
+    configs.into_iter().map(|c| (c.label(), c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::benchmark;
+
+    #[test]
+    fn quick_run_produces_consistent_metrics() {
+        let profile = benchmark("lu.fix").unwrap();
+        let result = run_benchmark(&profile, HeapConfig::kg_n(), &ExperimentConfig::quick());
+        assert_eq!(result.collector, "KG-N");
+        assert_eq!(result.benchmark, "lu.fix");
+        assert!(result.gc.bytes_allocated > 0);
+        assert!(result.pcm_writes() > 0, "KG-N promotes survivors to PCM");
+        assert!(result.execution_time_s() > 0.0);
+        assert!(result.edp > 0.0);
+        assert!(result.pcm_write_rate_4core() > 0.0);
+        assert!(result.pcm_lifetime_years(30_000_000).is_finite());
+        assert!(result.pcm_write_rate_32core() >= result.pcm_write_rate_4core());
+    }
+
+    #[test]
+    fn kg_n_writes_less_pcm_than_pcm_only() {
+        let profile = benchmark("lusearch").unwrap();
+        let config = ExperimentConfig::quick();
+        let pcm_only = run_benchmark(&profile, HeapConfig::gen_immix_pcm(), &config);
+        let kg_n = run_benchmark(&profile, HeapConfig::kg_n(), &config);
+        assert!(
+            kg_n.pcm_writes() < pcm_only.pcm_writes(),
+            "KG-N must reduce PCM writes: {} vs {}",
+            kg_n.pcm_writes(),
+            pcm_only.pcm_writes()
+        );
+    }
+
+    #[test]
+    fn wp_runs_and_migrates_pages() {
+        let profile = benchmark("pmd").unwrap();
+        // WP is time-driven (10 ms quanta); use a scale at which the run
+        // lasts long enough for several quanta to elapse.
+        let config = ExperimentConfig::quick().with_scale(256);
+        let result = run_benchmark_with_wp(&profile, &config);
+        let wp = result.wp.expect("WP statistics present");
+        assert!(wp.quanta > 0, "OS quanta must have elapsed");
+        assert_eq!(result.collector, "WP");
+    }
+
+    #[test]
+    fn standard_configs_cover_table1() {
+        let labels: Vec<String> = standard_configs().into_iter().map(|(l, _)| l).collect();
+        for expected in ["DRAM-only", "PCM-only", "KG-N", "KG-W", "KG-W-LOO", "KG-W-LOO-MDO", "KG-W-PM"] {
+            assert!(labels.iter().any(|l| l == expected), "missing {expected}");
+        }
+    }
+}

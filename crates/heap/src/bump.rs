@@ -1,0 +1,190 @@
+//! Contiguous bump-pointer allocation.
+//!
+//! Contiguous allocation is the allocation discipline of both the nursery
+//! and the Immix mature space in the paper ("Bump pointer object allocation
+//! is contiguous in the nursery, in lines, and blocks", Section 3). The
+//! allocator maps pages from the owning space's memory technology on demand
+//! as the cursor advances.
+
+use hybrid_mem::{Address, MemoryKind, MemorySystem, PAGE_SIZE};
+
+use crate::space::SpaceId;
+
+/// A bump-pointer allocator over a contiguous virtual range.
+#[derive(Debug, Clone)]
+pub struct BumpAllocator {
+    base: Address,
+    cursor: Address,
+    limit: Address,
+    mapped_limit: Address,
+}
+
+impl BumpAllocator {
+    /// Creates an allocator over `[base, base + capacity)`.
+    pub fn new(base: Address, capacity: usize) -> Self {
+        BumpAllocator { base, cursor: base, limit: base.add(capacity), mapped_limit: base }
+    }
+
+    /// Base address of the region.
+    pub fn base(&self) -> Address {
+        self.base
+    }
+
+    /// Current allocation cursor.
+    pub fn cursor(&self) -> Address {
+        self.cursor
+    }
+
+    /// Exclusive upper bound of the region.
+    pub fn limit(&self) -> Address {
+        self.limit
+    }
+
+    /// Bytes allocated since the last reset.
+    pub fn used_bytes(&self) -> usize {
+        self.cursor.diff(self.base)
+    }
+
+    /// Bytes of the region that have been mapped.
+    pub fn mapped_bytes(&self) -> usize {
+        self.mapped_limit.diff(self.base)
+    }
+
+    /// Remaining capacity in bytes.
+    pub fn remaining_bytes(&self) -> usize {
+        self.limit.diff(self.cursor)
+    }
+
+    /// Returns `true` if `addr` lies between the region base and the current
+    /// cursor (i.e. inside allocated memory).
+    pub fn contains(&self, addr: Address) -> bool {
+        addr >= self.base && addr < self.cursor
+    }
+
+    /// Returns `true` if `addr` lies anywhere in the reserved region.
+    pub fn in_region(&self, addr: Address) -> bool {
+        addr >= self.base && addr < self.limit
+    }
+
+    /// Allocates `size` bytes (8-byte aligned), demand-mapping pages of
+    /// `kind` for space `space`. Returns `None` when the region is full,
+    /// which is the caller's signal to trigger a collection.
+    pub fn alloc(
+        &mut self,
+        mem: &mut MemorySystem,
+        size: usize,
+        kind: MemoryKind,
+        space: SpaceId,
+    ) -> Option<Address> {
+        let size = (size + 7) & !7;
+        let start = self.cursor;
+        let end = start.add(size);
+        if end > self.limit {
+            return None;
+        }
+        if end > self.mapped_limit {
+            let map_start = self.mapped_limit.align_down(PAGE_SIZE);
+            let map_end = end.align_up(PAGE_SIZE);
+            let pages = map_end.diff(map_start) / PAGE_SIZE;
+            mem.map_pages(map_start, pages, kind, space.raw());
+            self.mapped_limit = map_end;
+        }
+        self.cursor = end;
+        Some(start)
+    }
+
+    /// Resets the cursor to the base, releasing the logical contents. Mapped
+    /// pages are kept mapped (the VM reuses nursery pages across collections).
+    pub fn reset(&mut self) {
+        self.cursor = self.base;
+    }
+
+    /// Unmaps all pages and resets the cursor (used when a space is retired).
+    pub fn release(&mut self, mem: &mut MemorySystem) {
+        let mapped = self.mapped_bytes();
+        if mapped > 0 {
+            mem.unmap_pages(self.base, mapped / PAGE_SIZE);
+        }
+        self.mapped_limit = self.base;
+        self.cursor = self.base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_mem::MemoryConfig;
+
+    fn setup(capacity: usize) -> (MemorySystem, BumpAllocator) {
+        let mut mem = MemorySystem::new(MemoryConfig::architecture_independent());
+        let base = mem.reserve_extent("bump", capacity.max(PAGE_SIZE));
+        (mem, BumpAllocator::new(base, capacity))
+    }
+
+    #[test]
+    fn sequential_allocations_do_not_overlap() {
+        let (mut mem, mut bump) = setup(64 * 1024);
+        let a = bump.alloc(&mut mem, 24, MemoryKind::Dram, SpaceId::NURSERY).unwrap();
+        let b = bump.alloc(&mut mem, 40, MemoryKind::Dram, SpaceId::NURSERY).unwrap();
+        assert!(b >= a.add(24));
+        assert_eq!(bump.used_bytes(), 64);
+    }
+
+    #[test]
+    fn allocation_is_eight_byte_aligned() {
+        let (mut mem, mut bump) = setup(4096);
+        let a = bump.alloc(&mut mem, 13, MemoryKind::Dram, SpaceId::NURSERY).unwrap();
+        let b = bump.alloc(&mut mem, 3, MemoryKind::Dram, SpaceId::NURSERY).unwrap();
+        assert!(a.is_aligned(8));
+        assert!(b.is_aligned(8));
+        assert_eq!(b.diff(a), 16);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let (mut mem, mut bump) = setup(PAGE_SIZE);
+        assert!(bump.alloc(&mut mem, PAGE_SIZE, MemoryKind::Pcm, SpaceId::MATURE_PCM).is_some());
+        assert!(bump.alloc(&mut mem, 8, MemoryKind::Pcm, SpaceId::MATURE_PCM).is_none());
+        assert_eq!(bump.remaining_bytes(), 0);
+    }
+
+    #[test]
+    fn pages_are_demand_mapped_with_requested_kind() {
+        let (mut mem, mut bump) = setup(8 * PAGE_SIZE);
+        bump.alloc(&mut mem, 100, MemoryKind::Pcm, SpaceId::MATURE_PCM).unwrap();
+        assert_eq!(mem.kind_of(bump.base()), MemoryKind::Pcm);
+        assert_eq!(bump.mapped_bytes(), PAGE_SIZE);
+        bump.alloc(&mut mem, 2 * PAGE_SIZE, MemoryKind::Pcm, SpaceId::MATURE_PCM).unwrap();
+        assert!(bump.mapped_bytes() >= 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn reset_keeps_pages_mapped() {
+        let (mut mem, mut bump) = setup(4 * PAGE_SIZE);
+        bump.alloc(&mut mem, 3000, MemoryKind::Dram, SpaceId::NURSERY).unwrap();
+        let mapped = bump.mapped_bytes();
+        bump.reset();
+        assert_eq!(bump.used_bytes(), 0);
+        assert_eq!(bump.mapped_bytes(), mapped);
+        assert!(mem.is_mapped(bump.base()));
+    }
+
+    #[test]
+    fn release_unmaps_pages() {
+        let (mut mem, mut bump) = setup(4 * PAGE_SIZE);
+        bump.alloc(&mut mem, 3000, MemoryKind::Dram, SpaceId::NURSERY).unwrap();
+        bump.release(&mut mem);
+        assert!(!mem.is_mapped(bump.base()));
+        assert_eq!(bump.mapped_bytes(), 0);
+    }
+
+    #[test]
+    fn contains_tracks_cursor() {
+        let (mut mem, mut bump) = setup(4 * PAGE_SIZE);
+        let a = bump.alloc(&mut mem, 64, MemoryKind::Dram, SpaceId::NURSERY).unwrap();
+        assert!(bump.contains(a));
+        assert!(!bump.contains(a.add(64)));
+        assert!(bump.in_region(a.add(64)));
+        assert!(!bump.in_region(bump.limit()));
+    }
+}

@@ -1,0 +1,42 @@
+//! MMTk-style heap substrate for the Kingsguard write-rationing collectors.
+//!
+//! This crate provides the building blocks that Jikes RVM / MMTk provide to
+//! the collectors in the paper, implemented from scratch on top of the
+//! [`hybrid_mem`] simulated memory system:
+//!
+//! * an **object model** with a status word, an info word describing the
+//!   object's reference slots and primitive payload, and the extra *write
+//!   word* that Kingsguard-writers adds to every header ([`object`]),
+//! * **bump-pointer allocation** ([`bump`]) and contiguous **copy spaces**
+//!   used for the nursery and the observer space ([`copyspace`]),
+//! * an **Immix mark-region space** with 32 KB blocks and 256 B lines,
+//!   line/block marking, recyclable-block allocation and headroom for
+//!   copying during collection ([`immix`]),
+//! * a **large object space** managed by a treadmill ([`los`]),
+//! * a **metadata space** holding collector side metadata, including the
+//!   DRAM mark-state tables of the paper's metadata optimization (MDO)
+//!   ([`metadata`]),
+//! * **remembered sets** ([`remset`]) and a **root table** with stable
+//!   handles ([`roots`]).
+//!
+//! The collectors themselves (GenImmix, KG-N, KG-W) live in the `kingsguard`
+//! crate.
+
+pub mod bump;
+pub mod copyspace;
+pub mod immix;
+pub mod los;
+pub mod metadata;
+pub mod object;
+pub mod remset;
+pub mod roots;
+pub mod space;
+
+pub use copyspace::CopySpace;
+pub use immix::ImmixSpace;
+pub use los::LargeObjectSpace;
+pub use metadata::MetadataSpace;
+pub use object::{ObjectRef, ObjectShape, HEADER_BYTES, LARGE_OBJECT_THRESHOLD, REF_SLOT_BYTES};
+pub use remset::RememberedSet;
+pub use roots::{Handle, RootTable};
+pub use space::{SpaceId, SpaceUsage};

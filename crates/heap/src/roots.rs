@@ -1,0 +1,185 @@
+//! Root table with stable handles.
+//!
+//! Workload code (the synthetic mutators) cannot hold raw object addresses
+//! across a collection because collections move objects. Instead it holds
+//! [`Handle`]s into a root table owned by the runtime; the collector treats
+//! every table entry as a root and updates it when the referent moves —
+//! exactly the role stacks, registers and JNI handle blocks play for a real
+//! JVM.
+
+use hybrid_mem::Address;
+
+use crate::object::ObjectRef;
+
+/// A stable index into the root table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Handle(u32);
+
+impl Handle {
+    /// Raw index value (diagnostic only).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A table of GC roots addressed by stable handles.
+#[derive(Debug, Default)]
+pub struct RootTable {
+    entries: Vec<Address>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl RootTable {
+    /// Creates an empty root table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live roots.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Returns `true` if the table holds no roots.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Registers `obj` as a root and returns its handle.
+    pub fn add(&mut self, obj: ObjectRef) -> Handle {
+        debug_assert!(!obj.is_null(), "cannot root the null reference");
+        self.live += 1;
+        if let Some(index) = self.free.pop() {
+            self.entries[index as usize] = obj.address();
+            Handle(index)
+        } else {
+            self.entries.push(obj.address());
+            Handle((self.entries.len() - 1) as u32)
+        }
+    }
+
+    /// Returns the current referent of `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle has been removed.
+    pub fn get(&self, handle: Handle) -> ObjectRef {
+        let addr = self.entries[handle.0 as usize];
+        assert!(!addr.is_zero(), "use of removed root handle {handle:?}");
+        ObjectRef::from_address(addr)
+    }
+
+    /// Replaces the referent of `handle` (used by the collector when the
+    /// object moves).
+    pub fn set(&mut self, handle: Handle, obj: ObjectRef) {
+        debug_assert!(!obj.is_null());
+        self.entries[handle.0 as usize] = obj.address();
+    }
+
+    /// Unregisters a root, making its object eligible for collection.
+    pub fn remove(&mut self, handle: Handle) {
+        let entry = &mut self.entries[handle.0 as usize];
+        if !entry.is_zero() {
+            *entry = Address::ZERO;
+            self.free.push(handle.0);
+            self.live -= 1;
+        }
+    }
+
+    /// Iterates over the live root entries, yielding `(handle, object)`.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle, ObjectRef)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, addr)| !addr.is_zero())
+            .map(|(i, &addr)| (Handle(i as u32), ObjectRef::from_address(addr)))
+    }
+
+    /// Applies `update` to every live root, storing the returned reference
+    /// back into the table. The collector uses this to redirect roots to the
+    /// new copies of moved objects.
+    pub fn update_roots(&mut self, mut update: impl FnMut(ObjectRef) -> ObjectRef) {
+        for entry in &mut self.entries {
+            if !entry.is_zero() {
+                let new = update(ObjectRef::from_address(*entry));
+                debug_assert!(!new.is_null(), "root updated to null");
+                *entry = new.address();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(addr: u64) -> ObjectRef {
+        ObjectRef::from_address(Address::new(addr))
+    }
+
+    #[test]
+    fn add_get_set_remove() {
+        let mut roots = RootTable::new();
+        let h = roots.add(obj(0x1000));
+        assert_eq!(roots.get(h), obj(0x1000));
+        roots.set(h, obj(0x2000));
+        assert_eq!(roots.get(h), obj(0x2000));
+        assert_eq!(roots.len(), 1);
+        roots.remove(h);
+        assert!(roots.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "removed root handle")]
+    fn get_after_remove_panics() {
+        let mut roots = RootTable::new();
+        let h = roots.add(obj(0x1000));
+        roots.remove(h);
+        roots.get(h);
+    }
+
+    #[test]
+    fn handles_are_recycled() {
+        let mut roots = RootTable::new();
+        let a = roots.add(obj(0x1000));
+        roots.remove(a);
+        let b = roots.add(obj(0x3000));
+        assert_eq!(a.index(), b.index());
+        assert_eq!(roots.len(), 1);
+    }
+
+    #[test]
+    fn double_remove_is_harmless() {
+        let mut roots = RootTable::new();
+        let a = roots.add(obj(0x1000));
+        roots.remove(a);
+        roots.remove(a);
+        assert_eq!(roots.len(), 0);
+        // The free list must not contain the slot twice.
+        let b = roots.add(obj(0x2000));
+        let c = roots.add(obj(0x3000));
+        assert_ne!(b.index(), c.index());
+    }
+
+    #[test]
+    fn update_roots_rewrites_every_live_entry() {
+        let mut roots = RootTable::new();
+        let h1 = roots.add(obj(0x1000));
+        let h2 = roots.add(obj(0x2000));
+        let removed = roots.add(obj(0x3000));
+        roots.remove(removed);
+        roots.update_roots(|o| ObjectRef::from_address(o.address().add(8)));
+        assert_eq!(roots.get(h1), obj(0x1008));
+        assert_eq!(roots.get(h2), obj(0x2008));
+    }
+
+    #[test]
+    fn iter_skips_removed_entries() {
+        let mut roots = RootTable::new();
+        let _a = roots.add(obj(0x1000));
+        let b = roots.add(obj(0x2000));
+        roots.remove(b);
+        assert_eq!(roots.iter().count(), 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Common space identifiers and usage reporting.
+
+/// Identifies a heap space. The concrete set of spaces depends on the
+/// collector configuration (Figure 3 of the paper); ids are stable small
+/// integers so they can be stored in the page map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpaceId(pub u8);
+
+impl SpaceId {
+    /// The nursery (DRAM in all Kingsguard configurations).
+    pub const NURSERY: SpaceId = SpaceId(1);
+    /// The observer space (KG-W only, DRAM).
+    pub const OBSERVER: SpaceId = SpaceId(2);
+    /// The mature space of the baseline collector, or the PCM mature space.
+    pub const MATURE_PCM: SpaceId = SpaceId(3);
+    /// The DRAM mature space (KG-W only).
+    pub const MATURE_DRAM: SpaceId = SpaceId(4);
+    /// The large object space in PCM (or the only LOS for the baselines).
+    pub const LARGE_PCM: SpaceId = SpaceId(5);
+    /// The DRAM large object space (KG-W only).
+    pub const LARGE_DRAM: SpaceId = SpaceId(6);
+    /// The metadata space.
+    pub const METADATA: SpaceId = SpaceId(7);
+
+    /// Raw id value.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SpaceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match *self {
+            SpaceId::NURSERY => "nursery",
+            SpaceId::OBSERVER => "observer",
+            SpaceId::MATURE_PCM => "mature-pcm",
+            SpaceId::MATURE_DRAM => "mature-dram",
+            SpaceId::LARGE_PCM => "large-pcm",
+            SpaceId::LARGE_DRAM => "large-dram",
+            SpaceId::METADATA => "metadata",
+            SpaceId(other) => return write!(f, "space-{other}"),
+        };
+        f.write_str(name)
+    }
+}
+
+/// Space occupancy snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpaceUsage {
+    /// Bytes currently holding live or not-yet-collected objects.
+    pub used_bytes: usize,
+    /// Bytes of virtual memory currently mapped for this space.
+    pub mapped_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SpaceId::NURSERY.to_string(), "nursery");
+        assert_eq!(SpaceId::MATURE_DRAM.to_string(), "mature-dram");
+        assert_eq!(SpaceId(42).to_string(), "space-42");
+    }
+
+    #[test]
+    fn ids_are_distinct() {
+        let ids = [
+            SpaceId::NURSERY,
+            SpaceId::OBSERVER,
+            SpaceId::MATURE_PCM,
+            SpaceId::MATURE_DRAM,
+            SpaceId::LARGE_PCM,
+            SpaceId::LARGE_DRAM,
+            SpaceId::METADATA,
+        ];
+        for (i, a) in ids.iter().enumerate() {
+            for b in &ids[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

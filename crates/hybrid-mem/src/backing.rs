@@ -1,0 +1,165 @@
+//! Byte-level backing store for the simulated address space.
+//!
+//! The simulated virtual address space is sparse: spaces reserve large
+//! extents but only touch a few megabytes. [`ChunkedMemory`] materialises
+//! fixed-size chunks lazily on first write so that reserving a 32 GB PCM
+//! extent costs nothing until the heap actually uses it.
+
+use std::collections::HashMap;
+
+use crate::address::Address;
+
+/// Size of a lazily-allocated backing chunk in bytes (64 KB).
+pub const CHUNK_SIZE: usize = 64 * 1024;
+
+/// Sparse, chunked byte store indexed by simulated virtual address.
+///
+/// Reads from never-written memory return zero, matching the zero-initialised
+/// pages a real OS hands to the JVM.
+#[derive(Debug, Default)]
+pub struct ChunkedMemory {
+    chunks: HashMap<u64, Box<[u8]>>,
+}
+
+impl ChunkedMemory {
+    /// Creates an empty backing store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of chunks that have been materialised.
+    pub fn resident_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Bytes of host memory used by materialised chunks.
+    pub fn resident_bytes(&self) -> usize {
+        self.chunks.len() * CHUNK_SIZE
+    }
+
+    fn chunk_index(addr: Address) -> (u64, usize) {
+        (addr.raw() / CHUNK_SIZE as u64, (addr.raw() % CHUNK_SIZE as u64) as usize)
+    }
+
+    fn chunk_mut(&mut self, index: u64) -> &mut [u8] {
+        self.chunks
+            .entry(index)
+            .or_insert_with(|| vec![0u8; CHUNK_SIZE].into_boxed_slice())
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: Address) -> u64 {
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: Address, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr` into `buf`.
+    pub fn read_bytes(&self, addr: Address, buf: &mut [u8]) {
+        let mut copied = 0;
+        while copied < buf.len() {
+            let (index, offset) = Self::chunk_index(addr.add(copied));
+            let take = (CHUNK_SIZE - offset).min(buf.len() - copied);
+            match self.chunks.get(&index) {
+                Some(chunk) => buf[copied..copied + take].copy_from_slice(&chunk[offset..offset + take]),
+                None => buf[copied..copied + take].fill(0),
+            }
+            copied += take;
+        }
+    }
+
+    /// Writes `buf` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: Address, buf: &[u8]) {
+        let mut copied = 0;
+        while copied < buf.len() {
+            let (index, offset) = Self::chunk_index(addr.add(copied));
+            let take = (CHUNK_SIZE - offset).min(buf.len() - copied);
+            let chunk = self.chunk_mut(index);
+            chunk[offset..offset + take].copy_from_slice(&buf[copied..copied + take]);
+            copied += take;
+        }
+    }
+
+    /// Copies `len` bytes from `src` to `dst` (the ranges may not overlap in
+    /// practice because copies always target a fresh allocation).
+    pub fn copy(&mut self, src: Address, dst: Address, len: usize) {
+        let mut buf = vec![0u8; len];
+        self.read_bytes(src, &mut buf);
+        self.write_bytes(dst, &buf);
+    }
+
+    /// Fills `len` bytes starting at `addr` with `value`.
+    pub fn fill(&mut self, addr: Address, len: usize, value: u8) {
+        let buf = vec![value; len];
+        self.write_bytes(addr, &buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mem = ChunkedMemory::new();
+        assert_eq!(mem.read_u64(Address::new(0x1234_5678)), 0);
+        let mut buf = [1u8; 32];
+        mem.read_bytes(Address::new(0x9999), &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut mem = ChunkedMemory::new();
+        let addr = Address::new(0xAB_CDE0);
+        mem.write_u64(addr, 0x0123_4567_89AB_CDEF);
+        assert_eq!(mem.read_u64(addr), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn writes_spanning_chunk_boundary() {
+        let mut mem = ChunkedMemory::new();
+        let addr = Address::new(CHUNK_SIZE as u64 - 4);
+        let data: Vec<u8> = (0..16u8).collect();
+        mem.write_bytes(addr, &data);
+        let mut out = [0u8; 16];
+        mem.read_bytes(addr, &mut out);
+        assert_eq!(&out[..], &data[..]);
+        assert_eq!(mem.resident_chunks(), 2);
+    }
+
+    #[test]
+    fn copy_moves_bytes() {
+        let mut mem = ChunkedMemory::new();
+        let src = Address::new(0x1000);
+        let dst = Address::new(0x8000);
+        let data: Vec<u8> = (0..255u8).collect();
+        mem.write_bytes(src, &data);
+        mem.copy(src, dst, data.len());
+        let mut out = vec![0u8; data.len()];
+        mem.read_bytes(dst, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn fill_sets_every_byte() {
+        let mut mem = ChunkedMemory::new();
+        mem.fill(Address::new(0x2000), 100, 0xAA);
+        let mut out = [0u8; 100];
+        mem.read_bytes(Address::new(0x2000), &mut out);
+        assert!(out.iter().all(|&b| b == 0xAA));
+    }
+
+    #[test]
+    fn resident_bytes_tracks_chunks() {
+        let mut mem = ChunkedMemory::new();
+        assert_eq!(mem.resident_bytes(), 0);
+        mem.write_u64(Address::new(8), 1);
+        assert_eq!(mem.resident_bytes(), CHUNK_SIZE);
+    }
+}

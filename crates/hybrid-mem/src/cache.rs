@@ -1,0 +1,418 @@
+//! Set-associative write-back cache hierarchy.
+//!
+//! The paper stresses that modelling the cache hierarchy matters because
+//! caches absorb writes and are "the first line of defense in protecting PCM
+//! from writes" (Section 6.1). This module implements a configurable
+//! multi-level, set-associative, write-allocate, write-back hierarchy with
+//! LRU replacement. Each cache line remembers the *phase* (mutator, nursery
+//! GC, observer GC, major GC, runtime) that last wrote it so that when a
+//! dirty line is finally evicted to memory the resulting device write can be
+//! attributed to the phase that produced it — the mechanism behind Figure 10
+//! of the paper.
+
+use crate::address::CACHE_LINE_SIZE;
+use crate::system::Phase;
+
+/// Configuration of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheLevelConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheLevelConfig {
+    /// Number of sets implied by the capacity, associativity and line size.
+    pub fn sets(&self) -> usize {
+        (self.capacity_bytes / CACHE_LINE_SIZE / self.ways).max(1)
+    }
+}
+
+/// Configuration of the whole hierarchy (closest level first).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Cache levels ordered from L1 to LLC.
+    pub levels: Vec<CacheLevelConfig>,
+}
+
+impl CacheConfig {
+    /// The paper's simulated hierarchy (Table 2): 32 KB 8-way L1-D, 256 KB
+    /// 8-way L2 and a shared 4 MB 16-way L3.
+    pub fn paper_default() -> Self {
+        CacheConfig {
+            levels: vec![
+                CacheLevelConfig { capacity_bytes: 32 * 1024, ways: 8 },
+                CacheLevelConfig { capacity_bytes: 256 * 1024, ways: 8 },
+                CacheLevelConfig { capacity_bytes: 4 * 1024 * 1024, ways: 16 },
+            ],
+        }
+    }
+
+    /// A small hierarchy useful for unit tests and scaled-down workloads: the
+    /// capacities are divided by `divisor` (at least one set per level).
+    pub fn scaled(divisor: usize) -> Self {
+        let mut cfg = Self::paper_default();
+        for level in &mut cfg.levels {
+            level.capacity_bytes = (level.capacity_bytes / divisor).max(level.ways * CACHE_LINE_SIZE);
+        }
+        cfg
+    }
+}
+
+/// A memory-side event produced by the hierarchy: a device read (miss fill)
+/// or a device write (dirty eviction / flush).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemEvent {
+    /// Cache-line index (address / 64).
+    pub line: u64,
+    /// `true` for a device write (write-back), `false` for a device read.
+    pub write: bool,
+    /// Phase responsible for the event: the requester for reads, the last
+    /// writer of the line for write-backs.
+    pub phase: Phase,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_writer: Phase,
+    lru: u64,
+}
+
+impl Entry {
+    const fn empty() -> Self {
+        Entry { tag: 0, valid: false, dirty: false, last_writer: Phase::Mutator, lru: 0 }
+    }
+}
+
+#[derive(Debug)]
+struct CacheLevel {
+    sets: Vec<Vec<Entry>>,
+    ways: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Outcome of looking a line up in one level.
+struct Victim {
+    tag: u64,
+    dirty: bool,
+    last_writer: Phase,
+}
+
+impl CacheLevel {
+    fn new(config: CacheLevelConfig) -> Self {
+        let sets = config.sets();
+        CacheLevel {
+            sets: vec![vec![Entry::empty(); config.ways]; sets],
+            ways: config.ways,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        (line % self.sets.len() as u64) as usize
+    }
+
+    /// Probes for `line`; on hit updates LRU/dirty state and returns `true`.
+    fn probe(&mut self, line: u64, write: bool, phase: Phase) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(line);
+        for entry in &mut self.sets[set] {
+            if entry.valid && entry.tag == line {
+                entry.lru = tick;
+                if write {
+                    entry.dirty = true;
+                    entry.last_writer = phase;
+                }
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Installs `line`, returning the evicted victim (if any valid line had to
+    /// be replaced).
+    fn install(&mut self, line: u64, dirty: bool, last_writer: Phase) -> Option<Victim> {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let set = self.set_index(line);
+        let entries = &mut self.sets[set];
+        // Prefer an invalid way.
+        if let Some(entry) = entries.iter_mut().find(|e| !e.valid) {
+            *entry = Entry { tag: line, valid: true, dirty, last_writer, lru: tick };
+            return None;
+        }
+        // Evict the least recently used way.
+        let victim_idx = (0..ways).min_by_key(|&i| entries[i].lru).expect("cache set is never empty");
+        let victim = entries[victim_idx];
+        entries[victim_idx] = Entry { tag: line, valid: true, dirty, last_writer, lru: tick };
+        Some(Victim { tag: victim.tag, dirty: victim.dirty, last_writer: victim.last_writer })
+    }
+
+    /// Removes `line` from this level, returning its state if present.
+    fn extract(&mut self, line: u64) -> Option<Victim> {
+        let set = self.set_index(line);
+        for entry in &mut self.sets[set] {
+            if entry.valid && entry.tag == line {
+                entry.valid = false;
+                return Some(Victim { tag: entry.tag, dirty: entry.dirty, last_writer: entry.last_writer });
+            }
+        }
+        None
+    }
+
+    fn drain_dirty(&mut self) -> Vec<Victim> {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            for entry in set {
+                if entry.valid && entry.dirty {
+                    out.push(Victim { tag: entry.tag, dirty: true, last_writer: entry.last_writer });
+                }
+                entry.valid = false;
+                entry.dirty = false;
+            }
+        }
+        out
+    }
+}
+
+/// A multi-level write-back cache hierarchy.
+///
+/// Accesses are performed at cache-line (64 B) granularity; the caller is
+/// responsible for splitting wider accesses into lines (the
+/// [`crate::MemorySystem`] does this automatically).
+#[derive(Debug)]
+pub struct CacheHierarchy {
+    levels: Vec<CacheLevel>,
+    enabled: bool,
+}
+
+impl CacheHierarchy {
+    /// Builds a hierarchy from `config`.
+    pub fn new(config: &CacheConfig) -> Self {
+        CacheHierarchy {
+            levels: config.levels.iter().map(|&c| CacheLevel::new(c)).collect(),
+            enabled: !config.levels.is_empty(),
+        }
+    }
+
+    /// Builds a pass-through "hierarchy" with no caching at all, used for the
+    /// architecture-independent measurement mode.
+    pub fn disabled() -> Self {
+        CacheHierarchy { levels: Vec::new(), enabled: false }
+    }
+
+    /// Returns `true` if caching is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Accesses cache line `line`. Returns the memory-side events caused by
+    /// the access (miss fills and dirty write-backs).
+    pub fn access(&mut self, line: u64, write: bool, phase: Phase, events: &mut Vec<MemEvent>) {
+        if !self.enabled {
+            events.push(MemEvent { line, write, phase });
+            return;
+        }
+        // Probe levels closest-first.
+        let mut hit_level = None;
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            if level.probe(line, write && i == 0, phase) {
+                hit_level = Some(i);
+                break;
+            }
+        }
+        match hit_level {
+            Some(0) => {}
+            Some(level_idx) => {
+                // Move the line up into the levels above (inclusive-style fill),
+                // preserving its dirty state from the level where it was found.
+                let state = self.levels[level_idx]
+                    .extract(line)
+                    .map(|v| (v.dirty, v.last_writer))
+                    .unwrap_or((false, phase));
+                let (dirty, last_writer) = if write { (true, phase) } else { state };
+                self.fill(0, level_idx, line, dirty, last_writer, events);
+            }
+            None => {
+                // Full miss: fetch the line from memory...
+                events.push(MemEvent { line, write: false, phase });
+                // ...and install it in every level up to L1.
+                let levels = self.levels.len();
+                self.fill(0, levels, line, write, phase, events);
+            }
+        }
+    }
+
+    /// Installs `line` into levels `[from, to)`, pushing victims downwards.
+    fn fill(
+        &mut self,
+        from: usize,
+        to: usize,
+        line: u64,
+        dirty: bool,
+        last_writer: Phase,
+        events: &mut Vec<MemEvent>,
+    ) {
+        for level_idx in from..to {
+            if let Some(victim) = self.levels[level_idx].install(line, dirty && level_idx == from, last_writer) {
+                if victim.dirty {
+                    self.spill(level_idx + 1, victim, events);
+                }
+            }
+        }
+    }
+
+    /// Writes a dirty victim into level `level_idx`, or to memory if the
+    /// victim fell out of the last level.
+    fn spill(&mut self, level_idx: usize, victim: Victim, events: &mut Vec<MemEvent>) {
+        if level_idx >= self.levels.len() {
+            events.push(MemEvent { line: victim.tag, write: true, phase: victim.last_writer });
+            return;
+        }
+        // If the line is already present below, just mark it dirty there.
+        if self.levels[level_idx].probe(victim.tag, true, victim.last_writer) {
+            return;
+        }
+        if let Some(next_victim) = self.levels[level_idx].install(victim.tag, true, victim.last_writer) {
+            if next_victim.dirty {
+                self.spill(level_idx + 1, next_victim, events);
+            }
+        }
+    }
+
+    /// Flushes every dirty line to memory, returning the write-back events.
+    /// Called at the end of a run so that pending writes are accounted.
+    pub fn flush_all(&mut self, events: &mut Vec<MemEvent>) {
+        if !self.enabled {
+            return;
+        }
+        // Drain from L1 downwards; lower levels may hold additional dirty
+        // copies which are also drained. Duplicate write-backs of the same
+        // line across levels are collapsed.
+        let mut seen = std::collections::HashSet::new();
+        for level in &mut self.levels {
+            for victim in level.drain_dirty() {
+                if seen.insert(victim.tag) {
+                    events.push(MemEvent { line: victim.tag, write: true, phase: victim.last_writer });
+                }
+            }
+        }
+    }
+
+    /// Total hits across all levels.
+    pub fn hits(&self) -> u64 {
+        self.levels.iter().map(|l| l.hits).sum()
+    }
+
+    /// Total misses at the last level (i.e. accesses that reached memory).
+    pub fn llc_misses(&self) -> u64 {
+        self.levels.last().map(|l| l.misses).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> CacheConfig {
+        CacheConfig {
+            levels: vec![
+                CacheLevelConfig { capacity_bytes: 4 * CACHE_LINE_SIZE, ways: 2 },
+                CacheLevelConfig { capacity_bytes: 8 * CACHE_LINE_SIZE, ways: 2 },
+            ],
+        }
+    }
+
+    #[test]
+    fn repeated_writes_to_one_line_produce_one_writeback() {
+        let mut cache = CacheHierarchy::new(&tiny_config());
+        let mut events = Vec::new();
+        for _ in 0..100 {
+            cache.access(42, true, Phase::Mutator, &mut events);
+        }
+        // One miss fill, no write-backs yet.
+        assert_eq!(events.iter().filter(|e| e.write).count(), 0);
+        assert_eq!(events.iter().filter(|e| !e.write).count(), 1);
+        cache.flush_all(&mut events);
+        assert_eq!(events.iter().filter(|e| e.write).count(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_passes_every_access_through() {
+        let mut cache = CacheHierarchy::disabled();
+        let mut events = Vec::new();
+        for i in 0..10 {
+            cache.access(i, i % 2 == 0, Phase::Mutator, &mut events);
+        }
+        assert_eq!(events.len(), 10);
+        assert_eq!(events.iter().filter(|e| e.write).count(), 5);
+    }
+
+    #[test]
+    fn dirty_eviction_attributes_last_writer() {
+        let mut cache = CacheHierarchy::new(&CacheConfig {
+            levels: vec![CacheLevelConfig { capacity_bytes: 2 * CACHE_LINE_SIZE, ways: 1 }],
+        });
+        let mut events = Vec::new();
+        // Write line 0 as the nursery GC, then touch enough conflicting lines
+        // (same set, different tags) to force it out.
+        cache.access(0, true, Phase::NurseryGc, &mut events);
+        cache.access(2, false, Phase::Mutator, &mut events);
+        cache.access(4, false, Phase::Mutator, &mut events);
+        let wb: Vec<_> = events.iter().filter(|e| e.write).collect();
+        assert_eq!(wb.len(), 1);
+        assert_eq!(wb[0].line, 0);
+        assert_eq!(wb[0].phase, Phase::NurseryGc);
+    }
+
+    #[test]
+    fn hit_in_lower_level_promotes_without_memory_traffic() {
+        let mut cache = CacheHierarchy::new(&tiny_config());
+        let mut events = Vec::new();
+        cache.access(7, false, Phase::Mutator, &mut events);
+        let before = events.len();
+        // Evict line 7 from L1 by filling its set, then access it again: it
+        // should be found in L2 without a new memory read.
+        cache.access(7 + 2, false, Phase::Mutator, &mut events);
+        cache.access(7 + 4, false, Phase::Mutator, &mut events);
+        cache.access(7 + 6, false, Phase::Mutator, &mut events);
+        let mid = events.iter().filter(|e| !e.write).count();
+        cache.access(7, false, Phase::Mutator, &mut events);
+        let after = events.iter().filter(|e| !e.write).count();
+        assert!(before >= 1);
+        assert_eq!(after, mid, "L2 hit must not produce another memory read");
+    }
+
+    #[test]
+    fn flush_is_idempotent() {
+        let mut cache = CacheHierarchy::new(&tiny_config());
+        let mut events = Vec::new();
+        cache.access(11, true, Phase::MajorGc, &mut events);
+        cache.flush_all(&mut events);
+        let n = events.len();
+        cache.flush_all(&mut events);
+        assert_eq!(events.len(), n);
+    }
+
+    #[test]
+    fn paper_default_geometry() {
+        let cfg = CacheConfig::paper_default();
+        assert_eq!(cfg.levels.len(), 3);
+        assert_eq!(cfg.levels[2].capacity_bytes, 4 * 1024 * 1024);
+        assert_eq!(cfg.levels[2].sets(), 4 * 1024 * 1024 / 64 / 16);
+        let scaled = CacheConfig::scaled(16);
+        assert!(scaled.levels[0].capacity_bytes < cfg.levels[0].capacity_bytes);
+    }
+}

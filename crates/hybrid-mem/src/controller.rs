@@ -1,0 +1,194 @@
+//! Memory controller: device-side access accounting.
+//!
+//! Every memory-side event (cache miss fill or dirty write-back) lands here.
+//! The controller keeps the counters the paper's evaluation needs:
+//!
+//! * reads and writes per memory technology (DRAM vs PCM),
+//! * writes per technology broken down by the phase that produced them
+//!   (Figure 10),
+//! * per-page write counts (consumed by the OS Write Partitioning baseline
+//!   and by the wear statistics),
+//! * migration writes performed by the OS (Figure 7).
+
+use std::collections::HashMap;
+
+use crate::address::{PageId, CACHE_LINE_SIZE, PAGE_SIZE};
+use crate::stats::PhaseWrites;
+use crate::system::{MemoryKind, Phase};
+
+/// Device-side access counters.
+#[derive(Debug, Default)]
+pub struct MemoryController {
+    reads: [u64; 2],
+    writes: [u64; 2],
+    phase_writes: [PhaseWrites; 2],
+    phase_reads: [PhaseWrites; 2],
+    page_writes: HashMap<u64, u64>,
+    line_writes: HashMap<u64, u64>,
+    migration_writes: [u64; 2],
+    track_lines: bool,
+}
+
+impl MemoryController {
+    /// Creates a controller. `track_lines` enables per-cache-line write
+    /// tracking (needed only for wear-distribution statistics; per-page
+    /// tracking is always on because the WP baseline requires it).
+    pub fn new(track_lines: bool) -> Self {
+        MemoryController { track_lines, ..Default::default() }
+    }
+
+    /// Records a device read of one cache line.
+    pub fn record_read(&mut self, kind: MemoryKind, phase: Phase) {
+        self.reads[kind as usize] += 1;
+        self.phase_reads[kind as usize].add(phase, 1);
+    }
+
+    /// Records a device write of one cache line belonging to `page`.
+    pub fn record_write(&mut self, kind: MemoryKind, phase: Phase, line: u64) {
+        self.writes[kind as usize] += 1;
+        self.phase_writes[kind as usize].add(phase, 1);
+        let page = line * CACHE_LINE_SIZE as u64 / PAGE_SIZE as u64;
+        *self.page_writes.entry(page).or_insert(0) += 1;
+        if self.track_lines {
+            *self.line_writes.entry(line).or_insert(0) += 1;
+        }
+    }
+
+    /// Records the device traffic of the OS migrating one page from `from`
+    /// to `to`: a full page of reads from the source and a full page of
+    /// writes to the destination. The writes are counted separately so that
+    /// Figure 7 can distinguish write-backs from migrations.
+    pub fn record_page_migration(&mut self, from: MemoryKind, to: MemoryKind) {
+        let lines = (PAGE_SIZE / CACHE_LINE_SIZE) as u64;
+        self.reads[from as usize] += lines;
+        self.writes[to as usize] += lines;
+        self.migration_writes[to as usize] += lines;
+        self.phase_writes[to as usize].add(Phase::Runtime, lines);
+    }
+
+    /// Total device reads to `kind` (in cache lines).
+    pub fn reads(&self, kind: MemoryKind) -> u64 {
+        self.reads[kind as usize]
+    }
+
+    /// Total device writes to `kind` (in cache lines), including migrations.
+    pub fn writes(&self, kind: MemoryKind) -> u64 {
+        self.writes[kind as usize]
+    }
+
+    /// Device writes to `kind` caused by OS page migration.
+    pub fn migration_writes(&self, kind: MemoryKind) -> u64 {
+        self.migration_writes[kind as usize]
+    }
+
+    /// Device writes to `kind` excluding migration traffic ("write-backs" in
+    /// Figure 7).
+    pub fn writeback_writes(&self, kind: MemoryKind) -> u64 {
+        self.writes[kind as usize] - self.migration_writes[kind as usize]
+    }
+
+    /// Per-phase write breakdown for `kind`.
+    pub fn phase_writes(&self, kind: MemoryKind) -> PhaseWrites {
+        self.phase_writes[kind as usize]
+    }
+
+    /// Per-phase read breakdown for `kind`.
+    pub fn phase_reads(&self, kind: MemoryKind) -> PhaseWrites {
+        self.phase_reads[kind as usize]
+    }
+
+    /// Write count of a specific page (0 if never written).
+    pub fn page_write_count(&self, page: PageId) -> u64 {
+        self.page_writes.get(&page.0).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(page, writes)` pairs for all written pages.
+    pub fn page_writes(&self) -> impl Iterator<Item = (PageId, u64)> + '_ {
+        self.page_writes.iter().map(|(&p, &w)| (PageId(p), w))
+    }
+
+    /// Iterates over `(cache line, writes)` pairs if line tracking is on.
+    pub fn line_writes(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.line_writes.iter().map(|(&l, &w)| (l, w))
+    }
+
+    /// Resets the per-page write counters (the WP baseline consumes and
+    /// clears them each OS quantum).
+    pub fn take_page_writes(&mut self) -> HashMap<u64, u64> {
+        std::mem::take(&mut self.page_writes)
+    }
+
+    /// Total bytes written to `kind` (cache-line granularity).
+    pub fn bytes_written(&self, kind: MemoryKind) -> u64 {
+        self.writes(kind) * CACHE_LINE_SIZE as u64
+    }
+
+    /// Total bytes read from `kind` (cache-line granularity).
+    pub fn bytes_read(&self, kind: MemoryKind) -> u64 {
+        self.reads(kind) * CACHE_LINE_SIZE as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_counters_are_per_kind() {
+        let mut mc = MemoryController::new(false);
+        mc.record_read(MemoryKind::Dram, Phase::Mutator);
+        mc.record_write(MemoryKind::Pcm, Phase::Mutator, 100);
+        mc.record_write(MemoryKind::Pcm, Phase::MajorGc, 101);
+        assert_eq!(mc.reads(MemoryKind::Dram), 1);
+        assert_eq!(mc.reads(MemoryKind::Pcm), 0);
+        assert_eq!(mc.writes(MemoryKind::Pcm), 2);
+        assert_eq!(mc.writes(MemoryKind::Dram), 0);
+        assert_eq!(mc.phase_writes(MemoryKind::Pcm).get(Phase::MajorGc), 1);
+        assert_eq!(mc.bytes_written(MemoryKind::Pcm), 2 * CACHE_LINE_SIZE as u64);
+    }
+
+    #[test]
+    fn page_write_counts_aggregate_lines() {
+        let mut mc = MemoryController::new(false);
+        let lines_per_page = (PAGE_SIZE / CACHE_LINE_SIZE) as u64;
+        for line in 0..lines_per_page {
+            mc.record_write(MemoryKind::Pcm, Phase::Mutator, line);
+        }
+        mc.record_write(MemoryKind::Pcm, Phase::Mutator, lines_per_page); // next page
+        assert_eq!(mc.page_write_count(PageId(0)), lines_per_page);
+        assert_eq!(mc.page_write_count(PageId(1)), 1);
+        assert_eq!(mc.page_write_count(PageId(2)), 0);
+    }
+
+    #[test]
+    fn migrations_are_separated_from_writebacks() {
+        let mut mc = MemoryController::new(false);
+        mc.record_write(MemoryKind::Pcm, Phase::Mutator, 7);
+        mc.record_page_migration(MemoryKind::Dram, MemoryKind::Pcm);
+        let lines = (PAGE_SIZE / CACHE_LINE_SIZE) as u64;
+        assert_eq!(mc.writes(MemoryKind::Pcm), 1 + lines);
+        assert_eq!(mc.migration_writes(MemoryKind::Pcm), lines);
+        assert_eq!(mc.writeback_writes(MemoryKind::Pcm), 1);
+        assert_eq!(mc.reads(MemoryKind::Dram), lines);
+    }
+
+    #[test]
+    fn line_tracking_is_optional() {
+        let mut off = MemoryController::new(false);
+        off.record_write(MemoryKind::Pcm, Phase::Mutator, 9);
+        assert_eq!(off.line_writes().count(), 0);
+        let mut on = MemoryController::new(true);
+        on.record_write(MemoryKind::Pcm, Phase::Mutator, 9);
+        on.record_write(MemoryKind::Pcm, Phase::Mutator, 9);
+        assert_eq!(on.line_writes().collect::<Vec<_>>(), vec![(9, 2)]);
+    }
+
+    #[test]
+    fn take_page_writes_clears() {
+        let mut mc = MemoryController::new(false);
+        mc.record_write(MemoryKind::Dram, Phase::Mutator, 3);
+        let taken = mc.take_page_writes();
+        assert_eq!(taken.len(), 1);
+        assert_eq!(mc.page_write_count(PageId(0)), 0);
+    }
+}

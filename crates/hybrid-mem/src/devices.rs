@@ -1,0 +1,139 @@
+//! DRAM and PCM device models.
+//!
+//! The constants reproduce Table 2 of the paper: DRAM has a 45 ns read and
+//! write latency and dissipates 0.678 W while reading and 0.825 W while
+//! writing; PCM has a 180 ns read latency (4x DRAM), a 450 ns write latency
+//! (12x DRAM when accounting for array write-back), 0.617 W read power,
+//! 3.0 W write power and an endurance of 30 million writes per cell. Both
+//! devices expose a 1 KB row buffer; only modified lines are written back to
+//! the PCM array, and PCM reads are non-destructive so they need no
+//! pre-charge.
+
+use crate::system::MemoryKind;
+
+/// Timing and power parameters of a single memory technology.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceParams {
+    /// Latency of a read access, in nanoseconds.
+    pub read_latency_ns: f64,
+    /// Latency of a write access, in nanoseconds.
+    pub write_latency_ns: f64,
+    /// Average power drawn while servicing a read, in watts.
+    pub read_power_w: f64,
+    /// Average power drawn while servicing a write, in watts.
+    pub write_power_w: f64,
+    /// Background (static/refresh) power per 32 GB of capacity, in watts.
+    pub static_power_w: f64,
+    /// Cell endurance in writes, `None` for effectively unlimited (DRAM).
+    pub endurance_writes: Option<u64>,
+}
+
+impl DeviceParams {
+    /// Energy of a single read of one cache line, in joules.
+    pub fn read_energy_j(&self) -> f64 {
+        self.read_power_w * self.read_latency_ns * 1e-9
+    }
+
+    /// Energy of a single write of one cache line, in joules.
+    pub fn write_energy_j(&self) -> f64 {
+        self.write_power_w * self.write_latency_ns * 1e-9
+    }
+}
+
+/// DRAM parameters (Micron DDR3, Table 2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DramParams;
+
+impl DramParams {
+    /// The paper's DRAM device model.
+    pub const fn params() -> DeviceParams {
+        DeviceParams {
+            read_latency_ns: 45.0,
+            write_latency_ns: 45.0,
+            read_power_w: 0.678,
+            write_power_w: 0.825,
+            // DDR3 refresh + background power for a fully provisioned 32 GB
+            // DIMM population (~0.8 W per GB); the energy model scales this
+            // with the fraction of the 32 GB that a configuration actually
+            // provisions (1 GB for the hybrid systems).
+            static_power_w: 26.0,
+            endurance_writes: None,
+        }
+    }
+}
+
+/// PCM parameters (Table 2, derived from Lee et al. [26]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PcmParams;
+
+impl PcmParams {
+    /// The paper's PCM device model with 30 M writes-per-cell endurance.
+    pub const fn params() -> DeviceParams {
+        DeviceParams {
+            read_latency_ns: 180.0,
+            write_latency_ns: 450.0,
+            read_power_w: 0.617,
+            write_power_w: 3.0,
+            // "The static power of PCM prototypes are negligible compared to
+            // DRAM" (Section 5.2.2).
+            static_power_w: 0.5,
+            endurance_writes: Some(30_000_000),
+        }
+    }
+}
+
+/// Returns the paper's device parameters for `kind`.
+pub fn params_for(kind: MemoryKind) -> DeviceParams {
+    match kind {
+        MemoryKind::Dram => DramParams::params(),
+        MemoryKind::Pcm => PcmParams::params(),
+    }
+}
+
+/// Main-memory bandwidth assumed by the simulated memory controller (Table 2).
+pub const MEMORY_BANDWIDTH_GBPS: f64 = 12.0;
+
+/// Simulated processor clock frequency in GHz (Table 2).
+pub const CPU_FREQ_GHZ: f64 = 4.0;
+
+/// Number of simulated cores (Table 2).
+pub const SIMULATED_CORES: usize = 4;
+
+/// Number of cores of the write-rate estimation platform (Section 5.2.2).
+pub const ESTIMATION_CORES: usize = 32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcm_is_slower_and_hungrier_than_dram() {
+        let dram = DramParams::params();
+        let pcm = PcmParams::params();
+        assert!(pcm.read_latency_ns / dram.read_latency_ns >= 4.0 - 1e-9);
+        assert!(pcm.write_latency_ns / dram.write_latency_ns >= 10.0 - 1e-9);
+        assert!(pcm.write_energy_j() > dram.write_energy_j());
+        assert!(pcm.static_power_w < dram.static_power_w);
+    }
+
+    #[test]
+    fn endurance_only_for_pcm() {
+        assert!(DramParams::params().endurance_writes.is_none());
+        assert_eq!(PcmParams::params().endurance_writes, Some(30_000_000));
+    }
+
+    #[test]
+    fn params_for_matches_kind() {
+        assert_eq!(params_for(MemoryKind::Dram), DramParams::params());
+        assert_eq!(params_for(MemoryKind::Pcm), PcmParams::params());
+    }
+
+    #[test]
+    fn energy_per_access_is_positive_and_tiny() {
+        for kind in [MemoryKind::Dram, MemoryKind::Pcm] {
+            let p = params_for(kind);
+            assert!(p.read_energy_j() > 0.0 && p.read_energy_j() < 1e-5);
+            assert!(p.write_energy_j() > 0.0 && p.write_energy_j() < 1e-5);
+        }
+    }
+}

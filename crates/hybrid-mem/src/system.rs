@@ -1,0 +1,508 @@
+//! The top-level simulated memory system.
+//!
+//! [`MemorySystem`] glues together the address-space reservation, the page
+//! map, the byte-level backing store, the cache hierarchy and the memory
+//! controller. Heap code issues *tagged* accesses (each access carries the
+//! [`Phase`] that performed it); the system looks up the backing technology
+//! of the touched page, runs the access through the cache hierarchy and
+//! accounts the resulting device traffic.
+
+use crate::address::{align_up_usize, Address, PageId, CACHE_LINE_SIZE, PAGE_SIZE};
+use crate::backing::ChunkedMemory;
+use crate::cache::{CacheConfig, CacheHierarchy, MemEvent};
+use crate::controller::MemoryController;
+use crate::page_map::{PageInfo, PageMap};
+use crate::stats::MemoryStats;
+
+/// Memory technology backing a page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemoryKind {
+    /// Volatile DRAM: fast, write-unlimited, energy-hungry at rest.
+    Dram = 0,
+    /// Phase-change memory: dense and non-volatile but slow to write and
+    /// write-endurance-limited.
+    Pcm = 1,
+}
+
+impl MemoryKind {
+    /// Both memory kinds, DRAM first.
+    pub const ALL: [MemoryKind; 2] = [MemoryKind::Dram, MemoryKind::Pcm];
+}
+
+impl std::fmt::Display for MemoryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemoryKind::Dram => write!(f, "DRAM"),
+            MemoryKind::Pcm => write!(f, "PCM"),
+        }
+    }
+}
+
+/// The execution phase that performed a memory access. Used to attribute
+/// device writes to their origin (Figure 10 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Application (mutator) code, including write-barrier book-keeping.
+    Mutator = 0,
+    /// Nursery (minor) collection.
+    NurseryGc = 1,
+    /// Observer-space collection (KG-W only).
+    ObserverGc = 2,
+    /// Full-heap (major) collection.
+    MajorGc = 3,
+    /// Runtime and collector metadata (mark tables, remsets, treadmills).
+    Runtime = 4,
+}
+
+impl Phase {
+    /// Number of phases.
+    pub const COUNT: usize = 5;
+    /// All phases in index order.
+    pub const ALL: [Phase; Phase::COUNT] =
+        [Phase::Mutator, Phase::NurseryGc, Phase::ObserverGc, Phase::MajorGc, Phase::Runtime];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Mutator => "application",
+            Phase::NurseryGc => "nursery-GC",
+            Phase::ObserverGc => "observer-GC",
+            Phase::MajorGc => "major-GC",
+            Phase::Runtime => "runtime",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Kind of a single access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Configuration of the simulated memory system.
+#[derive(Clone, Debug)]
+pub struct MemoryConfig {
+    /// Cache hierarchy configuration; `None` disables caching entirely
+    /// (architecture-independent measurement mode).
+    pub cache: Option<CacheConfig>,
+    /// Track per-cache-line write counts (wear statistics).
+    pub track_line_writes: bool,
+    /// Nominal PCM capacity used by the lifetime model, in bytes.
+    pub pcm_capacity_bytes: u64,
+    /// Nominal DRAM capacity, in bytes (1 GB in the paper's hybrid system).
+    pub dram_capacity_bytes: u64,
+}
+
+impl MemoryConfig {
+    /// The paper's hybrid memory system: 1 GB DRAM + 32 GB PCM with the
+    /// Table 2 cache hierarchy.
+    pub fn hybrid() -> Self {
+        MemoryConfig {
+            cache: Some(CacheConfig::paper_default()),
+            track_line_writes: false,
+            pcm_capacity_bytes: 32 << 30,
+            dram_capacity_bytes: 1 << 30,
+        }
+    }
+
+    /// Hybrid system with a cache hierarchy scaled down by `divisor`, for the
+    /// scaled-down workloads used in tests and quick experiments.
+    pub fn hybrid_scaled(divisor: usize) -> Self {
+        MemoryConfig { cache: Some(CacheConfig::scaled(divisor)), ..Self::hybrid() }
+    }
+
+    /// Architecture-independent mode: no caches, every heap write reaches the
+    /// device counters (Section 6.2: "these results are architecture-
+    /// independent since they do not consider cache effects").
+    pub fn architecture_independent() -> Self {
+        MemoryConfig { cache: None, ..Self::hybrid() }
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        Self::hybrid()
+    }
+}
+
+/// The simulated memory system.
+///
+/// See the crate-level documentation for an example.
+#[derive(Debug)]
+pub struct MemorySystem {
+    config: MemoryConfig,
+    backing: ChunkedMemory,
+    page_map: PageMap,
+    cache: CacheHierarchy,
+    controller: MemoryController,
+    next_extent: u64,
+    extents: Vec<(String, Address, usize)>,
+    event_buf: Vec<MemEvent>,
+}
+
+/// Alignment of reserved extents (256 MB) so that space membership can be
+/// decided by address comparison alone.
+const EXTENT_ALIGN: u64 = 256 << 20;
+/// First reserved extent starts at 1 GB to keep low addresses obviously
+/// invalid.
+const EXTENT_BASE: u64 = 1 << 30;
+
+impl MemorySystem {
+    /// Creates a memory system from `config`.
+    pub fn new(config: MemoryConfig) -> Self {
+        let cache = match &config.cache {
+            Some(c) => CacheHierarchy::new(c),
+            None => CacheHierarchy::disabled(),
+        };
+        MemorySystem {
+            controller: MemoryController::new(config.track_line_writes),
+            cache,
+            config,
+            backing: ChunkedMemory::new(),
+            page_map: PageMap::new(),
+            next_extent: EXTENT_BASE,
+            extents: Vec::new(),
+            event_buf: Vec::new(),
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+
+    /// Reserves a named virtual extent of at least `bytes` bytes and returns
+    /// its base address. Reservation does not map any pages.
+    pub fn reserve_extent(&mut self, name: &str, bytes: usize) -> Address {
+        let base = Address::new(self.next_extent);
+        let size = align_up_usize(bytes.max(PAGE_SIZE), EXTENT_ALIGN as usize);
+        self.next_extent += size as u64;
+        self.extents.push((name.to_string(), base, size));
+        base
+    }
+
+    /// Returns the reserved extents as `(name, base, size)` tuples.
+    pub fn extents(&self) -> &[(String, Address, usize)] {
+        &self.extents
+    }
+
+    /// Maps `count` pages starting at `start` onto `kind` for space `space`.
+    pub fn map_pages(&mut self, start: Address, count: usize, kind: MemoryKind, space: u8) {
+        self.page_map.map_pages(start, count, kind, space);
+    }
+
+    /// Unmaps `count` pages starting at `start`.
+    pub fn unmap_pages(&mut self, start: Address, count: usize) {
+        self.page_map.unmap_pages(start, count);
+    }
+
+    /// Migrates one page to `to`, accounting the copy traffic, and returns
+    /// the previous kind (used by the OS Write Partitioning baseline).
+    pub fn migrate_page(&mut self, page: PageId, to: MemoryKind) -> Option<MemoryKind> {
+        let prev = self.page_map.migrate_page(page, to)?;
+        if prev != to {
+            self.controller.record_page_migration(prev, to);
+        }
+        Some(prev)
+    }
+
+    /// Returns placement information for the page containing `addr`.
+    pub fn page_info(&self, addr: Address) -> Option<PageInfo> {
+        self.page_map.info(addr)
+    }
+
+    /// Returns the memory technology backing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is unmapped.
+    pub fn kind_of(&self, addr: Address) -> MemoryKind {
+        self.page_map.kind_of(addr)
+    }
+
+    /// Returns `true` if the page containing `addr` is mapped.
+    pub fn is_mapped(&self, addr: Address) -> bool {
+        self.page_map.is_mapped(addr)
+    }
+
+    /// Immutable access to the page map.
+    pub fn page_map(&self) -> &PageMap {
+        &self.page_map
+    }
+
+    /// Immutable access to the memory controller counters.
+    pub fn controller(&self) -> &MemoryController {
+        &self.controller
+    }
+
+    /// Mutable access to the memory controller (used by the OS baseline to
+    /// consume per-page write counters).
+    pub fn controller_mut(&mut self) -> &mut MemoryController {
+        &mut self.controller
+    }
+
+    fn touch(&mut self, addr: Address, len: usize, kind: AccessKind, phase: Phase) {
+        debug_assert!(len > 0);
+        let first = addr.cache_line();
+        let last = addr.add(len - 1).cache_line();
+        for line in first..=last {
+            self.event_buf.clear();
+            self.cache.access(line, kind == AccessKind::Write, phase, &mut self.event_buf);
+            for event in self.event_buf.drain(..) {
+                let line_addr = Address::new(event.line * CACHE_LINE_SIZE as u64);
+                // A flushed line may belong to a page that has since been
+                // unmapped (space released); attribute it to PCM-free DRAM? No:
+                // charge it to the kind it had when mapped, falling back to the
+                // page map; unmapped pages are charged to DRAM-free... They are
+                // simply skipped because the space no longer exists.
+                let Some(info) = self.page_map.info(line_addr) else { continue };
+                if event.write {
+                    self.controller.record_write(info.kind, event.phase, event.line);
+                } else {
+                    self.controller.record_read(info.kind, event.phase);
+                }
+            }
+        }
+    }
+
+    /// Reads a `u64` at `addr` on behalf of `phase`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page containing `addr` is not mapped.
+    pub fn read_u64(&mut self, addr: Address, phase: Phase) -> u64 {
+        assert!(self.page_map.is_mapped(addr), "read of unmapped address {addr}");
+        self.touch(addr, 8, AccessKind::Read, phase);
+        self.backing.read_u64(addr)
+    }
+
+    /// Writes a `u64` at `addr` on behalf of `phase`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page containing `addr` is not mapped.
+    pub fn write_u64(&mut self, addr: Address, value: u64, phase: Phase) {
+        assert!(self.page_map.is_mapped(addr), "write of unmapped address {addr}");
+        self.touch(addr, 8, AccessKind::Write, phase);
+        self.backing.write_u64(addr, value);
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read_bytes(&mut self, addr: Address, buf: &mut [u8], phase: Phase) {
+        if buf.is_empty() {
+            return;
+        }
+        self.touch(addr, buf.len(), AccessKind::Read, phase);
+        self.backing.read_bytes(addr, buf);
+    }
+
+    /// Writes `buf` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: Address, buf: &[u8], phase: Phase) {
+        if buf.is_empty() {
+            return;
+        }
+        self.touch(addr, buf.len(), AccessKind::Write, phase);
+        self.backing.write_bytes(addr, buf);
+    }
+
+    /// Copies `len` bytes from `src` to `dst` on behalf of `phase`,
+    /// accounting both the reads and the writes.
+    pub fn copy(&mut self, src: Address, dst: Address, len: usize, phase: Phase) {
+        if len == 0 {
+            return;
+        }
+        self.touch(src, len, AccessKind::Read, phase);
+        self.touch(dst, len, AccessKind::Write, phase);
+        self.backing.copy(src, dst, len);
+    }
+
+    /// Zeroes `len` bytes starting at `addr` (nursery zeroing, block reset).
+    pub fn zero(&mut self, addr: Address, len: usize, phase: Phase) {
+        if len == 0 {
+            return;
+        }
+        self.touch(addr, len, AccessKind::Write, phase);
+        self.backing.fill(addr, len, 0);
+    }
+
+    /// Writes a single conceptual store without touching backing bytes.
+    ///
+    /// Used for runtime book-keeping structures (remembered-set buffers,
+    /// treadmill pointers) whose values live in host data structures but
+    /// whose memory traffic must still be accounted.
+    pub fn account_write(&mut self, addr: Address, phase: Phase) {
+        self.touch(addr, 8, AccessKind::Write, phase);
+    }
+
+    /// Accounts a single conceptual load, analogous to [`Self::account_write`].
+    pub fn account_read(&mut self, addr: Address, phase: Phase) {
+        self.touch(addr, 8, AccessKind::Read, phase);
+    }
+
+    /// Flushes all dirty cache lines to the device counters. Call once at the
+    /// end of a run before reading statistics.
+    pub fn flush_caches(&mut self) {
+        let mut events = Vec::new();
+        self.cache.flush_all(&mut events);
+        for event in events {
+            let line_addr = Address::new(event.line * CACHE_LINE_SIZE as u64);
+            let Some(info) = self.page_map.info(line_addr) else { continue };
+            if event.write {
+                self.controller.record_write(info.kind, event.phase, event.line);
+            } else {
+                self.controller.record_read(info.kind, event.phase);
+            }
+        }
+    }
+
+    /// Takes a statistics snapshot (does not flush caches; call
+    /// [`Self::flush_caches`] first for end-of-run numbers).
+    pub fn stats(&self) -> MemoryStats {
+        MemoryStats {
+            reads: [self.controller.reads(MemoryKind::Dram), self.controller.reads(MemoryKind::Pcm)],
+            writes: [self.controller.writes(MemoryKind::Dram), self.controller.writes(MemoryKind::Pcm)],
+            migration_writes: [
+                self.controller.migration_writes(MemoryKind::Dram),
+                self.controller.migration_writes(MemoryKind::Pcm),
+            ],
+            phase_writes: [
+                self.controller.phase_writes(MemoryKind::Dram),
+                self.controller.phase_writes(MemoryKind::Pcm),
+            ],
+            phase_reads: [
+                self.controller.phase_reads(MemoryKind::Dram),
+                self.controller.phase_reads(MemoryKind::Pcm),
+            ],
+            mapped_bytes: [
+                self.page_map.mapped_bytes(MemoryKind::Dram),
+                self.page_map.mapped_bytes(MemoryKind::Pcm),
+            ],
+            llc_misses: self.cache.llc_misses(),
+            cache_hits: self.cache.hits(),
+        }
+    }
+
+    /// Bytes of host memory resident in the backing store (diagnostic).
+    pub fn resident_bytes(&self) -> usize {
+        self.backing.resident_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_system() -> MemorySystem {
+        MemorySystem::new(MemoryConfig::architecture_independent())
+    }
+
+    #[test]
+    fn reserve_map_read_write() {
+        let mut mem = small_system();
+        let base = mem.reserve_extent("test", 1 << 20);
+        mem.map_pages(base, 4, MemoryKind::Pcm, 1);
+        mem.write_u64(base.add(16), 99, Phase::Mutator);
+        assert_eq!(mem.read_u64(base.add(16), Phase::Mutator), 99);
+        let stats = mem.stats();
+        assert_eq!(stats.writes(MemoryKind::Pcm), 1);
+        assert_eq!(stats.phase_writes(MemoryKind::Pcm).get(Phase::Mutator), 1);
+    }
+
+    #[test]
+    fn extents_do_not_overlap() {
+        let mut mem = small_system();
+        let a = mem.reserve_extent("a", 10 << 20);
+        let b = mem.reserve_extent("b", 10 << 20);
+        assert!(b.raw() >= a.raw() + (10 << 20));
+        assert_eq!(mem.extents().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped")]
+    fn unmapped_write_panics() {
+        let mut mem = small_system();
+        let base = mem.reserve_extent("x", 1 << 20);
+        mem.write_u64(base, 1, Phase::Mutator);
+    }
+
+    #[test]
+    fn copy_accounts_reads_and_writes() {
+        let mut mem = small_system();
+        let base = mem.reserve_extent("copy", 1 << 20);
+        mem.map_pages(base, 2, MemoryKind::Dram, 0);
+        mem.map_pages(base.add(PAGE_SIZE), 2, MemoryKind::Pcm, 0);
+        mem.write_bytes(base, &[7u8; 128], Phase::Mutator);
+        mem.copy(base, base.add(PAGE_SIZE), 128, Phase::NurseryGc);
+        let mut out = [0u8; 128];
+        mem.read_bytes(base.add(PAGE_SIZE), &mut out, Phase::Mutator);
+        assert!(out.iter().all(|&b| b == 7));
+        let stats = mem.stats();
+        assert_eq!(stats.phase_writes(MemoryKind::Pcm).get(Phase::NurseryGc), 2);
+        assert!(stats.reads(MemoryKind::Dram) >= 2);
+    }
+
+    #[test]
+    fn cached_mode_filters_repeated_writes() {
+        let mut mem = MemorySystem::new(MemoryConfig::hybrid());
+        let base = mem.reserve_extent("hot", 1 << 20);
+        mem.map_pages(base, 1, MemoryKind::Pcm, 0);
+        for _ in 0..1000 {
+            mem.write_u64(base, 1, Phase::Mutator);
+        }
+        mem.flush_caches();
+        let stats = mem.stats();
+        assert_eq!(stats.writes(MemoryKind::Pcm), 1, "cache must coalesce repeated writes to one line");
+    }
+
+    #[test]
+    fn uncached_mode_counts_every_write() {
+        let mut mem = small_system();
+        let base = mem.reserve_extent("hot", 1 << 20);
+        mem.map_pages(base, 1, MemoryKind::Pcm, 0);
+        for _ in 0..10 {
+            mem.write_u64(base, 1, Phase::Mutator);
+        }
+        assert_eq!(mem.stats().writes(MemoryKind::Pcm), 10);
+    }
+
+    #[test]
+    fn migration_updates_kind_and_traffic() {
+        let mut mem = small_system();
+        let base = mem.reserve_extent("mig", 1 << 20);
+        mem.map_pages(base, 1, MemoryKind::Pcm, 0);
+        mem.migrate_page(base.page(), MemoryKind::Dram);
+        assert_eq!(mem.kind_of(base), MemoryKind::Dram);
+        let stats = mem.stats();
+        assert!(stats.writes(MemoryKind::Dram) > 0);
+        assert_eq!(stats.migration_writes(MemoryKind::Dram), stats.writes(MemoryKind::Dram));
+    }
+
+    #[test]
+    fn zero_initialisation_writes_are_charged() {
+        let mut mem = small_system();
+        let base = mem.reserve_extent("zero", 1 << 20);
+        mem.map_pages(base, 1, MemoryKind::Dram, 0);
+        mem.zero(base, 512, Phase::NurseryGc);
+        assert_eq!(mem.stats().writes(MemoryKind::Dram), 512 / 64);
+    }
+
+    #[test]
+    fn account_write_has_no_data_effect() {
+        let mut mem = small_system();
+        let base = mem.reserve_extent("acct", 1 << 20);
+        mem.map_pages(base, 1, MemoryKind::Dram, 0);
+        mem.write_u64(base, 42, Phase::Mutator);
+        mem.account_write(base, Phase::Runtime);
+        assert_eq!(mem.read_u64(base, Phase::Mutator), 42);
+        assert_eq!(mem.stats().phase_writes(MemoryKind::Dram).get(Phase::Runtime), 1);
+    }
+}

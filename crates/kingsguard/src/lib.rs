@@ -1,0 +1,44 @@
+//! Write-rationing garbage collection for hybrid DRAM/PCM memories.
+//!
+//! This crate is the core library of the reproduction of *Write-Rationing
+//! Garbage Collection for Hybrid Memories* (Akram, Sartor, McKinley,
+//! Eeckhout — PLDI 2018). It implements the paper's collectors on top of the
+//! [`kingsguard_heap`] substrate and the [`hybrid_mem`] memory simulator:
+//!
+//! * **GenImmix** — the baseline generational Immix collector with the whole
+//!   heap on DRAM-only or PCM-only memory,
+//! * **Kingsguard-nursery (KG-N)** — DRAM nursery, PCM everything else,
+//! * **Kingsguard-writers (KG-W)** — DRAM nursery and observer space,
+//!   per-object write monitoring through the write barrier, selective
+//!   placement of mature objects in DRAM or PCM, rescue of written PCM
+//!   objects, the Large Object Optimization (LOO) and the Metadata
+//!   Optimization (MDO).
+//!
+//! The entry point is [`KingsguardHeap`]: create one from a [`HeapConfig`]
+//! and a [`hybrid_mem::MemoryConfig`], drive it through the mutator API
+//! (allocation, reference/primitive writes, root management), then call
+//! [`KingsguardHeap::finish`] to obtain the collector and memory statistics.
+//!
+//! ```
+//! use kingsguard::{HeapConfig, KingsguardHeap};
+//! use kingsguard_heap::ObjectShape;
+//!
+//! let mut heap = KingsguardHeap::new(HeapConfig::kg_n(), Default::default());
+//! let list = heap.alloc(ObjectShape::new(1, 16), 1);
+//! for _ in 0..1_000 {
+//!     let node = heap.alloc(ObjectShape::new(1, 24), 2);
+//!     heap.write_ref(list, 0, Some(node));
+//!     heap.release(node);
+//! }
+//! let report = heap.finish();
+//! assert!(report.gc.nursery.collections > 0 || report.gc.bytes_allocated < 256 * 1024);
+//! ```
+
+pub mod collect;
+pub mod config;
+pub mod runtime;
+pub mod stats;
+
+pub use config::{CollectorKind, HeapConfig, KgwOptions};
+pub use runtime::{KingsguardHeap, RunReport};
+pub use stats::{CollectionCounters, CompositionSample, GcStats, WriteTarget};

@@ -1,0 +1,634 @@
+//! The Kingsguard heap runtime: spaces, allocation and write barriers.
+//!
+//! [`KingsguardHeap`] owns the simulated memory system and every heap space
+//! required by the configured collector (Figure 3 of the paper), exposes the
+//! mutator interface used by the synthetic workloads (allocation, reference
+//! and primitive writes through the write barrier, root management) and
+//! gathers the statistics the evaluation needs. The collection algorithms
+//! themselves live in [`crate::collect`].
+
+use hybrid_mem::{Address, MemoryConfig, MemoryKind, MemorySystem, Phase};
+use kingsguard_heap::object::{ObjectRef, ObjectShape};
+use kingsguard_heap::{
+    CopySpace, Handle, ImmixSpace, LargeObjectSpace, MetadataSpace, RememberedSet, RootTable, SpaceId,
+};
+
+use crate::config::{CollectorKind, HeapConfig};
+use crate::stats::{GcStats, WriteTarget};
+
+/// Where an address lives within the heap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Location {
+    /// In the nursery region.
+    Nursery,
+    /// In the observer-space region (KG-W only).
+    Observer,
+    /// In the primary mature Immix space (PCM for hybrid collectors).
+    MaturePrimary,
+    /// In the DRAM mature Immix space (KG-W only).
+    MatureDram,
+    /// In the primary large object space (PCM for hybrid collectors).
+    LargePrimary,
+    /// In the DRAM large object space (KG-W only).
+    LargeDram,
+    /// Not in any heap space (e.g. metadata).
+    Other,
+}
+
+/// A managed heap governed by one of the paper's collectors.
+///
+/// # Example
+///
+/// ```
+/// use kingsguard::{HeapConfig, KingsguardHeap};
+/// use kingsguard_heap::ObjectShape;
+///
+/// let mut heap = KingsguardHeap::new(HeapConfig::kg_w(), Default::default());
+/// let parent = heap.alloc(ObjectShape::new(1, 32), 1);
+/// let child = heap.alloc(ObjectShape::new(0, 64), 2);
+/// heap.write_ref(parent, 0, Some(child));
+/// heap.write_prim(child, 0, 8);
+/// heap.release(child); // still reachable through `parent`
+/// let report = heap.finish();
+/// assert!(report.gc.bytes_allocated > 0);
+/// ```
+#[derive(Debug)]
+pub struct KingsguardHeap {
+    pub(crate) config: HeapConfig,
+    pub(crate) mem: MemorySystem,
+    pub(crate) nursery: CopySpace,
+    pub(crate) observer: Option<CopySpace>,
+    pub(crate) mature_primary: ImmixSpace,
+    pub(crate) mature_dram: Option<ImmixSpace>,
+    pub(crate) los_primary: LargeObjectSpace,
+    pub(crate) los_dram: Option<LargeObjectSpace>,
+    pub(crate) metadata: MetadataSpace,
+    pub(crate) roots: RootTable,
+    pub(crate) remset_nursery: RememberedSet,
+    pub(crate) remset_observer: RememberedSet,
+    pub(crate) stats: GcStats,
+    /// Exponential moving average of recent nursery survival (sizes the room
+    /// the observer space reserves for incoming nursery survivors).
+    pub(crate) survival_estimate: f64,
+    /// Whether the Large Object Optimization is currently steering large
+    /// objects into the nursery (re-evaluated after every nursery GC).
+    pub(crate) loo_active: bool,
+    /// Bytes allocated into the LOS since the last nursery collection.
+    pub(crate) los_alloc_since_gc: u64,
+    /// Bytes allocated into the nursery since the last nursery collection.
+    pub(crate) nursery_alloc_since_gc: u64,
+}
+
+/// End-of-run report: collector statistics plus the flushed memory-system
+/// statistics.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Collector statistics.
+    pub gc: GcStats,
+    /// Memory-system statistics (caches flushed).
+    pub memory: hybrid_mem::MemoryStats,
+}
+
+impl KingsguardHeap {
+    /// Creates a heap for `config` on a memory system built from
+    /// `memory_config`.
+    pub fn new(config: HeapConfig, memory_config: MemoryConfig) -> Self {
+        let mut mem = MemorySystem::new(memory_config);
+
+        let nursery_base = mem.reserve_extent("nursery", config.nursery_bytes);
+        let nursery = CopySpace::new(SpaceId::NURSERY, config.nursery_kind(), nursery_base, config.nursery_bytes);
+
+        let observer = if config.has_observer() {
+            let base = mem.reserve_extent("observer", config.observer_bytes);
+            Some(CopySpace::new(SpaceId::OBSERVER, MemoryKind::Dram, base, config.observer_bytes))
+        } else {
+            None
+        };
+
+        let mature_extent = config.heap_budget_bytes * 4;
+        let mature_base = mem.reserve_extent("mature-primary", mature_extent);
+        let mature_primary =
+            ImmixSpace::new(SpaceId::MATURE_PCM, config.mature_kind(), mature_base, mature_extent);
+
+        let mature_dram = if config.has_observer() {
+            let base = mem.reserve_extent("mature-dram", mature_extent);
+            Some(ImmixSpace::new(SpaceId::MATURE_DRAM, MemoryKind::Dram, base, mature_extent))
+        } else {
+            None
+        };
+
+        let los_base = mem.reserve_extent("los-primary", config.los_capacity_bytes);
+        let los_primary =
+            LargeObjectSpace::new(SpaceId::LARGE_PCM, config.mature_kind(), los_base, config.los_capacity_bytes);
+
+        let los_dram = if config.has_observer() {
+            let base = mem.reserve_extent("los-dram", config.los_capacity_bytes);
+            Some(LargeObjectSpace::new(SpaceId::LARGE_DRAM, MemoryKind::Dram, base, config.los_capacity_bytes))
+        } else {
+            None
+        };
+
+        let metadata_base = mem.reserve_extent("metadata", config.metadata_capacity_bytes);
+        let metadata = MetadataSpace::new(config.metadata_kind(), metadata_base, config.metadata_capacity_bytes);
+
+        KingsguardHeap {
+            config,
+            mem,
+            nursery,
+            observer,
+            mature_primary,
+            mature_dram,
+            los_primary,
+            los_dram,
+            metadata,
+            roots: RootTable::new(),
+            remset_nursery: RememberedSet::new(),
+            remset_observer: RememberedSet::new(),
+            stats: GcStats::default(),
+            survival_estimate: 0.2,
+            loo_active: false,
+            los_alloc_since_gc: 0,
+            nursery_alloc_since_gc: 0,
+        }
+    }
+
+    /// The heap configuration.
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// Collector statistics gathered so far.
+    pub fn stats(&self) -> &GcStats {
+        &self.stats
+    }
+
+    /// The underlying memory system.
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Mutable access to the underlying memory system (used by the OS Write
+    /// Partitioning baseline driver).
+    pub fn memory_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// Number of live roots currently registered.
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Mutator interface
+    // ------------------------------------------------------------------
+
+    /// Allocates an object of `shape` and returns a rooted handle to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object cannot be accommodated even after a full-heap
+    /// collection (heap budget and large-object capacity exhausted).
+    pub fn alloc(&mut self, shape: ObjectShape, type_id: u16) -> Handle {
+        let size = shape.size();
+        self.stats.objects_allocated += 1;
+        self.stats.bytes_allocated += size as u64;
+        self.stats.work.mutator_ops += 2 + (size as u64) / 64;
+
+        let obj = if shape.is_large() { self.alloc_large(shape, type_id) } else { self.alloc_small(shape, type_id) };
+        self.roots.add(obj)
+    }
+
+    fn alloc_small(&mut self, shape: ObjectShape, type_id: u16) -> ObjectRef {
+        self.nursery_alloc_since_gc += shape.size() as u64;
+        loop {
+            if let Some(obj) = self.nursery.alloc(&mut self.mem, shape, type_id, Phase::Mutator) {
+                return obj;
+            }
+            self.collect_young();
+        }
+    }
+
+    fn alloc_large(&mut self, shape: ObjectShape, type_id: u16) -> ObjectRef {
+        self.stats.large_bytes_allocated += shape.size() as u64;
+        let use_loo = matches!(self.config.collector, CollectorKind::KingsguardWriters)
+            && self.config.kgw.large_object_optimization
+            && self.loo_active
+            && shape.size() < self.nursery.free_bytes() / 2;
+        if use_loo {
+            // Give the large object a chance to die young: allocate it in the
+            // nursery (Section 4.2.4).
+            if let Some(obj) = self.nursery.alloc(&mut self.mem, shape, type_id, Phase::Mutator) {
+                self.stats.large_objects_in_nursery += 1;
+                self.nursery_alloc_since_gc += shape.size() as u64;
+                return obj;
+            }
+        }
+        self.los_alloc_since_gc += shape.size() as u64;
+        loop {
+            if let Some(obj) = self.los_primary.alloc(&mut self.mem, shape, type_id, Phase::Mutator) {
+                return obj;
+            }
+            self.collect_full();
+            if let Some(obj) = self.los_primary.alloc(&mut self.mem, shape, type_id, Phase::Mutator) {
+                return obj;
+            }
+            panic!("large object space exhausted even after a full collection; increase los_capacity_bytes");
+        }
+    }
+
+    /// Unregisters a root. The object it referenced becomes garbage unless it
+    /// is reachable from another root.
+    pub fn release(&mut self, handle: Handle) {
+        self.roots.remove(handle);
+    }
+
+    /// Returns the object currently referenced by `handle` (the address is
+    /// only valid until the next collection).
+    pub fn resolve(&self, handle: Handle) -> ObjectRef {
+        self.roots.get(handle)
+    }
+
+    /// Performs a reference store `src.slots[slot] = target` through the
+    /// write barrier of Figure 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of bounds for the source object's shape.
+    pub fn write_ref(&mut self, src: Handle, slot: usize, target: Option<Handle>) {
+        let src_obj = self.roots.get(src);
+        let target_obj = target.map(|t| self.roots.get(t)).unwrap_or(ObjectRef::NULL);
+        self.reference_write(src_obj, slot, target_obj);
+    }
+
+    pub(crate) fn reference_write(&mut self, src: ObjectRef, slot: usize, target: ObjectRef) {
+        let shape = src.shape(&mut self.mem, Phase::Mutator);
+        assert!(
+            slot < shape.ref_slots as usize,
+            "reference slot {slot} out of bounds for object with {} slots",
+            shape.ref_slots
+        );
+        self.stats.reference_writes += 1;
+        self.stats.work.mutator_ops += 1;
+
+        let slot_addr = src.ref_slot(slot);
+        self.generational_barrier(slot_addr, target);
+        self.monitoring_barrier(src, true);
+
+        // The actual store (Figure 4 line 18).
+        src.write_ref_raw(&mut self.mem, slot, target, Phase::Mutator);
+        self.record_write_demographics(src);
+    }
+
+    /// Performs a primitive store of `len` bytes at `offset` within the
+    /// source object's primitive payload.
+    pub fn write_prim(&mut self, src: Handle, offset: usize, len: usize) {
+        let src_obj = self.roots.get(src);
+        self.primitive_write(src_obj, offset, len);
+    }
+
+    pub(crate) fn primitive_write(&mut self, src: ObjectRef, offset: usize, len: usize) {
+        let shape = src.shape(&mut self.mem, Phase::Mutator);
+        let payload = shape.payload_bytes as usize;
+        if payload == 0 {
+            return;
+        }
+        let offset = offset % payload;
+        let len = len.clamp(1, (payload - offset).max(1)).min(64);
+        self.stats.primitive_writes += 1;
+        self.stats.work.mutator_ops += 1;
+
+        let addr = src.payload_addr(&mut self.mem, offset, Phase::Mutator);
+        let data = vec![0xA5u8; len];
+        self.mem.write_bytes(addr, &data, Phase::Mutator);
+
+        // Primitive writes only reach the monitoring half of the barrier
+        // when primitive monitoring is enabled (KG-W vs KG-W–PM).
+        if self.config.kgw.monitor_primitives {
+            self.monitoring_barrier(src, false);
+        }
+        self.record_write_demographics(src);
+    }
+
+    /// Reads reference slot `slot` of the object behind `src`.
+    pub fn read_ref(&mut self, src: Handle, slot: usize) -> Option<ObjectRef> {
+        let src_obj = self.roots.get(src);
+        self.stats.work.mutator_ops += 1;
+        let target = src_obj.read_ref(&mut self.mem, slot, Phase::Mutator);
+        if target.is_null() {
+            None
+        } else {
+            Some(target)
+        }
+    }
+
+    /// Reads `len` bytes of primitive payload at `offset` (the value itself
+    /// is irrelevant to the simulation; the access traffic matters).
+    pub fn read_prim(&mut self, src: Handle, offset: usize, len: usize) {
+        let src_obj = self.roots.get(src);
+        let shape = src_obj.shape(&mut self.mem, Phase::Mutator);
+        let payload = shape.payload_bytes as usize;
+        if payload == 0 {
+            return;
+        }
+        let offset = offset % payload;
+        let len = len.clamp(1, (payload - offset).max(1)).min(64);
+        self.stats.work.mutator_ops += 1;
+        let addr = src_obj.payload_addr(&mut self.mem, offset, Phase::Mutator);
+        let mut buf = vec![0u8; len];
+        self.mem.read_bytes(addr, &mut buf, Phase::Mutator);
+    }
+
+    // ------------------------------------------------------------------
+    // Write barrier pieces
+    // ------------------------------------------------------------------
+
+    /// The generational (remembered-set) half of the barrier: lines 7–12 of
+    /// Figure 4.
+    fn generational_barrier(&mut self, slot_addr: Address, target: ObjectRef) {
+        self.stats.work.barrier_remset_ops += 1;
+        if target.is_null() {
+            return;
+        }
+        let slot_in_nursery = self.nursery.in_region(slot_addr);
+        let target_in_nursery = self.nursery.in_region(target.address());
+        if !slot_in_nursery && target_in_nursery {
+            self.stats.remset_insertions += 1;
+            if self.remset_nursery.insert(slot_addr) {
+                self.metadata.record_remset_store(&mut self.mem, Phase::Mutator);
+            }
+        }
+        if let Some(observer) = &self.observer {
+            let slot_in_young = slot_in_nursery || observer.in_region(slot_addr);
+            let target_in_young = target_in_nursery || observer.in_region(target.address());
+            if !slot_in_young && target_in_young {
+                self.stats.remset_insertions += 1;
+                if self.remset_observer.insert(slot_addr) {
+                    self.metadata.record_remset_store(&mut self.mem, Phase::Mutator);
+                }
+            }
+        }
+    }
+
+    /// The object-monitoring half of the barrier: lines 13–17 of Figure 4.
+    /// Only Kingsguard-writers monitors writes; `is_reference` distinguishes
+    /// reference from primitive monitoring for the work model.
+    fn monitoring_barrier(&mut self, src: ObjectRef, _is_reference: bool) {
+        if !matches!(self.config.collector, CollectorKind::KingsguardWriters) {
+            return;
+        }
+        if self.nursery.in_region(src.address()) {
+            return;
+        }
+        self.stats.work.barrier_monitor_ops += 1;
+        // The write-word store is collector bookkeeping rather than an
+        // application store, so it is attributed to the runtime phase (the
+        // paper's Figure 11 reports application writes as seen by the
+        // barrier, and Figure 10 folds metadata stores into the runtime /
+        // collector components).
+        src.set_written(&mut self.mem, Phase::Runtime);
+    }
+
+    fn record_write_demographics(&mut self, src: ObjectRef) {
+        let target = if self.nursery.in_region(src.address()) {
+            WriteTarget::Nursery
+        } else {
+            WriteTarget::Mature
+        };
+        self.stats.record_app_write(target, src.address());
+    }
+
+    // ------------------------------------------------------------------
+    // Space queries shared with the collection algorithms
+    // ------------------------------------------------------------------
+
+    pub(crate) fn locate(&self, addr: Address) -> Location {
+        if self.nursery.in_region(addr) {
+            return Location::Nursery;
+        }
+        if let Some(observer) = &self.observer {
+            if observer.in_region(addr) {
+                return Location::Observer;
+            }
+        }
+        if self.mature_primary.contains(addr) {
+            return Location::MaturePrimary;
+        }
+        if let Some(mature_dram) = &self.mature_dram {
+            if mature_dram.contains(addr) {
+                return Location::MatureDram;
+            }
+        }
+        if self.los_primary.in_region(addr) {
+            return Location::LargePrimary;
+        }
+        if let Some(los_dram) = &self.los_dram {
+            if los_dram.in_region(addr) {
+                return Location::LargeDram;
+            }
+        }
+        Location::Other
+    }
+
+    /// Bytes of mature + large heap currently residing in PCM.
+    pub fn pcm_heap_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        if self.mature_primary.kind() == MemoryKind::Pcm {
+            total += self.mature_primary.used_bytes() as u64;
+        }
+        if self.los_primary.kind() == MemoryKind::Pcm {
+            total += self.los_primary.used_bytes() as u64;
+        }
+        total
+    }
+
+    /// Bytes of mature + large heap currently residing in DRAM (excluding
+    /// the nursery and observer space, as in Figure 13).
+    pub fn dram_heap_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        if self.mature_primary.kind() == MemoryKind::Dram {
+            total += self.mature_primary.used_bytes() as u64;
+        }
+        if self.los_primary.kind() == MemoryKind::Dram {
+            total += self.los_primary.used_bytes() as u64;
+        }
+        if let Some(mature_dram) = &self.mature_dram {
+            total += mature_dram.used_bytes() as u64;
+        }
+        if let Some(los_dram) = &self.los_dram {
+            total += los_dram.used_bytes() as u64;
+        }
+        total
+    }
+
+    /// Bytes used by the mature spaces (budget accounting for triggering
+    /// full-heap collections).
+    pub(crate) fn mature_used_bytes(&self) -> usize {
+        let mut total = self.mature_primary.used_bytes() + self.los_primary.used_bytes();
+        if let Some(mature_dram) = &self.mature_dram {
+            total += mature_dram.used_bytes();
+        }
+        if let Some(los_dram) = &self.los_dram {
+            total += los_dram.used_bytes();
+        }
+        total
+    }
+
+    pub(crate) fn update_peaks(&mut self) {
+        let stats = self.mem.stats();
+        self.stats.peak_pcm_mapped = self.stats.peak_pcm_mapped.max(stats.mapped_bytes(MemoryKind::Pcm));
+        self.stats.peak_dram_mapped = self.stats.peak_dram_mapped.max(stats.mapped_bytes(MemoryKind::Dram));
+        if let Some(mature_dram) = &self.mature_dram {
+            let used = (mature_dram.used_bytes()
+                + self.los_dram.as_ref().map(|l| l.used_bytes()).unwrap_or(0)) as u64;
+            self.stats.peak_mature_dram_used = self.stats.peak_mature_dram_used.max(used);
+        }
+        self.stats.peak_metadata_used = self.stats.peak_metadata_used.max(self.metadata.used_bytes() as u64);
+    }
+
+    // ------------------------------------------------------------------
+    // Run finalisation
+    // ------------------------------------------------------------------
+
+    /// Flushes the cache hierarchy and returns the end-of-run report.
+    pub fn finish(mut self) -> RunReport {
+        self.update_peaks();
+        self.mem.flush_caches();
+        RunReport { gc: self.stats, memory: self.mem.stats() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap(config: HeapConfig) -> KingsguardHeap {
+        KingsguardHeap::new(config, MemoryConfig::architecture_independent())
+    }
+
+    #[test]
+    fn spaces_are_placed_per_configuration() {
+        let kg_n = heap(HeapConfig::kg_n());
+        assert_eq!(kg_n.nursery.kind(), MemoryKind::Dram);
+        assert_eq!(kg_n.mature_primary.kind(), MemoryKind::Pcm);
+        assert!(kg_n.observer.is_none());
+        assert!(kg_n.mature_dram.is_none());
+
+        let kg_w = heap(HeapConfig::kg_w());
+        assert!(kg_w.observer.is_some());
+        assert_eq!(kg_w.observer.as_ref().unwrap().kind(), MemoryKind::Dram);
+        assert_eq!(kg_w.mature_dram.as_ref().unwrap().kind(), MemoryKind::Dram);
+        assert_eq!(kg_w.metadata.kind(), MemoryKind::Dram);
+
+        let pcm_only = heap(HeapConfig::gen_immix_pcm());
+        assert_eq!(pcm_only.nursery.kind(), MemoryKind::Pcm);
+        assert_eq!(pcm_only.mature_primary.kind(), MemoryKind::Pcm);
+    }
+
+    #[test]
+    fn alloc_returns_live_rooted_objects() {
+        let mut heap = heap(HeapConfig::kg_n());
+        let handle = heap.alloc(ObjectShape::new(2, 32), 7);
+        let obj = heap.resolve(handle);
+        assert!(!obj.is_null());
+        assert_eq!(heap.root_count(), 1);
+        assert_eq!(heap.stats().objects_allocated, 1);
+        assert!(heap.stats().bytes_allocated >= 56);
+        heap.release(handle);
+        assert_eq!(heap.root_count(), 0);
+    }
+
+    #[test]
+    fn small_objects_go_to_the_nursery_and_large_to_the_los() {
+        let mut heap = heap(HeapConfig::kg_n());
+        let small = heap.alloc(ObjectShape::new(0, 128), 1);
+        let large = heap.alloc(ObjectShape::primitive(16 * 1024), 2);
+        let small_obj = heap.resolve(small);
+        let large_obj = heap.resolve(large);
+        assert_eq!(heap.locate(small_obj.address()), Location::Nursery);
+        assert_eq!(heap.locate(large_obj.address()), Location::LargePrimary);
+        assert_eq!(heap.memory().kind_of(large_obj.address()), MemoryKind::Pcm);
+    }
+
+    #[test]
+    fn reference_write_records_remset_for_old_to_young_pointers() {
+        let mut heap = heap(HeapConfig::kg_n());
+        // Create an object and force it into the mature space via collection.
+        let old = heap.alloc(ObjectShape::new(1, 8), 1);
+        heap.collect_young();
+        let old_obj = heap.resolve(old);
+        assert_eq!(heap.locate(old_obj.address()), Location::MaturePrimary);
+        // A young target written into the old object must be remembered.
+        let young = heap.alloc(ObjectShape::new(0, 8), 2);
+        heap.write_ref(old, 0, Some(young));
+        assert_eq!(heap.stats().remset_insertions, 1);
+        assert!(!heap.remset_nursery.is_empty());
+        // Writing a null reference does not grow the remset.
+        heap.write_ref(old, 0, None);
+        assert_eq!(heap.stats().remset_insertions, 1);
+    }
+
+    #[test]
+    fn kgw_barrier_sets_write_bit_only_outside_nursery() {
+        let mut heap = heap(HeapConfig::kg_w());
+        let young = heap.alloc(ObjectShape::new(1, 16), 1);
+        heap.write_ref(young, 0, None);
+        let obj = heap.resolve(young);
+        assert!(!obj.is_written(&mut heap.mem, Phase::Mutator), "nursery writes are not monitored");
+        // Promote to the observer space, then write again.
+        heap.collect_young();
+        let promoted = heap.resolve(young);
+        assert_eq!(heap.locate(promoted.address()), Location::Observer);
+        heap.write_ref(young, 0, None);
+        let promoted = heap.resolve(young);
+        assert!(promoted.is_written(&mut heap.mem, Phase::Mutator));
+    }
+
+    #[test]
+    fn primitive_monitoring_toggle_controls_write_bit() {
+        for (config, expect_bit) in [
+            (HeapConfig::kg_w(), true),
+            (HeapConfig::kg_w_no_primitive_monitoring(), false),
+        ] {
+            let mut heap = heap(config);
+            let handle = heap.alloc(ObjectShape::new(0, 64), 1);
+            heap.collect_young();
+            heap.write_prim(handle, 0, 8);
+            let obj = heap.resolve(handle);
+            assert_eq!(obj.is_written(&mut heap.mem, Phase::Mutator), expect_bit);
+        }
+    }
+
+    #[test]
+    fn write_demographics_split_nursery_and_mature() {
+        let mut heap = heap(HeapConfig::kg_n());
+        let a = heap.alloc(ObjectShape::new(0, 32), 1);
+        heap.write_prim(a, 0, 8);
+        heap.collect_young();
+        heap.write_prim(a, 0, 8);
+        heap.write_prim(a, 0, 8);
+        assert_eq!(heap.stats().writes_to_nursery_objects, 1);
+        assert_eq!(heap.stats().writes_to_mature_objects, 2);
+        assert!((heap.stats().nursery_write_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_reference_slot_panics() {
+        let mut heap = heap(HeapConfig::kg_n());
+        let handle = heap.alloc(ObjectShape::new(1, 0), 1);
+        heap.write_ref(handle, 5, None);
+    }
+
+    #[test]
+    fn finish_reports_memory_and_gc_stats() {
+        let mut heap = heap(HeapConfig::kg_w());
+        for _ in 0..50 {
+            let h = heap.alloc(ObjectShape::new(1, 64), 1);
+            heap.write_prim(h, 0, 16);
+            heap.release(h);
+        }
+        let report = heap.finish();
+        assert_eq!(report.gc.objects_allocated, 50);
+        assert!(report.memory.total_writes() > 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! OS Write Partitioning (WP) baseline.
+//!
+//! Reproduces the state-of-the-art OS technique the paper compares against
+//! (Section 2 and Section 6.1.3, after Zhang & Li and Ramos et al.): DRAM is
+//! treated as a partition for highly mutated pages, identified with a
+//! variation of the Multi-Queue algorithm for second-level buffer caches.
+//!
+//! * The OS places every new page in PCM first.
+//! * The memory controller counts writes to each physical page; at `2^n`
+//!   cumulative writes a page is promoted to the queue with rank `n`.
+//! * Every OS quantum (10 ms) the OS migrates the pages in the four
+//!   highest-ranked queues (of eight) from PCM to DRAM.
+//! * Every 50 ms all DRAM-resident pages are demoted one queue; pages that
+//!   fall out of the top queues are migrated back to PCM, optimising for
+//!   phase behaviour.
+//!
+//! The policy operates purely on the [`hybrid_mem::MemorySystem`]'s per-page
+//! write counters and page-migration primitive, so it can be layered under
+//! any collector; the paper (and our reproduction) runs it under the
+//! unmodified generational Immix collector with a PCM-only heap layout.
+
+pub mod multi_queue;
+pub mod wp;
+
+pub use multi_queue::{MultiQueue, MultiQueueConfig};
+pub use wp::{WritePartitioning, WritePartitioningConfig, WritePartitioningStats};

@@ -1,0 +1,29 @@
+//! Synthetic Java application models.
+//!
+//! The paper evaluates 16 Java applications (12 DaCapo benchmarks,
+//! pseudojbb2005 and 3 GraphChi graph-analytics programs) plus two fixed
+//! variants (lu.Fix, pmd.S). Running the real benchmarks requires a Java
+//! virtual machine; this reproduction instead drives the collectors with
+//! **synthetic mutators** whose behaviour is parameterised, per benchmark,
+//! by the paper's own published statistics:
+//!
+//! * allocation volume and heap size (Table 4, columns 1–2),
+//! * nursery and observer-space survival rates (Table 4, columns 3–4 and 16),
+//! * the split of writes between nursery and mature objects and the
+//!   concentration of mature writes in a small set of hot objects
+//!   (Figure 2),
+//! * large-object allocation behaviour (Section 6.2.1's discussion of
+//!   lusearch, xalan, luindex and CC),
+//! * measured 4→32-core write-rate scaling factors (Table 3).
+//!
+//! Because the collectors only observe *where* objects live, *how long* they
+//! live and *where writes land*, reproducing those distributions reproduces
+//! the collector behaviour the paper reports, at a configurable scale.
+
+pub mod mutator;
+pub mod profile;
+pub mod profiles;
+
+pub use mutator::{MutatorProgress, SyntheticMutator, WorkloadConfig};
+pub use profile::{BenchmarkProfile, Suite};
+pub use profiles::{all_benchmarks, benchmark, simulated_benchmarks};

@@ -1,0 +1,424 @@
+//! The synthetic mutator.
+//!
+//! Drives a [`KingsguardHeap`] so that the observable behaviour — allocation
+//! volume, object lifetimes, the nursery/mature split of writes, the
+//! concentration of mature writes in a few hot objects, large-object
+//! behaviour and inter-object pointer writes — matches the per-benchmark
+//! profile. Everything is deterministic given the seed.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use kingsguard::KingsguardHeap;
+use kingsguard_heap::{Handle, ObjectShape};
+
+use crate::profile::BenchmarkProfile;
+
+/// Configuration of a synthetic workload run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkloadConfig {
+    /// Divisor applied to the paper's allocation volume and heap size.
+    /// The default of 256 turns multi-GB benchmarks into tens of MB.
+    pub scale: u64,
+    /// RNG seed (runs are deterministic for a given seed).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig { scale: 256, seed: 0x5eed_1234 }
+    }
+}
+
+/// Progress snapshot passed to the per-chunk hook of
+/// [`SyntheticMutator::run_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MutatorProgress {
+    /// Bytes allocated so far.
+    pub allocated_bytes: u64,
+    /// Total bytes the run will allocate.
+    pub total_bytes: u64,
+    /// Estimated elapsed wall-clock time of the (scaled) run in
+    /// milliseconds, assuming a nominal 4-core allocation rate of 256 MB/s.
+    /// Time-based policies such as the OS Write Partitioning baseline use
+    /// this clock, so they observe the same per-page write intensity per OS
+    /// quantum as a full-size run would.
+    pub elapsed_ms: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LiveObject {
+    handle: Handle,
+    expires_at: u64,
+    ref_slots: u16,
+    payload_bytes: u32,
+}
+
+/// A deterministic synthetic mutator for one benchmark profile.
+#[derive(Clone, Debug)]
+pub struct SyntheticMutator {
+    profile: BenchmarkProfile,
+    config: WorkloadConfig,
+}
+
+impl SyntheticMutator {
+    /// Nominal allocation rate used to convert allocated bytes into elapsed
+    /// milliseconds for the OS baseline. The value (16 KB per millisecond)
+    /// is chosen so that even the scaled-down runs of low-allocation
+    /// benchmarks span enough 10 ms OS quanta for the Write Partitioning
+    /// baseline's ranking and migration to operate, while high-allocation
+    /// benchmarks span hundreds of quanta as they do in the paper's runs.
+    pub const BYTES_PER_MS: u64 = 16 * 1024;
+
+    /// Creates a mutator for `profile` with `config`.
+    pub fn new(profile: BenchmarkProfile, config: WorkloadConfig) -> Self {
+        SyntheticMutator { profile, config }
+    }
+
+    /// The benchmark profile this mutator models.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    /// Runs the workload to completion on `heap`.
+    pub fn run(&self, heap: &mut KingsguardHeap) {
+        self.run_with(heap, |_, _| {});
+    }
+
+    /// Runs the workload, invoking `hook` roughly every 1/200th of the
+    /// allocation volume (used to drive the OS Write Partitioning baseline
+    /// and to take additional measurements mid-run).
+    pub fn run_with(&self, heap: &mut KingsguardHeap, mut hook: impl FnMut(&mut KingsguardHeap, MutatorProgress)) {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ hash_name(self.profile.name));
+        let profile = &self.profile;
+        let total = profile.scaled_allocation_bytes(self.config.scale).max(1 << 20);
+        let target_live = (profile.scaled_heap_bytes(self.config.scale) / 2).max(256 * 1024);
+        let nursery_bytes = heap.config().nursery_bytes as u64;
+        let observer_bytes = heap.config().observer_bytes as u64;
+
+        // Short-lived objects (die within a fraction of a nursery) and
+        // medium-lived objects (die while under observation) are kept in
+        // separate queues so that a medium-lived object at the head of the
+        // queue never delays the release of the short-lived objects
+        // allocated after it.
+        let mut young: VecDeque<LiveObject> = VecDeque::new();
+        let mut observed: VecDeque<LiveObject> = VecDeque::new();
+        let mut mature: VecDeque<LiveObject> = VecDeque::new();
+        let mut hot: Vec<LiveObject> = Vec::new();
+        let mut large_mature: Vec<LiveObject> = Vec::new();
+
+        let mut allocated: u64 = 0;
+        let mut large_allocated: u64 = 0;
+        let mut mature_live_bytes: u64 = 0;
+        let mut write_debt: f64 = 0.0;
+        let hook_interval = (total / 200).max(64 * 1024);
+        let mut next_hook = hook_interval;
+
+        while allocated < total {
+            // ---- allocate one object -------------------------------------
+            let want_large = (large_allocated as f64) < profile.large_alloc_fraction * allocated as f64;
+            let shape = if want_large {
+                ObjectShape::primitive(rng.gen_range(9 * 1024..40 * 1024))
+            } else {
+                let ref_slots = [0u16, 0, 1, 1, 2, 3][rng.gen_range(0..6)];
+                let payload = rng.gen_range(16u32..112);
+                ObjectShape::new(ref_slots, payload)
+            };
+            let size = shape.size() as u64;
+            let type_id = if want_large { 200 } else { rng.gen_range(1..100) };
+            let handle = heap.alloc(shape, type_id);
+            allocated += size;
+            if want_large {
+                large_allocated += size;
+            }
+
+            // ---- lifetime class ------------------------------------------
+            let roll: f64 = rng.gen();
+            let object = LiveObject {
+                handle,
+                expires_at: 0,
+                ref_slots: shape.ref_slots,
+                payload_bytes: shape.payload_bytes,
+            };
+            if roll < 1.0 - profile.nursery_survival {
+                // Dies well before its first nursery collection: short-lived
+                // objects in Java die within a small fraction of a nursery.
+                let lifetime = rng.gen_range(0..(nursery_bytes / 16).max(1));
+                young.push_back(LiveObject { expires_at: allocated + lifetime, ..object });
+            } else if roll < 1.0 - profile.nursery_survival * profile.observer_survival {
+                // Survives the nursery but dies while (or shortly after)
+                // being observed.
+                let lifetime = nursery_bytes + rng.gen_range(0..(observer_bytes * 2).max(1));
+                observed.push_back(LiveObject { expires_at: allocated + lifetime, ..object });
+            } else {
+                // Long-lived.
+                mature_live_bytes += size;
+                let hot_target = ((mature.len() + hot.len()) as f64 * BenchmarkProfile::HOT_OBJECT_FRACTION)
+                    .ceil() as usize;
+                if want_large {
+                    large_mature.push(object);
+                } else if hot.len() < hot_target.max(1) {
+                    hot.push(object);
+                } else {
+                    mature.push_back(object);
+                }
+            }
+
+            // ---- build the object graph ----------------------------------
+            // Occasionally link the newcomer to the most recent young object
+            // and, more rarely, link a random mature object to the newcomer
+            // (an old-to-young pointer that exercises the remembered sets).
+            // Pointer-installed young objects stay reachable until the slot
+            // is overwritten, so these probabilities are kept low to preserve
+            // the profile's nursery survival rate.
+            if shape.ref_slots > 0 && rng.gen_bool(0.2) {
+                if let Some(donor) = young.back() {
+                    heap.write_ref(handle, rng.gen_range(0..shape.ref_slots) as usize, Some(donor.handle));
+                }
+            }
+            if !mature.is_empty() && rng.gen_bool(0.1) {
+                let idx = rng.gen_range(0..mature.len());
+                let parent = mature[idx];
+                if parent.ref_slots > 0 {
+                    heap.write_ref(parent.handle, rng.gen_range(0..parent.ref_slots) as usize, Some(handle));
+                }
+            }
+
+            // ---- expire dead young and observed objects ------------------
+            for queue in [&mut young, &mut observed] {
+                while let Some(front) = queue.front() {
+                    if front.expires_at <= allocated {
+                        heap.release(front.handle);
+                        queue.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // ---- bound the long-lived working set ------------------------
+            while mature_live_bytes > target_live {
+                if let Some(victim) = mature.pop_front() {
+                    mature_live_bytes -=
+                        ObjectShape::new(victim.ref_slots, victim.payload_bytes).size() as u64;
+                    heap.release(victim.handle);
+                } else if let Some(victim) = large_mature.pop() {
+                    mature_live_bytes -=
+                        ObjectShape::new(victim.ref_slots, victim.payload_bytes).size() as u64;
+                    heap.release(victim.handle);
+                } else {
+                    break;
+                }
+            }
+
+            // ---- issue application writes --------------------------------
+            write_debt += size as f64 / 1024.0 * profile.writes_per_kb;
+            while write_debt >= 1.0 {
+                write_debt -= 1.0;
+                self.issue_write(heap, &mut rng, &young, &mature, &hot, &large_mature);
+            }
+
+            // ---- periodic hook -------------------------------------------
+            if allocated >= next_hook {
+                next_hook += hook_interval;
+                hook(
+                    heap,
+                    MutatorProgress {
+                        allocated_bytes: allocated,
+                        total_bytes: total,
+                        elapsed_ms: allocated / Self::BYTES_PER_MS,
+                    },
+                );
+            }
+        }
+
+        // Final hook so observers see the end-of-run state.
+        hook(
+            heap,
+            MutatorProgress {
+                allocated_bytes: allocated,
+                total_bytes: total,
+                elapsed_ms: allocated / Self::BYTES_PER_MS,
+            },
+        );
+    }
+
+    /// Issues one application write according to the profile's demographics.
+    fn issue_write(
+        &self,
+        heap: &mut KingsguardHeap,
+        rng: &mut SmallRng,
+        young: &VecDeque<LiveObject>,
+        mature: &VecDeque<LiveObject>,
+        hot: &[LiveObject],
+        large_mature: &[LiveObject],
+    ) {
+        let profile = &self.profile;
+        let to_nursery = rng.gen_bool(profile.nursery_write_fraction) && !young.is_empty();
+        let target = if to_nursery {
+            // Recently allocated objects absorb nursery writes.
+            let window = young.len().min(32);
+            young[young.len() - 1 - rng.gen_range(0..window)]
+        } else if !large_mature.is_empty() && rng.gen_bool(profile.large_write_fraction) {
+            large_mature[rng.gen_range(0..large_mature.len())]
+        } else if !hot.is_empty() && rng.gen_bool(profile.hot_mature_share) {
+            hot[rng.gen_range(0..hot.len())]
+        } else if !mature.is_empty() {
+            mature[rng.gen_range(0..mature.len())]
+        } else if !hot.is_empty() {
+            hot[rng.gen_range(0..hot.len())]
+        } else if !young.is_empty() {
+            young[rng.gen_range(0..young.len())]
+        } else {
+            return;
+        };
+
+        let primitive = rng.gen_bool(profile.primitive_write_fraction) || target.ref_slots == 0;
+        if primitive {
+            if target.payload_bytes == 0 {
+                return;
+            }
+            let offset = rng.gen_range(0..target.payload_bytes as usize);
+            heap.write_prim(target.handle, offset, 8);
+        } else {
+            // Reference writes install pointers to the most recent young
+            // object or to another mature object.
+            let slot = rng.gen_range(0..target.ref_slots) as usize;
+            let pointee = if rng.gen_bool(0.3) {
+                young.back().map(|o| o.handle)
+            } else if !mature.is_empty() {
+                Some(mature[rng.gen_range(0..mature.len())].handle)
+            } else {
+                hot.first().map(|o| o.handle)
+            };
+            heap.write_ref(target.handle, slot, pointee);
+        }
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |hash, byte| (hash ^ byte as u64).wrapping_mul(0x100_0000_01b3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::benchmark;
+    use hybrid_mem::MemoryConfig;
+    use kingsguard::HeapConfig;
+
+    fn quick_config() -> WorkloadConfig {
+        WorkloadConfig { scale: 2048, seed: 42 }
+    }
+
+    fn run(profile_name: &str, heap_config: HeapConfig) -> kingsguard::RunReport {
+        let profile = benchmark(profile_name).unwrap();
+        let scale = quick_config().scale;
+        let heap_config = heap_config.with_heap_budget(profile.scaled_heap_bytes(scale).max(2 << 20) as usize);
+        let mut heap = KingsguardHeap::new(heap_config, MemoryConfig::architecture_independent());
+        let mutator = SyntheticMutator::new(profile, quick_config());
+        mutator.run(&mut heap);
+        heap.finish()
+    }
+
+    #[test]
+    fn workload_is_deterministic_for_a_seed() {
+        let profile = benchmark("pmd").unwrap();
+        let config = quick_config();
+        let mut reports = Vec::new();
+        for _ in 0..2 {
+            let heap_config = HeapConfig::kg_n()
+                .with_heap_budget(profile.scaled_heap_bytes(config.scale).max(2 << 20) as usize);
+            let mut heap = KingsguardHeap::new(heap_config, MemoryConfig::architecture_independent());
+            SyntheticMutator::new(profile.clone(), config).run(&mut heap);
+            reports.push(heap.finish());
+        }
+        assert_eq!(
+            (reports[0].gc.objects_allocated, reports[0].gc.bytes_allocated, reports[0].gc.nursery.collections, reports[0].gc.primitive_writes),
+            (reports[1].gc.objects_allocated, reports[1].gc.bytes_allocated, reports[1].gc.nursery.collections, reports[1].gc.primitive_writes)
+        );
+        assert_eq!(reports[0].gc.reference_writes, reports[1].gc.reference_writes);
+        assert_eq!(
+            reports[0].memory.writes(hybrid_mem::MemoryKind::Pcm),
+            reports[1].memory.writes(hybrid_mem::MemoryKind::Pcm)
+        );
+    }
+
+    #[test]
+    fn nursery_write_fraction_tracks_profile() {
+        for name in ["lusearch", "bloat"] {
+            let report = run(name, HeapConfig::kg_n());
+            let profile = benchmark(name).unwrap();
+            let measured = report.gc.nursery_write_fraction();
+            assert!(
+                (measured - profile.nursery_write_fraction).abs() < 0.15,
+                "{name}: measured nursery write fraction {measured:.2} vs profile {:.2}",
+                profile.nursery_write_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn nursery_survival_tracks_profile() {
+        for name in ["lu.fix", "pmd"] {
+            let report = run(name, HeapConfig::kg_n());
+            let profile = benchmark(name).unwrap();
+            let measured = report.gc.nursery_survival();
+            assert!(
+                (measured - profile.nursery_survival).abs() < 0.15,
+                "{name}: measured nursery survival {measured:.2} vs profile {:.2}",
+                profile.nursery_survival
+            );
+        }
+    }
+
+    #[test]
+    fn collections_happen_and_allocation_matches_volume() {
+        let profile = benchmark("xalan").unwrap();
+        let config = WorkloadConfig { scale: 512, seed: 7 };
+        let heap_config = HeapConfig::kg_w()
+            .with_heap_budget(profile.scaled_heap_bytes(config.scale).max(2 << 20) as usize);
+        let mut heap = KingsguardHeap::new(heap_config, MemoryConfig::architecture_independent());
+        SyntheticMutator::new(profile.clone(), config).run(&mut heap);
+        let report = heap.finish();
+        assert!(report.gc.nursery.collections + report.gc.observer.collections > 3);
+        let expected = profile.scaled_allocation_bytes(config.scale).max(1 << 20);
+        let measured = report.gc.bytes_allocated;
+        assert!(
+            measured >= expected && measured < expected * 2,
+            "allocated {measured} vs expected at least {expected}"
+        );
+    }
+
+    #[test]
+    fn hot_objects_concentrate_mature_writes() {
+        let report = run("lusearch", HeapConfig::kg_n());
+        let share = report.gc.top_mature_writer_share(0.10);
+        assert!(share > 0.5, "top 10% of mature objects should capture most mature writes, got {share:.2}");
+    }
+
+    #[test]
+    fn large_objects_are_allocated_for_large_heavy_profiles() {
+        let report = run("lusearch", HeapConfig::kg_n());
+        assert!(report.gc.large_bytes_allocated > 0);
+    }
+
+    #[test]
+    fn progress_hook_fires_and_reports_monotonic_progress() {
+        let profile = benchmark("antlr").unwrap();
+        let heap_config = HeapConfig::kg_w()
+            .with_heap_budget(profile.scaled_heap_bytes(2048).max(2 << 20) as usize);
+        let mut heap = KingsguardHeap::new(heap_config, MemoryConfig::architecture_independent());
+        let mutator = SyntheticMutator::new(profile, quick_config());
+        let mut calls = 0;
+        let mut last = 0;
+        mutator.run_with(&mut heap, |_, progress| {
+            calls += 1;
+            assert!(progress.allocated_bytes >= last);
+            last = progress.allocated_bytes;
+            assert!(progress.total_bytes > 0);
+        });
+        assert!(calls > 5, "hook should fire regularly, fired {calls} times");
+    }
+}

@@ -1,0 +1,21 @@
+//! Write-rationing garbage collection for hybrid memories — umbrella crate.
+//!
+//! This crate re-exports the workspace's public surface so that examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`kingsguard`] — the write-rationing collectors (GenImmix, KG-N, KG-W),
+//! * [`kingsguard_heap`] — the heap substrate (object model, spaces),
+//! * [`hybrid_mem`] — the hybrid DRAM/PCM memory simulator,
+//! * [`oswp`] — the OS Write Partitioning baseline,
+//! * [`workloads`] — synthetic models of the paper's Java benchmarks,
+//! * [`experiments`] — the harness that regenerates every table and figure.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the paper-vs-measured
+//! comparison.
+
+pub use experiments;
+pub use hybrid_mem;
+pub use kingsguard;
+pub use kingsguard_heap;
+pub use oswp;
+pub use workloads;

@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: drive full benchmark workloads through the
+//! collectors and check the paper's qualitative claims end to end.
+
+use experiments::runner::{run_benchmark, run_benchmark_with_wp, ExperimentConfig};
+use hybrid_mem::{MemoryConfig, MemoryKind, Phase};
+use kingsguard::{HeapConfig, KingsguardHeap};
+use kingsguard_heap::ObjectShape;
+use workloads::{benchmark, SyntheticMutator, WorkloadConfig};
+
+fn quick() -> ExperimentConfig {
+    ExperimentConfig::quick()
+}
+
+#[test]
+fn kingsguard_collectors_reduce_pcm_writes_versus_pcm_only() {
+    for name in ["lusearch", "xalan", "bloat"] {
+        let profile = benchmark(name).unwrap();
+        let pcm_only = run_benchmark(&profile, HeapConfig::gen_immix_pcm(), &quick());
+        let kg_n = run_benchmark(&profile, HeapConfig::kg_n(), &quick());
+        let kg_w = run_benchmark(&profile, HeapConfig::kg_w(), &quick());
+        assert!(
+            kg_n.pcm_writes() < pcm_only.pcm_writes(),
+            "{name}: KG-N must reduce PCM writes ({} vs {})",
+            kg_n.pcm_writes(),
+            pcm_only.pcm_writes()
+        );
+        assert!(
+            kg_w.pcm_writes() < kg_n.pcm_writes(),
+            "{name}: KG-W must reduce PCM writes below KG-N ({} vs {})",
+            kg_w.pcm_writes(),
+            kg_n.pcm_writes()
+        );
+    }
+}
+
+#[test]
+fn kg_w_extends_pcm_lifetime_more_than_kg_n() {
+    let profile = benchmark("lu.fix").unwrap();
+    let pcm_only = run_benchmark(&profile, HeapConfig::gen_immix_pcm(), &quick());
+    let kg_n = run_benchmark(&profile, HeapConfig::kg_n(), &quick());
+    let kg_w = run_benchmark(&profile, HeapConfig::kg_w(), &quick());
+    let endurance = 30_000_000;
+    let base = pcm_only.pcm_lifetime_years(endurance);
+    assert!(kg_n.pcm_lifetime_years(endurance) > base);
+    assert!(kg_w.pcm_lifetime_years(endurance) > kg_n.pcm_lifetime_years(endurance));
+}
+
+#[test]
+fn kg_w_keeps_most_of_the_heap_in_pcm() {
+    // The paper: KG-W still places ~68-80% of the heap in PCM; the DRAM
+    // mature space stays small.
+    let profile = benchmark("pmd").unwrap();
+    let kg_w = run_benchmark(&profile, HeapConfig::kg_w(), &quick());
+    let pcm = kg_w.gc.peak_pcm_mapped as f64;
+    let dram_mature = kg_w.gc.peak_mature_dram_used as f64;
+    assert!(pcm > 0.0);
+    assert!(dram_mature < pcm, "mature DRAM ({dram_mature}) must stay below PCM footprint ({pcm})");
+}
+
+#[test]
+fn dram_only_baseline_never_writes_pcm_and_pcm_only_never_writes_dram() {
+    let profile = benchmark("antlr").unwrap();
+    let dram = run_benchmark(&profile, HeapConfig::gen_immix_dram(), &quick());
+    assert_eq!(dram.pcm_writes(), 0);
+    let pcm = run_benchmark(&profile, HeapConfig::gen_immix_pcm(), &quick());
+    assert_eq!(pcm.dram_writes(), 0);
+}
+
+#[test]
+fn write_partitioning_reduces_pcm_writes_but_less_than_kg_w() {
+    let profile = benchmark("lusearch").unwrap();
+    let config = ExperimentConfig::quick().with_scale(256);
+    let pcm_only = run_benchmark(&profile, HeapConfig::gen_immix_pcm(), &config);
+    let kg_w = run_benchmark(&profile, HeapConfig::kg_w(), &config);
+    let wp = run_benchmark_with_wp(&profile, &config);
+    assert!(wp.pcm_writes() < pcm_only.pcm_writes(), "WP must reduce PCM writes");
+    assert!(kg_w.pcm_writes() < wp.pcm_writes(), "KG-W must beat OS write partitioning");
+}
+
+#[test]
+fn primitive_monitoring_ablation_increases_pcm_writes() {
+    let profile = benchmark("lusearch").unwrap();
+    let kg_w = run_benchmark(&profile, HeapConfig::kg_w(), &quick());
+    let kg_w_pm = run_benchmark(&profile, HeapConfig::kg_w_no_primitive_monitoring(), &quick());
+    assert!(
+        kg_w_pm.pcm_app_writes() >= kg_w.pcm_app_writes(),
+        "dropping primitive monitoring must not reduce application PCM writes ({} vs {})",
+        kg_w_pm.pcm_app_writes(),
+        kg_w.pcm_app_writes()
+    );
+}
+
+#[test]
+fn observer_survivors_split_between_dram_and_pcm() {
+    let profile = benchmark("pjbb").unwrap();
+    // Needs a long enough run for the observer space to fill and be collected.
+    let kg_w = run_benchmark(&profile, HeapConfig::kg_w(), &quick().with_scale(512));
+    assert!(kg_w.gc.observer_to_pcm_objects > 0, "most observer survivors go to PCM");
+    assert!(kg_w.gc.observer_to_dram_objects > 0, "written observer survivors go to DRAM");
+    let dram_fraction = kg_w.gc.observer_dram_object_fraction();
+    assert!(dram_fraction < 0.6, "only a minority of survivors should be retained in DRAM, got {dram_fraction}");
+}
+
+#[test]
+fn heap_composition_series_shows_pcm_dominating_dram() {
+    let profile = benchmark("eclipse").unwrap();
+    let kg_w = run_benchmark(&profile, HeapConfig::kg_w(), &quick());
+    assert!(!kg_w.gc.composition.is_empty());
+    let peak_pcm = kg_w.gc.composition.iter().map(|s| s.pcm_bytes).max().unwrap();
+    let peak_dram = kg_w.gc.composition.iter().map(|s| s.dram_bytes).max().unwrap();
+    assert!(peak_pcm > peak_dram, "KG-W exploits PCM capacity: {peak_pcm} vs {peak_dram}");
+}
+
+#[test]
+fn workload_runs_are_reproducible_across_processes_for_a_fixed_seed() {
+    let profile = benchmark("pmd").unwrap();
+    let run = || {
+        let heap_config = HeapConfig::kg_w().with_heap_budget(4 << 20);
+        let mut heap = KingsguardHeap::new(heap_config, MemoryConfig::architecture_independent());
+        SyntheticMutator::new(profile.clone(), WorkloadConfig { scale: 2048, seed: 99 }).run(&mut heap);
+        heap.finish()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.gc.objects_allocated, b.gc.objects_allocated);
+    assert_eq!(a.gc.bytes_allocated, b.gc.bytes_allocated);
+    assert_eq!(a.memory.writes(MemoryKind::Pcm), b.memory.writes(MemoryKind::Pcm));
+    assert_eq!(a.memory.writes(MemoryKind::Dram), b.memory.writes(MemoryKind::Dram));
+}
+
+#[test]
+fn mutator_data_survives_collections_intact() {
+    // Write a recognisable pattern into a long-lived object, force it
+    // through nursery, observer and major collections, and check the bytes.
+    let mut heap = KingsguardHeap::new(HeapConfig::kg_w(), MemoryConfig::architecture_independent());
+    let keeper = heap.alloc(ObjectShape::new(0, 64), 7);
+    heap.write_prim(keeper, 0, 16);
+    let addr = heap.resolve(keeper);
+    let shape_before = addr.shape(heap.memory_mut(), Phase::Mutator);
+    heap.collect_nursery();
+    heap.collect_observer();
+    heap.collect_full();
+    let moved = heap.resolve(keeper);
+    assert_ne!(addr, moved, "the object must have moved at least once");
+    let shape_after = moved.shape(heap.memory_mut(), Phase::Mutator);
+    assert_eq!(shape_before, shape_after, "object shape must survive copying");
+    assert_eq!(moved.type_id(heap.memory_mut(), Phase::Mutator), 7);
+}
