@@ -1,0 +1,354 @@
+//! The versioned on-disk profile format.
+//!
+//! Profiles are stored as a line-oriented plain-text format so they are
+//! diffable, greppable and stable across toolchains:
+//!
+//! ```text
+//! kingsguard-site-profile 1
+//! workload lusearch
+//! collector KG-N
+//! sites 3
+//! site 1 objects 120 bytes 7680 survived-objects 30 survived-bytes 1920 post-writes 400 large 0
+//! site 2 objects 8 bytes 131072 survived-objects 8 survived-bytes 131072 post-writes 0 large 8
+//! site 7 objects 50 bytes 3200 survived-objects 0 survived-bytes 0 post-writes 0 large 0
+//! ```
+//!
+//! The parser refuses unknown versions, truncated files and malformed
+//! records; [`profile_to_string`] and [`parse_profile`] round-trip exactly.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::profiler::{SiteProfile, SiteRecord};
+
+/// First token of the header line.
+pub const FORMAT_MAGIC: &str = "kingsguard-site-profile";
+
+/// Current format version. Bump when the record layout changes; the parser
+/// rejects any other version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Everything that can go wrong reading a profile.
+#[derive(Debug)]
+pub enum ProfileError {
+    /// The file could not be read or written.
+    Io(io::Error),
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// The file declares a version this build does not understand.
+    UnsupportedVersion(u32),
+    /// A line could not be parsed.
+    BadRecord { line: usize, reason: String },
+    /// The `sites` count does not match the number of records.
+    CountMismatch { declared: usize, found: usize },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Io(err) => write!(f, "profile I/O error: {err}"),
+            ProfileError::BadHeader(line) => write!(f, "bad profile header: {line:?}"),
+            ProfileError::UnsupportedVersion(version) => {
+                write!(
+                    f,
+                    "unsupported profile version {version} (this build reads version {FORMAT_VERSION})"
+                )
+            }
+            ProfileError::BadRecord { line, reason } => {
+                write!(f, "bad profile record on line {line}: {reason}")
+            }
+            ProfileError::CountMismatch { declared, found } => {
+                write!(f, "profile declares {declared} sites but contains {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+impl From<io::Error> for ProfileError {
+    fn from(err: io::Error) -> Self {
+        ProfileError::Io(err)
+    }
+}
+
+/// Serializes a profile to the on-disk text format.
+pub fn profile_to_string(profile: &SiteProfile) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{FORMAT_MAGIC} {FORMAT_VERSION}\n"));
+    out.push_str(&format!("workload {}\n", sanitize(&profile.workload)));
+    out.push_str(&format!("collector {}\n", sanitize(&profile.collector)));
+    out.push_str(&format!("sites {}\n", profile.sites.len()));
+    for (id, record) in &profile.sites {
+        out.push_str(&format!(
+            "site {id} objects {} bytes {} survived-objects {} survived-bytes {} post-writes {} large {}\n",
+            record.objects,
+            record.bytes,
+            record.survived_objects,
+            record.survived_bytes,
+            record.post_nursery_writes,
+            record.large_objects,
+        ));
+    }
+    out
+}
+
+/// Parses a profile from the on-disk text format.
+pub fn parse_profile(text: &str) -> Result<SiteProfile, ProfileError> {
+    let mut lines = text.lines().enumerate();
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ProfileError::BadHeader(String::new()))?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some(FORMAT_MAGIC) {
+        return Err(ProfileError::BadHeader(header.to_string()));
+    }
+    let version: u32 = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| ProfileError::BadHeader(header.to_string()))?;
+    if version != FORMAT_VERSION {
+        return Err(ProfileError::UnsupportedVersion(version));
+    }
+
+    let workload = parse_field(&mut lines, "workload")?;
+    let collector = parse_field(&mut lines, "collector")?;
+    let declared: usize = parse_field(&mut lines, "sites")?
+        .parse()
+        .map_err(|_| ProfileError::BadHeader("sites count is not a number".to_string()))?;
+
+    let mut profile = SiteProfile {
+        workload,
+        collector,
+        sites: Default::default(),
+    };
+    for (index, line) in lines {
+        let line_no = index + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (id, record) = parse_site_line(line).map_err(|reason| ProfileError::BadRecord {
+            line: line_no,
+            reason,
+        })?;
+        if profile.sites.insert(id, record).is_some() {
+            return Err(ProfileError::BadRecord {
+                line: line_no,
+                reason: format!("duplicate site {id}"),
+            });
+        }
+    }
+    if profile.sites.len() != declared {
+        return Err(ProfileError::CountMismatch {
+            declared,
+            found: profile.sites.len(),
+        });
+    }
+    Ok(profile)
+}
+
+/// Writes a profile to `path`, creating parent directories as needed.
+pub fn save_profile(profile: &SiteProfile, path: &Path) -> Result<(), ProfileError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::write(path, profile_to_string(profile))?;
+    Ok(())
+}
+
+/// Reads a profile back from `path`.
+pub fn load_profile(path: &Path) -> Result<SiteProfile, ProfileError> {
+    let text = fs::read_to_string(path)?;
+    parse_profile(&text)
+}
+
+fn sanitize(value: &str) -> String {
+    // Field values live on one line; whitespace inside them becomes '-'.
+    let cleaned: String = value
+        .chars()
+        .map(|c| if c.is_whitespace() { '-' } else { c })
+        .collect();
+    if cleaned.is_empty() {
+        "-".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn parse_field<'a>(
+    lines: &mut impl Iterator<Item = (usize, &'a str)>,
+    key: &str,
+) -> Result<String, ProfileError> {
+    let (_, line) = lines
+        .next()
+        .ok_or_else(|| ProfileError::BadHeader(format!("missing {key} line")))?;
+    match line.split_once(' ') {
+        Some((found, value)) if found == key => Ok(value.trim().to_string()),
+        _ => Err(ProfileError::BadHeader(format!(
+            "expected \"{key} ...\", found {line:?}"
+        ))),
+    }
+}
+
+fn parse_site_line(line: &str) -> Result<(u32, SiteRecord), String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    const KEYS: [&str; 7] = [
+        "site",
+        "objects",
+        "bytes",
+        "survived-objects",
+        "survived-bytes",
+        "post-writes",
+        "large",
+    ];
+    if tokens.len() != KEYS.len() * 2 {
+        return Err(format!(
+            "expected {} tokens, found {}",
+            KEYS.len() * 2,
+            tokens.len()
+        ));
+    }
+    let mut values = [0u64; 7];
+    for (i, pair) in tokens.chunks(2).enumerate() {
+        let (key, value) = (pair[0], pair[1]);
+        if key != KEYS[i] {
+            return Err(format!("expected key {:?}, found {key:?}", KEYS[i]));
+        }
+        values[i] = value
+            .parse()
+            .map_err(|_| format!("{key} value {value:?} is not a number"))?;
+    }
+    let id = u32::try_from(values[0]).map_err(|_| format!("site id {} out of range", values[0]))?;
+    Ok((
+        id,
+        SiteRecord {
+            objects: values[1],
+            bytes: values[2],
+            survived_objects: values[3],
+            survived_bytes: values[4],
+            post_nursery_writes: values[5],
+            large_objects: values[6],
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::SiteProfiler;
+    use crate::site::SiteId;
+
+    fn sample_profile() -> SiteProfile {
+        let mut profiler = SiteProfiler::new("lusearch", "KG-N");
+        for _ in 0..120 {
+            profiler.record_alloc(SiteId(1), 64, false);
+        }
+        for _ in 0..30 {
+            profiler.record_nursery_survivor(SiteId(1), 64);
+        }
+        for _ in 0..400 {
+            profiler.record_post_nursery_write(SiteId(1));
+        }
+        for _ in 0..8 {
+            profiler.record_alloc(SiteId(2), 16 * 1024, true);
+            profiler.record_nursery_survivor(SiteId(2), 16 * 1024);
+        }
+        for _ in 0..50 {
+            profiler.record_alloc(SiteId(7), 64, false);
+        }
+        profiler.finish()
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let profile = sample_profile();
+        let text = profile_to_string(&profile);
+        let parsed = parse_profile(&text).unwrap();
+        assert_eq!(parsed, profile);
+        // And a second round trip is byte-identical.
+        assert_eq!(profile_to_string(&parsed), text);
+    }
+
+    #[test]
+    fn round_trip_through_disk() {
+        let profile = sample_profile();
+        let dir = std::env::temp_dir().join("kingsguard-advice-test");
+        let path = dir.join("lusearch.kgprof");
+        save_profile(&profile, &path).unwrap();
+        let loaded = load_profile(&path).unwrap();
+        assert_eq!(loaded, profile);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_profile_round_trips() {
+        let profile = SiteProfiler::new("empty", "KG-N").finish();
+        let parsed = parse_profile(&profile_to_string(&profile)).unwrap();
+        assert_eq!(parsed, profile);
+        assert_eq!(parsed.sites.len(), 0);
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let text = "kingsguard-site-profile 99\nworkload x\ncollector y\nsites 0\n";
+        match parse_profile(text) {
+            Err(ProfileError::UnsupportedVersion(99)) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(matches!(parse_profile(""), Err(ProfileError::BadHeader(_))));
+        assert!(matches!(
+            parse_profile("not-a-profile 1\n"),
+            Err(ProfileError::BadHeader(_))
+        ));
+        let missing_fields = "kingsguard-site-profile 1\nworkload x\n";
+        assert!(matches!(
+            parse_profile(missing_fields),
+            Err(ProfileError::BadHeader(_))
+        ));
+        let bad_count = "kingsguard-site-profile 1\nworkload x\ncollector y\nsites 2\n\
+                         site 1 objects 1 bytes 64 survived-objects 0 survived-bytes 0 post-writes 0 large 0\n";
+        assert!(matches!(
+            parse_profile(bad_count),
+            Err(ProfileError::CountMismatch {
+                declared: 2,
+                found: 1
+            })
+        ));
+        let bad_record = "kingsguard-site-profile 1\nworkload x\ncollector y\nsites 1\nsite 1 objects nan\n";
+        assert!(matches!(
+            parse_profile(bad_record),
+            Err(ProfileError::BadRecord { .. })
+        ));
+        let dup = "kingsguard-site-profile 1\nworkload x\ncollector y\nsites 1\n\
+                   site 1 objects 1 bytes 64 survived-objects 0 survived-bytes 0 post-writes 0 large 0\n\
+                   site 1 objects 1 bytes 64 survived-objects 0 survived-bytes 0 post-writes 0 large 0\n";
+        assert!(matches!(parse_profile(dup), Err(ProfileError::BadRecord { .. })));
+    }
+
+    #[test]
+    fn workload_names_with_spaces_survive() {
+        let mut profiler = SiteProfiler::new("my workload", "KG N");
+        profiler.record_alloc(SiteId(1), 64, false);
+        let profile = profiler.finish();
+        let parsed = parse_profile(&profile_to_string(&profile)).unwrap();
+        assert_eq!(parsed.workload, "my-workload");
+        assert_eq!(parsed.collector, "KG-N");
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let err = parse_profile("kingsguard-site-profile 2\n").unwrap_err();
+        assert!(err.to_string().contains("version 2"));
+        let err = parse_profile("bogus\n").unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Advice tables: the placement decisions a production run replays.
+
+use std::collections::HashMap;
+
+use crate::classify::{classify, ClassifyParams, SiteClass};
+use crate::profiler::SiteProfile;
+use crate::site::SiteId;
+
+/// Where a site's nursery survivors should be pretenured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Straight into the DRAM mature (or DRAM large) space.
+    DramMature,
+    /// Straight into the PCM mature (or PCM large) space; the rescue
+    /// fallback moves the object to DRAM if the prediction turns out wrong.
+    PcmMature,
+}
+
+/// Per-site placement advice derived from a [`SiteProfile`], consumed by the
+/// KG-A collector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdviceTable {
+    placements: HashMap<u32, Placement>,
+    default: Placement,
+    hot_sites: usize,
+    cold_sites: usize,
+    mixed_sites: usize,
+}
+
+impl AdviceTable {
+    /// Builds an advice table from a profile: write-hot sites are pretenured
+    /// into DRAM, write-cold sites into PCM, and mixed sites into PCM where
+    /// the KG-W-style rescue can still save their written objects. Sites the
+    /// profile never saw use the default placement (PCM — misprediction in
+    /// that direction costs PCM writes until rescue, never DRAM capacity).
+    pub fn from_profile(profile: &SiteProfile, params: &ClassifyParams) -> Self {
+        let mut placements = HashMap::new();
+        let mut hot_sites = 0;
+        let mut cold_sites = 0;
+        let mut mixed_sites = 0;
+        for (&id, record) in &profile.sites {
+            let placement = match classify(record, params) {
+                SiteClass::WriteHot => {
+                    hot_sites += 1;
+                    Placement::DramMature
+                }
+                SiteClass::WriteCold => {
+                    cold_sites += 1;
+                    Placement::PcmMature
+                }
+                SiteClass::Mixed => {
+                    mixed_sites += 1;
+                    Placement::PcmMature
+                }
+            };
+            placements.insert(id, placement);
+        }
+        AdviceTable {
+            placements,
+            default: Placement::PcmMature,
+            hot_sites,
+            cold_sites,
+            mixed_sites,
+        }
+    }
+
+    /// An advice table that sends every site to PCM (the degenerate
+    /// "all-cold" table; equivalent to KG-N plus rescue).
+    pub fn all_cold() -> Self {
+        AdviceTable {
+            placements: HashMap::new(),
+            default: Placement::PcmMature,
+            hot_sites: 0,
+            cold_sites: 0,
+            mixed_sites: 0,
+        }
+    }
+
+    /// An advice table built from explicit `(site, placement)` pairs, with
+    /// `default` for everything else (tests and hand-written experiments).
+    pub fn from_entries(entries: impl IntoIterator<Item = (SiteId, Placement)>, default: Placement) -> Self {
+        let placements: HashMap<u32, Placement> = entries
+            .into_iter()
+            .map(|(site, placement)| (site.raw(), placement))
+            .collect();
+        let hot_sites = placements
+            .values()
+            .filter(|p| **p == Placement::DramMature)
+            .count();
+        let cold_sites = placements.len() - hot_sites;
+        AdviceTable {
+            placements,
+            default,
+            hot_sites,
+            cold_sites,
+            mixed_sites: 0,
+        }
+    }
+
+    /// The placement advice for `site`.
+    pub fn placement(&self, site: SiteId) -> Placement {
+        *self.placements.get(&site.raw()).unwrap_or(&self.default)
+    }
+
+    /// Returns `true` if `site` should be pretenured into DRAM.
+    pub fn pretenure_to_dram(&self, site: SiteId) -> bool {
+        self.placement(site) == Placement::DramMature
+    }
+
+    /// Number of sites advised into DRAM.
+    pub fn hot_sites(&self) -> usize {
+        self.hot_sites
+    }
+
+    /// Number of write-cold sites.
+    pub fn cold_sites(&self) -> usize {
+        self.cold_sites
+    }
+
+    /// Number of mixed sites (placed in PCM, relying on rescue).
+    pub fn mixed_sites(&self) -> usize {
+        self.mixed_sites
+    }
+
+    /// Total sites with explicit advice.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Returns `true` if no site has explicit advice.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::{SiteProfiler, SiteRecord};
+
+    fn record(post_nursery_writes: u64) -> SiteRecord {
+        SiteRecord {
+            objects: 100,
+            bytes: 6400,
+            survived_objects: 80,
+            survived_bytes: 5120,
+            post_nursery_writes,
+            large_objects: 0,
+        }
+    }
+
+    fn profile() -> SiteProfile {
+        let mut profile = SiteProfiler::new("demo", "KG-N").finish();
+        profile.sites.insert(1, record(4000)); // hot
+        profile.sites.insert(2, record(0)); // cold
+        profile.sites.insert(3, record(20)); // mixed
+        profile
+    }
+
+    #[test]
+    fn table_from_profile_routes_by_class() {
+        let table = AdviceTable::from_profile(&profile(), &ClassifyParams::default());
+        assert_eq!(
+            table.placement(SiteId(1)),
+            Placement::DramMature,
+            "hot site goes to DRAM"
+        );
+        assert_eq!(
+            table.placement(SiteId(2)),
+            Placement::PcmMature,
+            "cold site goes to PCM"
+        );
+        assert_eq!(
+            table.placement(SiteId(3)),
+            Placement::PcmMature,
+            "mixed site goes to PCM"
+        );
+        assert_eq!(
+            table.placement(SiteId(99)),
+            Placement::PcmMature,
+            "unknown site defaults to PCM"
+        );
+        assert_eq!(table.placement(SiteId::UNKNOWN), Placement::PcmMature);
+        assert!(table.pretenure_to_dram(SiteId(1)));
+        assert!(!table.pretenure_to_dram(SiteId(2)));
+        assert_eq!(
+            (table.hot_sites(), table.cold_sites(), table.mixed_sites()),
+            (1, 1, 1)
+        );
+        assert_eq!(table.len(), 3);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn all_cold_table_never_chooses_dram() {
+        let table = AdviceTable::all_cold();
+        assert!(table.is_empty());
+        for id in 0..1000 {
+            assert_eq!(table.placement(SiteId(id)), Placement::PcmMature);
+        }
+    }
+
+    #[test]
+    fn explicit_entries_override_default() {
+        let table = AdviceTable::from_entries([(SiteId(5), Placement::DramMature)], Placement::PcmMature);
+        assert!(table.pretenure_to_dram(SiteId(5)));
+        assert!(!table.pretenure_to_dram(SiteId(6)));
+        assert_eq!(table.hot_sites(), 1);
+    }
+}

@@ -1,68 +1,76 @@
 //! Ablation benchmarks for the design choices called out in `DESIGN.md`:
-//! nursery size, observer-space size, the KG-W optimizations and cache-size
-//! sensitivity of PCM-write filtering.
+//! nursery size, observer-space size, the KG-W optimizations, cache-size
+//! sensitivity of PCM-write filtering, and advice-quality sensitivity of the
+//! profile-guided KG-A collector.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use advice::AdviceTable;
+use bench_support::runner::bench;
+use experiments::advise::advice_from_disk;
+use experiments::advise::profile_workload;
 use experiments::runner::{run_benchmark, ExperimentConfig};
 use kingsguard::HeapConfig;
 use workloads::benchmark;
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
+fn main() {
     let profile = benchmark("lusearch").expect("profile exists");
     let config = ExperimentConfig::quick();
 
-    group.bench_function("ablation_nursery_size", |b| {
-        b.iter(|| {
-            let small = run_benchmark(&profile, HeapConfig::kg_n(), &config);
-            let large = run_benchmark(&profile, HeapConfig::kg_n_large_nursery(), &config);
-            assert!(
-                large.pcm_app_writes() <= small.pcm_app_writes(),
-                "a larger nursery must not increase application PCM writes"
-            );
-        });
+    bench("ablations/nursery_size", 10, || {
+        let small = run_benchmark(&profile, HeapConfig::kg_n(), &config);
+        let large = run_benchmark(&profile, HeapConfig::kg_n_large_nursery(), &config);
+        assert!(
+            large.pcm_app_writes() <= small.pcm_app_writes(),
+            "a larger nursery must not increase application PCM writes"
+        );
     });
 
-    group.bench_function("ablation_observer_size", |b| {
-        b.iter(|| {
-            let default = run_benchmark(&profile, HeapConfig::kg_w(), &config);
-            let tight = run_benchmark(
-                &profile,
-                HeapConfig::kg_w().with_nursery(HeapConfig::kg_w().nursery_bytes / 2),
-                &config,
-            );
-            // Both must finish; the tight configuration collects more often.
-            assert!(tight.gc.total_collections() >= default.gc.total_collections());
-        });
+    bench("ablations/observer_size", 10, || {
+        let default = run_benchmark(&profile, HeapConfig::kg_w(), &config);
+        let tight = run_benchmark(
+            &profile,
+            HeapConfig::kg_w().with_nursery(HeapConfig::kg_w().nursery_bytes / 2),
+            &config,
+        );
+        // Both must finish; the tight configuration collects more often.
+        assert!(tight.gc.total_collections() >= default.gc.total_collections());
     });
 
-    group.bench_function("ablation_kgw_optimizations", |b| {
-        b.iter(|| {
-            let full = run_benchmark(&profile, HeapConfig::kg_w(), &config);
-            let stripped = run_benchmark(&profile, HeapConfig::kg_w_no_loo_no_mdo(), &config);
-            // Dropping LOO and MDO must not reduce PCM writes.
-            assert!(stripped.pcm_writes() + 64 >= full.pcm_writes());
-        });
+    bench("ablations/kgw_optimizations", 10, || {
+        let full = run_benchmark(&profile, HeapConfig::kg_w(), &config);
+        let stripped = run_benchmark(&profile, HeapConfig::kg_w_no_loo_no_mdo(), &config);
+        // Dropping LOO and MDO must not reduce PCM writes.
+        assert!(stripped.pcm_writes() + 64 >= full.pcm_writes());
     });
 
-    group.bench_function("ablation_cache_filtering", |b| {
-        b.iter(|| {
-            let cached = run_benchmark(
-                &profile,
-                HeapConfig::gen_immix_pcm(),
-                &ExperimentConfig { mode: experiments::MeasurementMode::Simulation, ..ExperimentConfig::quick() },
-            );
-            let uncached = run_benchmark(&profile, HeapConfig::gen_immix_pcm(), &ExperimentConfig::quick());
-            assert!(
-                cached.pcm_writes() < uncached.pcm_writes(),
-                "the cache hierarchy must absorb a share of PCM writes"
-            );
-        });
+    bench("ablations/cache_filtering", 10, || {
+        let cached = run_benchmark(
+            &profile,
+            HeapConfig::gen_immix_pcm(),
+            &ExperimentConfig {
+                mode: experiments::MeasurementMode::Simulation,
+                ..ExperimentConfig::quick()
+            },
+        );
+        let uncached = run_benchmark(&profile, HeapConfig::gen_immix_pcm(), &ExperimentConfig::quick());
+        assert!(
+            cached.pcm_writes() < uncached.pcm_writes(),
+            "the cache hierarchy must absorb a share of PCM writes"
+        );
     });
 
-    group.finish();
+    bench("ablations/advice_quality", 10, || {
+        // Real profile-derived advice versus the degenerate all-cold table:
+        // real advice must not be worse, because all-cold is KG-A's own
+        // fallback behaviour.
+        let dir = std::env::temp_dir().join(format!("kingsguard-bench-ablate-{}", std::process::id()));
+        let (_, path) = profile_workload(&profile, &config, &dir);
+        let (_, table) = advice_from_disk(&path);
+        let advised = run_benchmark(&profile, HeapConfig::kg_a(table), &config);
+        let blind = run_benchmark(&profile, HeapConfig::kg_a(AdviceTable::all_cold()), &config);
+        assert!(
+            advised.pcm_app_writes() <= blind.pcm_app_writes(),
+            "profile-derived advice must not lose to the all-cold fallback"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    });
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

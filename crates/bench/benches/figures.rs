@@ -1,102 +1,81 @@
-//! One Criterion benchmark per paper table/figure: each measures the time to
+//! One benchmark per paper table/figure: each measures the time to
 //! regenerate the experiment at a reduced scale and, as a side effect,
 //! asserts that the experiment still produces non-empty, sane results.
 //!
 //! The full-resolution reports are produced by the `repro` binary
-//! (`cargo run --release -p experiments --bin repro -- all`).
+//! (`cargo run --release -p kingsguard-experiments --bin repro -- all`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench_support::runner::bench;
 use experiments::runner::ExperimentConfig;
-use experiments::{composition, energy_time, lifetime, tables, writes};
+use experiments::{advise, composition, energy_time, lifetime, tables, writes};
 
 fn quick_sim() -> ExperimentConfig {
-    ExperimentConfig { mode: experiments::MeasurementMode::Simulation, ..ExperimentConfig::quick() }
+    ExperimentConfig {
+        mode: experiments::MeasurementMode::Simulation,
+        ..ExperimentConfig::quick()
+    }
 }
 
 fn quick_hw() -> ExperimentConfig {
     ExperimentConfig::quick()
 }
 
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-
-    group.bench_function("fig01_05_lifetime", |b| {
-        b.iter(|| {
-            let results = lifetime::run(&quick_sim());
-            assert!(!results.rows.is_empty());
-            assert!(results.average_kg_w_improvement() > 1.0);
-        });
+fn main() {
+    bench("figures/fig01_05_lifetime", 10, || {
+        let results = lifetime::run(&quick_sim());
+        assert!(!results.rows.is_empty());
+        assert!(results.average_kg_w_improvement() > 1.0);
     });
-    group.bench_function("fig02_write_demographics", |b| {
-        b.iter(|| {
-            let results = writes::figure2(&quick_hw());
-            assert_eq!(results.rows.len(), 18);
-            assert!(results.average_nursery_fraction() > 0.3);
-        });
+    bench("figures/fig02_write_demographics", 10, || {
+        let results = writes::figure2(&quick_hw());
+        assert_eq!(results.rows.len(), 18);
+        assert!(results.average_nursery_fraction() > 0.3);
     });
-    group.bench_function("fig06_write_reduction", |b| {
-        b.iter(|| {
-            let results = writes::figure6(&quick_sim());
-            assert!(results.average(1) < 1.0, "KG-W must reduce PCM writes");
-        });
+    bench("figures/fig06_write_reduction", 10, || {
+        let results = writes::figure6(&quick_sim());
+        assert!(results.average(1) < 1.0, "KG-W must reduce PCM writes");
     });
-    group.bench_function("fig07_write_partitioning", |b| {
-        b.iter(|| {
-            let results = writes::figure7(&quick_sim());
-            assert!(results.average_kg_w() < 1.0);
-        });
+    bench("figures/fig07_write_partitioning", 10, || {
+        let results = writes::figure7(&quick_sim());
+        assert!(results.average_kg_w() < 1.0);
     });
-    group.bench_function("fig08_edp", |b| {
-        b.iter(|| {
-            let results = energy_time::figure8(&quick_sim());
-            assert!(results.average_pcm_only() > 0.0);
-        });
+    bench("figures/fig08_edp", 10, || {
+        let results = energy_time::figure8(&quick_sim());
+        assert!(results.average_pcm_only() > 0.0);
     });
-    group.bench_function("fig09_overheads", |b| {
-        b.iter(|| {
-            let results = energy_time::figure9(&quick_sim());
-            assert!(!results.rows.is_empty());
-        });
+    bench("figures/fig09_overheads", 10, || {
+        let results = energy_time::figure9(&quick_sim());
+        assert!(!results.rows.is_empty());
     });
-    group.bench_function("fig10_write_origin", |b| {
-        b.iter(|| {
-            let results = writes::figure10(&quick_sim());
-            assert_eq!(results.rows.len() % 2, 0);
-        });
+    bench("figures/fig10_write_origin", 10, || {
+        let results = writes::figure10(&quick_sim());
+        assert_eq!(results.rows.len() % 2, 0);
     });
-    group.bench_function("fig11_hardware_writes", |b| {
-        b.iter(|| {
-            let results = writes::figure11(&quick_hw());
-            assert_eq!(results.rows.len(), 18);
-        });
+    bench("figures/fig11_hardware_writes", 10, || {
+        let results = writes::figure11(&quick_hw());
+        assert_eq!(results.rows.len(), 18);
     });
-    group.bench_function("fig12_performance", |b| {
-        b.iter(|| {
-            let results = energy_time::figure12(&quick_hw());
-            assert_eq!(results.rows.len(), 18);
-        });
+    bench("figures/fig12_performance", 10, || {
+        let results = energy_time::figure12(&quick_hw());
+        assert_eq!(results.rows.len(), 18);
     });
-    group.bench_function("fig13_heap_composition", |b| {
-        b.iter(|| {
-            let results = composition::figure13_for(&quick_hw(), &["eclipse"]);
-            assert!(!results.series[0].samples.is_empty());
-        });
+    bench("figures/fig13_heap_composition", 10, || {
+        let results = composition::figure13_for(&quick_hw(), &["eclipse"]);
+        assert!(!results.series[0].samples.is_empty());
     });
-    group.bench_function("table3_write_rates", |b| {
-        b.iter(|| {
-            let results = tables::table3(&quick_sim());
-            assert_eq!(results.rows.len(), 7);
-        });
+    bench("figures/table3_write_rates", 10, || {
+        let results = tables::table3(&quick_sim());
+        assert_eq!(results.rows.len(), 7);
     });
-    group.bench_function("table4_demographics", |b| {
-        b.iter(|| {
-            let results = tables::table4(&quick_hw(), false);
-            assert_eq!(results.rows.len(), 18);
-        });
+    bench("figures/table4_demographics", 10, || {
+        let results = tables::table4(&quick_hw(), false);
+        assert_eq!(results.rows.len(), 18);
     });
-    group.finish();
+    bench("figures/advise_pipeline", 10, || {
+        let dir = std::env::temp_dir().join(format!("kingsguard-bench-advise-{}", std::process::id()));
+        let results = advise::profile_then_advise(&quick_hw(), &["lusearch", "pmd"], &dir);
+        assert_eq!(results.rows.len(), 2);
+        assert!(results.kg_a_wins() >= 1);
+        std::fs::remove_dir_all(&dir).ok();
+    });
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! Microbenchmarks of the runtime mechanisms: allocation, write barriers and
-//! the three collection types.
+//! the collection types, across all four Kingsguard collectors.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use advice::AdviceTable;
+use bench_support::runner::{bench, bench_batched};
 use hybrid_mem::MemoryConfig;
 use kingsguard::{HeapConfig, KingsguardHeap};
 use kingsguard_heap::ObjectShape;
@@ -10,92 +11,89 @@ fn fresh_heap(config: HeapConfig) -> KingsguardHeap {
     KingsguardHeap::new(config, MemoryConfig::architecture_independent())
 }
 
-fn bench_allocation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("allocation");
-    for (label, config) in [("kg_n", HeapConfig::kg_n()), ("kg_w", HeapConfig::kg_w())] {
-        group.bench_function(label, |b| {
-            b.iter_batched(
-                || fresh_heap(config.clone()),
-                |mut heap| {
-                    for _ in 0..1_000 {
-                        let handle = heap.alloc(ObjectShape::new(1, 40), 1);
-                        heap.release(handle);
-                    }
-                    heap
-                },
-                BatchSize::SmallInput,
-            );
-        });
-    }
-    group.finish();
-}
-
-fn bench_write_barrier(c: &mut Criterion) {
-    let mut group = c.benchmark_group("write_barrier");
+fn bench_allocation() {
     for (label, config) in [
-        ("gen_immix", HeapConfig::gen_immix_dram()),
-        ("kg_w_monitoring", HeapConfig::kg_w()),
-        ("kg_w_no_primitive_monitoring", HeapConfig::kg_w_no_primitive_monitoring()),
+        ("allocation/kg_n", HeapConfig::kg_n()),
+        ("allocation/kg_w", HeapConfig::kg_w()),
+        ("allocation/kg_a", HeapConfig::kg_a(AdviceTable::all_cold())),
     ] {
-        group.bench_function(label, |b| {
-            let mut heap = fresh_heap(config.clone());
-            let mature = heap.alloc(ObjectShape::new(2, 64), 1);
-            heap.collect_young(); // promote so the monitoring path is exercised
-            let young = heap.alloc(ObjectShape::new(0, 64), 2);
-            b.iter(|| {
-                heap.write_ref(mature, 0, Some(young));
-                heap.write_prim(mature, 0, 8);
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_collections(c: &mut Criterion) {
-    let mut group = c.benchmark_group("collection");
-    group.sample_size(20);
-    group.bench_function("nursery_gc_kg_w", |b| {
-        b.iter_batched(
-            || {
-                let mut heap = fresh_heap(HeapConfig::kg_w());
-                for _ in 0..500 {
-                    let handle = heap.alloc(ObjectShape::new(1, 80), 1);
+        bench_batched(
+            label,
+            20,
+            || fresh_heap(config.clone()),
+            |mut heap| {
+                for _ in 0..1_000 {
+                    let handle = heap.alloc(ObjectShape::new(1, 40), 1);
                     heap.release(handle);
                 }
-                // Keep a quarter alive so there is survivor copying to do.
-                for _ in 0..125 {
-                    heap.alloc(ObjectShape::new(1, 80), 2);
-                }
-                heap
             },
-            |mut heap| {
-                heap.collect_nursery();
-                heap
-            },
-            BatchSize::SmallInput,
         );
-    });
-    group.bench_function("major_gc_kg_w", |b| {
-        b.iter_batched(
-            || {
-                let mut heap = fresh_heap(HeapConfig::kg_w());
-                for i in 0..2_000 {
-                    let handle = heap.alloc(ObjectShape::new(1, 80), 1);
-                    if i % 3 == 0 {
-                        heap.release(handle);
-                    }
-                }
-                heap
-            },
-            |mut heap| {
-                heap.collect_full();
-                heap
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    group.finish();
+    }
 }
 
-criterion_group!(benches, bench_allocation, bench_write_barrier, bench_collections);
-criterion_main!(benches);
+fn bench_write_barrier() {
+    for (label, config) in [
+        ("write_barrier/gen_immix", HeapConfig::gen_immix_dram()),
+        ("write_barrier/kg_w_monitoring", HeapConfig::kg_w()),
+        (
+            "write_barrier/kg_w_no_primitive_monitoring",
+            HeapConfig::kg_w_no_primitive_monitoring(),
+        ),
+        (
+            "write_barrier/kg_a_first_write_detection",
+            HeapConfig::kg_a(AdviceTable::all_cold()),
+        ),
+    ] {
+        let mut heap = fresh_heap(config);
+        let mature = heap.alloc(ObjectShape::new(2, 64), 1);
+        heap.collect_young(); // promote so the monitoring path is exercised
+        let young = heap.alloc(ObjectShape::new(0, 64), 2);
+        bench(label, 20, || {
+            for _ in 0..1_000 {
+                heap.write_ref(mature, 0, Some(young));
+                heap.write_prim(mature, 0, 8);
+            }
+        });
+    }
+}
+
+fn bench_collections() {
+    bench_batched(
+        "collection/nursery_gc_kg_w",
+        20,
+        || {
+            let mut heap = fresh_heap(HeapConfig::kg_w());
+            for _ in 0..500 {
+                let handle = heap.alloc(ObjectShape::new(1, 80), 1);
+                heap.release(handle);
+            }
+            // Keep a quarter alive so there is survivor copying to do.
+            for _ in 0..125 {
+                heap.alloc(ObjectShape::new(1, 80), 2);
+            }
+            heap
+        },
+        |mut heap| heap.collect_nursery(),
+    );
+    bench_batched(
+        "collection/major_gc_kg_w",
+        20,
+        || {
+            let mut heap = fresh_heap(HeapConfig::kg_w());
+            for i in 0..2_000 {
+                let handle = heap.alloc(ObjectShape::new(1, 80), 1);
+                if i % 3 == 0 {
+                    heap.release(handle);
+                }
+            }
+            heap
+        },
+        |mut heap| heap.collect_full(),
+    );
+}
+
+fn main() {
+    bench_allocation();
+    bench_write_barrier();
+    bench_collections();
+}

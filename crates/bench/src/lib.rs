@@ -1,8 +1,67 @@
 //! Benchmark support crate.
 //!
-//! The real content of this crate lives in `benches/`: Criterion benchmarks
+//! The real content of this crate lives in `benches/`: wall-clock benchmarks
 //! that regenerate the paper's tables and figures and microbenchmarks of the
-//! allocator, write barrier and collectors. The library itself only re-exports
-//! the experiment harness so the benches share one entry point.
+//! allocator, write barrier and collectors. The benches use the small
+//! self-contained harness below ([`runner`]) instead of an external
+//! benchmarking framework, so the workspace builds without network access;
+//! run them with `cargo bench`.
 
 pub use experiments;
+
+/// A minimal wall-clock benchmark harness: median-of-N timing with one
+/// warm-up iteration, printed in a fixed-width table line.
+pub mod runner {
+    use std::time::{Duration, Instant};
+
+    /// Times `setup() -> input` then `routine(input)` pairs, reporting only
+    /// the routine (the equivalent of Criterion's `iter_batched`).
+    pub fn bench_batched<T>(
+        name: &str,
+        samples: u32,
+        mut setup: impl FnMut() -> T,
+        mut routine: impl FnMut(T),
+    ) {
+        // Warm-up.
+        routine(setup());
+        let mut times: Vec<Duration> = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            routine(input);
+            times.push(start.elapsed());
+        }
+        report(name, &mut times);
+    }
+
+    /// Times `routine` directly.
+    pub fn bench(name: &str, samples: u32, mut routine: impl FnMut()) {
+        bench_batched(name, samples, || (), |()| routine());
+    }
+
+    fn report(name: &str, times: &mut [Duration]) {
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let min = times[0];
+        let max = times[times.len() - 1];
+        println!(
+            "{name:<44} median {:>12?}   min {:>12?}   max {:>12?}   ({} samples)",
+            median,
+            min,
+            max,
+            times.len()
+        );
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bench_runs_the_routine() {
+            let mut count = 0;
+            bench("noop", 3, || count += 1);
+            assert_eq!(count, 4, "warm-up plus three samples");
+        }
+    }
+}

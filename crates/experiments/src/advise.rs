@@ -1,0 +1,260 @@
+//! The two-phase profile→advise pipeline.
+//!
+//! Phase 1 (**profile**) runs each benchmark once under KG-N with per-site
+//! profiling enabled and persists the resulting [`SiteProfile`] to a
+//! versioned on-disk file. Phase 2 (**advise**) reloads the profile from
+//! disk — exercising the same path a separate production process would use —
+//! derives an [`AdviceTable`] from it, and runs the benchmark under the
+//! profile-guided KG-A collector. The comparison table reports PCM write
+//! rate, PCM lifetime and energy-delay product for GenImmix (PCM-only),
+//! KG-N, KG-W and KG-A side by side: KG-A should approach KG-W's write
+//! rationing without paying KG-W's observer-space tax.
+
+use std::path::{Path, PathBuf};
+
+use advice::{load_profile, save_profile, AdviceTable, ClassifyParams, SiteProfile};
+use hybrid_mem::lifetime::Endurance;
+use kingsguard::HeapConfig;
+use workloads::{benchmark, simulated_benchmarks, BenchmarkProfile};
+
+use crate::report::{ratio, TextTable};
+use crate::runner::{run_benchmark, run_benchmark_profiled, ExperimentConfig, ExperimentResult};
+
+/// The collector labels of the comparison, in column order.
+pub const ADVISE_CONFIGS: [&str; 4] = ["PCM-only", "KG-N", "KG-W", "KG-A"];
+
+/// Endurance level used for the lifetime column (the paper's headline
+/// 30 M writes-per-cell point).
+pub const LIFETIME_ENDURANCE: Endurance = Endurance::Mid30M;
+
+/// One benchmark's end-to-end comparison.
+#[derive(Clone, Debug)]
+pub struct AdviseRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Path of the persisted profile file.
+    pub profile_path: PathBuf,
+    /// Sites observed by the profiling run.
+    pub sites: usize,
+    /// Sites advised into DRAM.
+    pub hot_sites: usize,
+    /// Results in [`ADVISE_CONFIGS`] order.
+    pub results: Vec<ExperimentResult>,
+}
+
+impl AdviseRow {
+    fn result(&self, collector: &str) -> &ExperimentResult {
+        self.results
+            .iter()
+            .find(|r| r.collector == collector)
+            .unwrap_or_else(|| panic!("missing {collector} result for {}", self.benchmark))
+    }
+
+    /// Estimated 32-core PCM write rate of `collector` in GB/s.
+    pub fn write_rate_gbps(&self, collector: &str) -> f64 {
+        self.result(collector).pcm_write_rate_32core() / 1e9
+    }
+
+    /// PCM lifetime of `collector` in years at [`LIFETIME_ENDURANCE`].
+    pub fn lifetime_years(&self, collector: &str) -> f64 {
+        self.result(collector)
+            .pcm_lifetime_years(LIFETIME_ENDURANCE.writes_per_cell())
+    }
+
+    /// Energy-delay product of `collector` relative to KG-N.
+    pub fn edp_vs_kg_n(&self, collector: &str) -> f64 {
+        let base = self.result("KG-N").edp;
+        if base == 0.0 {
+            return 0.0;
+        }
+        self.result(collector).edp / base
+    }
+
+    /// Returns `true` if KG-A's PCM write rate is no worse than KG-N's.
+    pub fn kg_a_beats_kg_n(&self) -> bool {
+        self.result("KG-A").pcm_write_rate_32core() <= self.result("KG-N").pcm_write_rate_32core()
+    }
+}
+
+/// Results of the full profile→advise pipeline.
+#[derive(Clone, Debug)]
+pub struct AdviseResults {
+    /// Per-benchmark rows.
+    pub rows: Vec<AdviseRow>,
+}
+
+impl AdviseResults {
+    /// Number of benchmarks where KG-A's PCM write rate is ≤ KG-N's.
+    pub fn kg_a_wins(&self) -> usize {
+        self.rows.iter().filter(|r| r.kg_a_beats_kg_n()).count()
+    }
+
+    /// Renders the comparison table.
+    pub fn report(&self) -> String {
+        let mut table = TextTable::new(
+            "Profile-guided placement: profile (KG-N) -> advise (KG-A), vs the paper's collectors\n\
+             (PCM write rate in GB/s at 32 cores; lifetime in years at 30M writes/cell; EDP relative to KG-N)",
+            &[
+                "Benchmark",
+                "Sites",
+                "Hot",
+                "Rate PCM-only",
+                "Rate KG-N",
+                "Rate KG-W",
+                "Rate KG-A",
+                "Life KG-N",
+                "Life KG-W",
+                "Life KG-A",
+                "EDP KG-W",
+                "EDP KG-A",
+            ],
+        );
+        for row in &self.rows {
+            table.row(vec![
+                row.benchmark.clone(),
+                row.sites.to_string(),
+                row.hot_sites.to_string(),
+                format!("{:.2}", row.write_rate_gbps("PCM-only")),
+                format!("{:.2}", row.write_rate_gbps("KG-N")),
+                format!("{:.2}", row.write_rate_gbps("KG-W")),
+                format!("{:.2}", row.write_rate_gbps("KG-A")),
+                format!("{:.1}", row.lifetime_years("KG-N")),
+                format!("{:.1}", row.lifetime_years("KG-W")),
+                format!("{:.1}", row.lifetime_years("KG-A")),
+                ratio(row.edp_vs_kg_n("KG-W")),
+                ratio(row.edp_vs_kg_n("KG-A")),
+            ]);
+        }
+        let mut out = table.render();
+        out.push_str(&format!(
+            "KG-A PCM write rate <= KG-N on {}/{} benchmarks\n",
+            self.kg_a_wins(),
+            self.rows.len()
+        ));
+        out
+    }
+}
+
+/// Phase 1: runs `profile` under KG-N with site profiling and persists the
+/// profile to `<dir>/<benchmark>.kgprof`. Returns the profiling-run result
+/// (reusable as the KG-N row — profiling adds no simulated traffic) and the
+/// path written.
+pub fn profile_workload(
+    profile: &BenchmarkProfile,
+    config: &ExperimentConfig,
+    dir: &Path,
+) -> (ExperimentResult, PathBuf) {
+    let result = run_benchmark_profiled(profile, HeapConfig::kg_n(), config);
+    let site_profile = result
+        .site_profile
+        .as_ref()
+        .expect("profiled run returns a site profile");
+    let path = dir.join(format!("{}.kgprof", profile.name));
+    save_profile(site_profile, &path)
+        .unwrap_or_else(|err| panic!("cannot persist site profile to {}: {err}", path.display()));
+    (result, path)
+}
+
+/// Phase 2: reloads the persisted profile and derives the KG-A advice table
+/// from it with profile-adaptive classification thresholds.
+pub fn advice_from_disk(path: &Path) -> (SiteProfile, AdviceTable) {
+    let site_profile = load_profile(path)
+        .unwrap_or_else(|err| panic!("cannot reload site profile {}: {err}", path.display()));
+    let params = ClassifyParams::for_profile(&site_profile);
+    let table = AdviceTable::from_profile(&site_profile, &params);
+    (site_profile, table)
+}
+
+/// Runs the full pipeline for one benchmark: profile, persist, reload,
+/// advise, and compare against the PCM-only and KG-W baselines.
+pub fn profile_then_advise_one(
+    profile: &BenchmarkProfile,
+    config: &ExperimentConfig,
+    dir: &Path,
+) -> AdviseRow {
+    let (kg_n, path) = profile_workload(profile, config, dir);
+    let (site_profile, table) = advice_from_disk(&path);
+    let kg_a = run_benchmark(profile, HeapConfig::kg_a(table.clone()), config);
+    let pcm_only = run_benchmark(profile, HeapConfig::gen_immix_pcm(), config);
+    let kg_w = run_benchmark(profile, HeapConfig::kg_w(), config);
+    AdviseRow {
+        benchmark: profile.name.to_string(),
+        profile_path: path,
+        sites: site_profile.sites.len(),
+        hot_sites: table.hot_sites(),
+        results: vec![pcm_only, kg_n, kg_w, kg_a],
+    }
+}
+
+/// Runs the pipeline over `benchmarks` (names resolved against the paper's
+/// profiles), writing profile files into `dir`.
+pub fn profile_then_advise(config: &ExperimentConfig, benchmarks: &[&str], dir: &Path) -> AdviseResults {
+    let rows = benchmarks
+        .iter()
+        .map(|name| {
+            let profile = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+            profile_then_advise_one(&profile, config, dir)
+        })
+        .collect();
+    AdviseResults { rows }
+}
+
+/// The default benchmark set of the advise experiment: the paper's
+/// simulation subset (Figures 5–10).
+pub fn default_benchmarks() -> Vec<&'static str> {
+    simulated_benchmarks().iter().map(|p| p.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kingsguard-advise-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn pipeline_round_trips_through_disk_and_runs_kg_a() {
+        let dir = temp_dir("pipeline");
+        let config = ExperimentConfig::quick();
+        let profile = benchmark("lusearch").unwrap();
+        let row = profile_then_advise_one(&profile, &config, &dir);
+        assert!(row.profile_path.exists(), "profile file must be written");
+        assert!(row.sites > 5, "profiling run must observe the site map");
+        assert!(row.hot_sites > 0, "lusearch has write-hot sites");
+        assert_eq!(row.results.len(), 4);
+        let kg_a = row.result("KG-A");
+        assert!(
+            kg_a.gc.advised_to_dram_objects > 0,
+            "KG-A must pretenure hot-site objects into DRAM"
+        );
+        assert!(
+            kg_a.gc.advised_to_pcm_objects > 0,
+            "KG-A must pretenure cold-site objects into PCM"
+        );
+        assert_eq!(kg_a.gc.observer.collections, 0, "KG-A pays no observer-space tax");
+        // The headline: advice keeps PCM writes at or below KG-N.
+        assert!(
+            row.kg_a_beats_kg_n(),
+            "KG-A write rate {} must not exceed KG-N {}",
+            row.write_rate_gbps("KG-A"),
+            row.write_rate_gbps("KG-N")
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn advise_report_renders_all_rows() {
+        let dir = temp_dir("report");
+        let config = ExperimentConfig::quick();
+        let results = profile_then_advise(&config, &["lu.fix", "pmd"], &dir);
+        assert_eq!(results.rows.len(), 2);
+        let report = results.report();
+        assert!(report.contains("lu.fix"));
+        assert!(report.contains("pmd"));
+        assert!(report.contains("KG-A"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -3,24 +3,32 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment> [--scale N] [--quick]
+//! repro <experiment> [--scale N] [--quick] [--profile-dir DIR]
 //!
 //! experiments: fig1 fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!              table1 table2 table3 table4 headline all
+//!              table1 table2 table3 table4 headline advise all
 //! ```
 //!
 //! `--scale N` divides the paper's allocation volumes and heap sizes by `N`
 //! (default 256). `--quick` uses the small smoke-test configuration.
 //! Build with `--release`; full-scale runs of `all` take a few minutes.
+//!
+//! The `advise` experiment (also reachable as `--profile-then-advise`) runs
+//! the two-phase pipeline: a KG-N profiling run per benchmark persists a
+//! per-site write profile under `--profile-dir` (default
+//! `target/site-profiles`), the profile is reloaded from disk, and the
+//! profile-guided KG-A collector replays it, compared against GenImmix
+//! (PCM-only), KG-N and KG-W.
 
 use std::env;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use experiments::runner::ExperimentConfig;
-use experiments::{composition, energy_time, lifetime, tables, writes};
+use experiments::{advise, composition, energy_time, lifetime, tables, writes};
 
 fn usage() -> &'static str {
-    "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table1|table2|table3|table4|headline|all> [--scale N] [--quick]"
+    "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table1|table2|table3|table4|headline|advise|all> [--scale N] [--quick] [--profile-dir DIR]\n       repro --profile-then-advise [--scale N] [--quick] [--profile-dir DIR]"
 }
 
 fn main() -> ExitCode {
@@ -32,11 +40,23 @@ fn main() -> ExitCode {
     let mut experiment = String::new();
     let mut sim = ExperimentConfig::simulation();
     let mut hw = ExperimentConfig::architecture_independent();
+    let mut profile_dir = PathBuf::from("target/site-profiles");
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--profile-then-advise" if experiment.is_empty() => experiment = "advise".to_string(),
+            "--profile-dir" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--profile-dir requires a value");
+                    return ExitCode::FAILURE;
+                };
+                profile_dir = PathBuf::from(value);
+            }
             "--quick" => {
-                sim = ExperimentConfig { mode: experiments::MeasurementMode::Simulation, ..ExperimentConfig::quick() };
+                sim = ExperimentConfig {
+                    mode: experiments::MeasurementMode::Simulation,
+                    ..ExperimentConfig::quick()
+                };
                 hw = ExperimentConfig::quick();
             }
             "--scale" => {
@@ -84,6 +104,10 @@ fn main() -> ExitCode {
             "table2" => Some(tables::table2()),
             "table3" => Some(tables::table3(&sim).report()),
             "table4" => Some(tables::table4(&hw, true).report()),
+            "advise" => {
+                let benchmarks = advise::default_benchmarks();
+                Some(advise::profile_then_advise(&hw, &benchmarks, &profile_dir).report())
+            }
             "headline" => {
                 let life = lifetime::run(&sim);
                 let wp = writes::figure7(&sim);
@@ -116,7 +140,7 @@ fn main() -> ExitCode {
     let experiments: Vec<&str> = if experiment == "all" {
         vec![
             "table1", "table2", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "fig13", "table3", "table4", "headline",
+            "fig12", "fig13", "table3", "table4", "advise", "headline",
         ]
     } else {
         vec![experiment.as_str()]

@@ -147,7 +147,15 @@ impl OverheadResults {
     pub fn report(&self) -> String {
         let mut table = TextTable::new(
             "Figure 9: breakdown of KG-W execution-time overhead over DRAM-only (% of DRAM-only time)",
-            &["Benchmark", "PCM", "Remsets", "GC", "Monitoring", "Other", "Total"],
+            &[
+                "Benchmark",
+                "PCM",
+                "Remsets",
+                "GC",
+                "Monitoring",
+                "Other",
+                "Total",
+            ],
         );
         for row in &self.rows {
             table.row(vec![
@@ -252,7 +260,10 @@ fn dram_hardware_time(result: &ExperimentResult) -> f64 {
 /// Figure 12: execution time of the KG-W variants relative to KG-N on DRAM
 /// hardware, for all 18 benchmarks.
 pub fn figure12(config: &ExperimentConfig) -> PerformanceResults {
-    let config = ExperimentConfig { mode: crate::MeasurementMode::ArchitectureIndependent, ..*config };
+    let config = ExperimentConfig {
+        mode: crate::MeasurementMode::ArchitectureIndependent,
+        ..*config
+    };
     let mut rows = Vec::new();
     for profile in all_benchmarks() {
         let kg_n = run_benchmark(&profile, HeapConfig::kg_n(), &config);
@@ -268,7 +279,10 @@ pub fn figure12(config: &ExperimentConfig) -> PerformanceResults {
             let result = run_benchmark(&profile, heap_config, &config);
             relative[i] = dram_hardware_time(&result) / base;
         }
-        rows.push(PerformanceRow { benchmark: profile.name.to_string(), relative });
+        rows.push(PerformanceRow {
+            benchmark: profile.name.to_string(),
+            relative,
+        });
     }
     PerformanceResults { rows }
 }

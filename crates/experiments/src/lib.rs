@@ -22,7 +22,12 @@
 //! | Table 2 (simulated system parameters) | [`tables::table2`] |
 //! | Table 3 (write-rate scaling) | [`tables::table3`] |
 //! | Table 4 (object demographics) | [`tables::table4`] |
+//!
+//! Beyond the paper, [`advise`] implements the two-phase profile→advise
+//! pipeline: a profiling run records per-site write profiles to disk and a
+//! second run replays them through the profile-guided KG-A collector.
 
+pub mod advise;
 pub mod composition;
 pub mod energy_time;
 pub mod lifetime;
@@ -31,4 +36,5 @@ pub mod runner;
 pub mod tables;
 pub mod writes;
 
+pub use advise::{profile_then_advise, AdviseResults};
 pub use runner::{ExperimentConfig, ExperimentResult, MeasurementMode};

@@ -1,6 +1,7 @@
 //! Experiment runner: executes one (benchmark, collector) pair and derives
 //! every metric the paper reports from the run.
 
+use advice::SiteProfile;
 use hybrid_mem::energy::{EnergyBreakdown, EnergyModel};
 use hybrid_mem::lifetime::LifetimeModel;
 use hybrid_mem::timing::{ExecutionModel, TimeBreakdown};
@@ -38,17 +39,30 @@ pub struct ExperimentConfig {
 impl ExperimentConfig {
     /// The default experiment configuration (scale 256, simulation mode).
     pub fn simulation() -> Self {
-        ExperimentConfig { scale: 256, seed: 0xC0FFEE, cache_scale: 16, mode: MeasurementMode::Simulation }
+        ExperimentConfig {
+            scale: 256,
+            seed: 0xC0FFEE,
+            cache_scale: 16,
+            mode: MeasurementMode::Simulation,
+        }
     }
 
     /// Architecture-independent mode at the default scale.
     pub fn architecture_independent() -> Self {
-        ExperimentConfig { mode: MeasurementMode::ArchitectureIndependent, ..Self::simulation() }
+        ExperimentConfig {
+            mode: MeasurementMode::ArchitectureIndependent,
+            ..Self::simulation()
+        }
     }
 
     /// A much smaller configuration for unit tests and smoke runs.
     pub fn quick() -> Self {
-        ExperimentConfig { scale: 2048, seed: 7, cache_scale: 64, mode: MeasurementMode::ArchitectureIndependent }
+        ExperimentConfig {
+            scale: 2048,
+            seed: 7,
+            cache_scale: 64,
+            mode: MeasurementMode::ArchitectureIndependent,
+        }
     }
 
     /// Same configuration with a different scale.
@@ -65,7 +79,10 @@ impl ExperimentConfig {
     }
 
     fn workload(&self) -> WorkloadConfig {
-        WorkloadConfig { scale: self.scale, seed: self.seed }
+        WorkloadConfig {
+            scale: self.scale,
+            seed: self.seed,
+        }
     }
 }
 
@@ -97,6 +114,9 @@ pub struct ExperimentResult {
     /// The profile's 4→32-core write-rate scaling factor (1.0 if the paper
     /// did not report one).
     pub scaling_factor: f64,
+    /// The per-site profile gathered by the run, when it was a profiling run
+    /// (see [`run_benchmark_profiled`]).
+    pub site_profile: Option<SiteProfile>,
 }
 
 impl ExperimentResult {
@@ -140,12 +160,19 @@ impl ExperimentResult {
     /// PCM lifetime in years for `endurance_writes` per cell under the
     /// estimated 32-core write rate (Equation 1 of the paper).
     pub fn pcm_lifetime_years(&self, endurance_writes: u64) -> f64 {
-        let model = LifetimeModel { capacity_bytes: 32 << 30, endurance_writes };
+        let model = LifetimeModel {
+            capacity_bytes: 32 << 30,
+            endurance_writes,
+        };
         model.years(self.pcm_write_rate_32core())
     }
 }
 
-fn heap_config_for(profile: &BenchmarkProfile, mut base: HeapConfig, config: &ExperimentConfig) -> HeapConfig {
+fn heap_config_for(
+    profile: &BenchmarkProfile,
+    mut base: HeapConfig,
+    config: &ExperimentConfig,
+) -> HeapConfig {
     let budget = profile.scaled_heap_bytes(config.scale).max(2 << 20) as usize;
     base = base.with_heap_budget(budget);
     base
@@ -175,6 +202,7 @@ fn finalize(
         edp,
         wp,
         scaling_factor: profile.scaling_factor.unwrap_or(1.0),
+        site_profile: report.site_profile,
     }
 }
 
@@ -183,6 +211,28 @@ pub fn run_benchmark(
     profile: &BenchmarkProfile,
     heap_config: HeapConfig,
     config: &ExperimentConfig,
+) -> ExperimentResult {
+    run_benchmark_inner(profile, heap_config, config, false)
+}
+
+/// Runs `profile` under `heap_config` with per-site profiling enabled: the
+/// returned result carries the [`SiteProfile`] in
+/// [`ExperimentResult::site_profile`]. Profiling is host-side bookkeeping —
+/// it adds no simulated memory traffic, so the run's metrics are identical
+/// to an unprofiled run.
+pub fn run_benchmark_profiled(
+    profile: &BenchmarkProfile,
+    heap_config: HeapConfig,
+    config: &ExperimentConfig,
+) -> ExperimentResult {
+    run_benchmark_inner(profile, heap_config, config, true)
+}
+
+fn run_benchmark_inner(
+    profile: &BenchmarkProfile,
+    heap_config: HeapConfig,
+    config: &ExperimentConfig,
+    profiled: bool,
 ) -> ExperimentResult {
     let label = heap_config.label();
     let heap_config = heap_config_for(profile, heap_config, config);
@@ -196,6 +246,9 @@ pub fn run_benchmark(
         (0.0, 1.0)
     };
     let mut heap = KingsguardHeap::new(heap_config, config.memory_config());
+    if profiled {
+        heap.enable_profiling(profile.name);
+    }
     let mutator = SyntheticMutator::new(profile.clone(), config.workload());
     mutator.run(&mut heap);
     finalize(profile, label, heap, None, dram_fraction, pcm_fraction)
@@ -278,7 +331,15 @@ mod tests {
     #[test]
     fn standard_configs_cover_table1() {
         let labels: Vec<String> = standard_configs().into_iter().map(|(l, _)| l).collect();
-        for expected in ["DRAM-only", "PCM-only", "KG-N", "KG-W", "KG-W-LOO", "KG-W-LOO-MDO", "KG-W-PM"] {
+        for expected in [
+            "DRAM-only",
+            "PCM-only",
+            "KG-N",
+            "KG-W",
+            "KG-W-LOO",
+            "KG-W-LOO-MDO",
+            "KG-W-PM",
+        ] {
             assert!(labels.iter().any(|l| l == expected), "missing {expected}");
         }
     }

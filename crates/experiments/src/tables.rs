@@ -12,7 +12,12 @@ use crate::runner::{run_benchmark, run_benchmark_with_wp, ExperimentConfig};
 pub fn table1() -> String {
     let mut table = TextTable::new(
         "Table 1: collector configurations",
-        &["Configuration", "monitor writes", "metadata in DRAM", "LOO in nursery"],
+        &[
+            "Configuration",
+            "monitor writes",
+            "metadata in DRAM",
+            "LOO in nursery",
+        ],
     );
     let configs = [
         HeapConfig::kg_n(),
@@ -25,8 +30,18 @@ pub fn table1() -> String {
         table.row(vec![
             config.label(),
             if is_kgw { "yes" } else { "no" }.to_string(),
-            if is_kgw && config.kgw.metadata_optimization { "yes" } else { "no" }.to_string(),
-            if is_kgw && config.kgw.large_object_optimization { "yes" } else { "no" }.to_string(),
+            if is_kgw && config.kgw.metadata_optimization {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
+            if is_kgw && config.kgw.large_object_optimization {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     table.render()
@@ -36,9 +51,18 @@ pub fn table1() -> String {
 pub fn table2() -> String {
     let dram = devices::params_for(MemoryKind::Dram);
     let pcm = devices::params_for(MemoryKind::Pcm);
-    let mut table = TextTable::new("Table 2: simulated system parameters", &["Component", "Parameters"]);
-    table.row(vec!["Core".into(), format!("{CPU_FREQ_GHZ} GHz, out-of-order (mechanistic model)")]);
-    table.row(vec!["Memory bandwidth".into(), format!("{MEMORY_BANDWIDTH_GBPS} GB/s")]);
+    let mut table = TextTable::new(
+        "Table 2: simulated system parameters",
+        &["Component", "Parameters"],
+    );
+    table.row(vec![
+        "Core".into(),
+        format!("{CPU_FREQ_GHZ} GHz, out-of-order (mechanistic model)"),
+    ]);
+    table.row(vec![
+        "Memory bandwidth".into(),
+        format!("{MEMORY_BANDWIDTH_GBPS} GB/s"),
+    ]);
     table.row(vec![
         "Memory systems".into(),
         "32 GB DRAM-only / 32 GB PCM-only / hybrid 1 GB DRAM + 32 GB PCM".into(),
@@ -93,14 +117,26 @@ pub struct WriteRateResults {
 impl WriteRateResults {
     /// Average estimated 32-core write rate in GB/s.
     pub fn average_estimated_gbps(&self) -> f64 {
-        mean(&self.rows.iter().map(|r| r.estimated_32core_gbps).collect::<Vec<_>>())
+        mean(
+            &self
+                .rows
+                .iter()
+                .map(|r| r.estimated_32core_gbps)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Renders the Table 3 report.
     pub fn report(&self) -> String {
         let mut table = TextTable::new(
             "Table 3: measured scaling and estimated 32-core write rates (PCM-only)",
-            &["Benchmark", "Scaling factor", "4-core GB/s (sim)", "32-core GB/s (est.)", "32-core GB/s (paper)"],
+            &[
+                "Benchmark",
+                "Scaling factor",
+                "4-core GB/s (sim)",
+                "32-core GB/s (est.)",
+                "32-core GB/s (paper)",
+            ],
         );
         for row in &self.rows {
             table.row(vec![
@@ -179,19 +215,34 @@ pub struct Table4Results {
 impl Table4Results {
     /// Average nursery survival across benchmarks (the paper reports ~17 %).
     pub fn average_nursery_survival(&self) -> f64 {
-        mean(&self.rows.iter().map(|r| r.nursery_survival_kg_w).collect::<Vec<_>>())
+        mean(
+            &self
+                .rows
+                .iter()
+                .map(|r| r.nursery_survival_kg_w)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Average fraction of observer survivors held in DRAM (the paper
     /// reports ~10 % of objects).
     pub fn average_held_in_dram_objects(&self) -> f64 {
-        mean(&self.rows.iter().map(|r| r.held_in_dram_objects).collect::<Vec<_>>())
+        mean(
+            &self
+                .rows
+                .iter()
+                .map(|r| r.held_in_dram_objects)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Renders the Table 4 report.
     pub fn report(&self) -> String {
         let mut table = TextTable::new(
-            &format!("Table 4: object demographics (spaces scaled down by {}x)", self.scale),
+            &format!(
+                "Table 4: object demographics (spaces scaled down by {}x)",
+                self.scale
+            ),
             &[
                 "Benchmark",
                 "alloc MB",
@@ -216,11 +267,19 @@ impl Table4Results {
                 format!("{:.1}", row.kg_n_pcm_mb),
                 format!("{:.1}", row.kg_w_pcm_mb),
                 format!("{:.1}", row.kg_w_dram_mb),
-                if row.wp_dram_mb > 0.0 { format!("{:.1}", row.wp_dram_mb) } else { "-".to_string() },
+                if row.wp_dram_mb > 0.0 {
+                    format!("{:.1}", row.wp_dram_mb)
+                } else {
+                    "-".to_string()
+                },
                 percent(row.kg_w_mature_dram_fraction),
                 format!("{:.2}", row.kg_w_metadata_mb),
                 percent(row.observer_survival),
-                format!("{}/{}", percent(row.held_in_dram_bytes), percent(row.held_in_dram_objects)),
+                format!(
+                    "{}/{}",
+                    percent(row.held_in_dram_bytes),
+                    percent(row.held_in_dram_objects)
+                ),
             ]);
         }
         table.render()
@@ -232,7 +291,10 @@ impl Table4Results {
 /// When `include_wp` is `true`, the WP baseline is additionally run for the
 /// simulation subset to fill the "WP DRAM" column.
 pub fn table4(config: &ExperimentConfig, include_wp: bool) -> Table4Results {
-    let config = ExperimentConfig { mode: crate::MeasurementMode::ArchitectureIndependent, ..*config };
+    let config = ExperimentConfig {
+        mode: crate::MeasurementMode::ArchitectureIndependent,
+        ..*config
+    };
     let to_mb = |bytes: u64| bytes as f64 / (1 << 20) as f64;
     let mut rows = Vec::new();
     for profile in all_benchmarks() {
@@ -240,7 +302,9 @@ pub fn table4(config: &ExperimentConfig, include_wp: bool) -> Table4Results {
         let kg_w = run_benchmark(&profile, HeapConfig::kg_w(), &config);
         let wp_dram_mb = if include_wp && profile.simulated {
             let wp = run_benchmark_with_wp(&profile, &config);
-            wp.wp.map(|s| to_mb((s.peak_dram_pages * hybrid_mem::PAGE_SIZE) as u64)).unwrap_or(0.0)
+            wp.wp
+                .map(|s| to_mb((s.peak_dram_pages * hybrid_mem::PAGE_SIZE) as u64))
+                .unwrap_or(0.0)
         } else {
             0.0
         };
@@ -266,5 +330,8 @@ pub fn table4(config: &ExperimentConfig, include_wp: bool) -> Table4Results {
             held_in_dram_objects: kg_w.gc.observer_dram_object_fraction(),
         });
     }
-    Table4Results { rows, scale: config.scale }
+    Table4Results {
+        rows,
+        scale: config.scale,
+    }
 }

@@ -53,7 +53,13 @@ impl DemographicsResults {
     pub fn report(&self) -> String {
         let mut table = TextTable::new(
             "Figure 2: distribution of application writes (nursery vs mature, hot-object concentration)",
-            &["Benchmark", "Nursery", "Mature", "Top 10% of mature", "Top 2% of mature"],
+            &[
+                "Benchmark",
+                "Nursery",
+                "Mature",
+                "Top 10% of mature",
+                "Top 2% of mature",
+            ],
         );
         for row in &self.rows {
             table.row(vec![
@@ -78,7 +84,10 @@ impl DemographicsResults {
 /// Figure 2: measures write demographics with the instrumented baseline
 /// generational collector on all 18 benchmarks.
 pub fn figure2(config: &ExperimentConfig) -> DemographicsResults {
-    let config = ExperimentConfig { mode: crate::MeasurementMode::ArchitectureIndependent, ..*config };
+    let config = ExperimentConfig {
+        mode: crate::MeasurementMode::ArchitectureIndependent,
+        ..*config
+    };
     let mut rows = Vec::new();
     for profile in all_benchmarks() {
         let result = run_benchmark(&profile, HeapConfig::gen_immix_dram(), &config);
@@ -158,7 +167,10 @@ pub fn figure6(config: &ExperimentConfig) -> WriteReductionResults {
             let result = run_benchmark(&profile, heap_config, config);
             relative[i] = result.pcm_writes() as f64 / base_writes;
         }
-        rows.push(WriteReductionRow { benchmark: profile.name.to_string(), relative });
+        rows.push(WriteReductionRow {
+            benchmark: profile.name.to_string(),
+            relative,
+        });
     }
     WriteReductionResults { rows }
 }
@@ -194,7 +206,13 @@ pub struct WpComparisonResults {
 impl WpComparisonResults {
     /// Average relative PCM writes of WP (write-backs + migrations).
     pub fn average_wp(&self) -> f64 {
-        mean(&self.rows.iter().map(|r| r.wp_writebacks + r.wp_migrations).collect::<Vec<_>>())
+        mean(
+            &self
+                .rows
+                .iter()
+                .map(|r| r.wp_writebacks + r.wp_migrations)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Average relative PCM writes of KG-W.
@@ -211,7 +229,14 @@ impl WpComparisonResults {
     pub fn report(&self) -> String {
         let mut table = TextTable::new(
             "Figure 7: PCM writes relative to PCM-only — Kingsguard vs OS Write Partitioning",
-            &["Benchmark", "KG-N", "KG-W", "WP writebacks", "WP migrations", "WP total"],
+            &[
+                "Benchmark",
+                "KG-N",
+                "KG-W",
+                "WP writebacks",
+                "WP migrations",
+                "WP total",
+            ],
         );
         for row in &self.rows {
             table.row(vec![
@@ -251,7 +276,10 @@ pub fn figure7(config: &ExperimentConfig) -> WpComparisonResults {
             kg_w: kg_w.pcm_writes() as f64 / base_writes,
             wp_writebacks: wp.memory.writeback_writes(MemoryKind::Pcm) as f64 / base_writes,
             wp_migrations: wp.memory.migration_writes(MemoryKind::Pcm) as f64 / base_writes,
-            wp_dram_bytes: wp.wp.map(|s| (s.peak_dram_pages * hybrid_mem::PAGE_SIZE) as u64).unwrap_or(0),
+            wp_dram_bytes: wp
+                .wp
+                .map(|s| (s.peak_dram_pages * hybrid_mem::PAGE_SIZE) as u64)
+                .unwrap_or(0),
         });
     }
     WpComparisonResults { rows }
@@ -294,7 +322,15 @@ impl WriteOriginResults {
     pub fn report(&self) -> String {
         let mut table = TextTable::new(
             "Figure 10: origin of PCM writes (relative to each benchmark's KG-N total)",
-            &["Benchmark", "Config", "application", "nursery-GC", "observer-GC", "major-GC", "runtime"],
+            &[
+                "Benchmark",
+                "Config",
+                "application",
+                "nursery-GC",
+                "observer-GC",
+                "major-GC",
+                "runtime",
+            ],
         );
         for row in &self.rows {
             table.row(vec![
@@ -406,7 +442,10 @@ impl HardwareWritesResults {
 /// Figure 11: barrier-level application PCM writes of KG-N-12, KG-W and
 /// KG-W–PM relative to KG-N, on all 18 benchmarks.
 pub fn figure11(config: &ExperimentConfig) -> HardwareWritesResults {
-    let config = ExperimentConfig { mode: crate::MeasurementMode::ArchitectureIndependent, ..*config };
+    let config = ExperimentConfig {
+        mode: crate::MeasurementMode::ArchitectureIndependent,
+        ..*config
+    };
     let mut rows = Vec::new();
     for profile in all_benchmarks() {
         let kg_n = run_benchmark(&profile, HeapConfig::kg_n(), &config);

@@ -22,7 +22,12 @@ pub struct BumpAllocator {
 impl BumpAllocator {
     /// Creates an allocator over `[base, base + capacity)`.
     pub fn new(base: Address, capacity: usize) -> Self {
-        BumpAllocator { base, cursor: base, limit: base.add(capacity), mapped_limit: base }
+        BumpAllocator {
+            base,
+            cursor: base,
+            limit: base.add(capacity),
+            mapped_limit: base,
+        }
     }
 
     /// Base address of the region.
@@ -124,8 +129,12 @@ mod tests {
     #[test]
     fn sequential_allocations_do_not_overlap() {
         let (mut mem, mut bump) = setup(64 * 1024);
-        let a = bump.alloc(&mut mem, 24, MemoryKind::Dram, SpaceId::NURSERY).unwrap();
-        let b = bump.alloc(&mut mem, 40, MemoryKind::Dram, SpaceId::NURSERY).unwrap();
+        let a = bump
+            .alloc(&mut mem, 24, MemoryKind::Dram, SpaceId::NURSERY)
+            .unwrap();
+        let b = bump
+            .alloc(&mut mem, 40, MemoryKind::Dram, SpaceId::NURSERY)
+            .unwrap();
         assert!(b >= a.add(24));
         assert_eq!(bump.used_bytes(), 64);
     }
@@ -133,8 +142,12 @@ mod tests {
     #[test]
     fn allocation_is_eight_byte_aligned() {
         let (mut mem, mut bump) = setup(4096);
-        let a = bump.alloc(&mut mem, 13, MemoryKind::Dram, SpaceId::NURSERY).unwrap();
-        let b = bump.alloc(&mut mem, 3, MemoryKind::Dram, SpaceId::NURSERY).unwrap();
+        let a = bump
+            .alloc(&mut mem, 13, MemoryKind::Dram, SpaceId::NURSERY)
+            .unwrap();
+        let b = bump
+            .alloc(&mut mem, 3, MemoryKind::Dram, SpaceId::NURSERY)
+            .unwrap();
         assert!(a.is_aligned(8));
         assert!(b.is_aligned(8));
         assert_eq!(b.diff(a), 16);
@@ -143,25 +156,32 @@ mod tests {
     #[test]
     fn exhaustion_returns_none() {
         let (mut mem, mut bump) = setup(PAGE_SIZE);
-        assert!(bump.alloc(&mut mem, PAGE_SIZE, MemoryKind::Pcm, SpaceId::MATURE_PCM).is_some());
-        assert!(bump.alloc(&mut mem, 8, MemoryKind::Pcm, SpaceId::MATURE_PCM).is_none());
+        assert!(bump
+            .alloc(&mut mem, PAGE_SIZE, MemoryKind::Pcm, SpaceId::MATURE_PCM)
+            .is_some());
+        assert!(bump
+            .alloc(&mut mem, 8, MemoryKind::Pcm, SpaceId::MATURE_PCM)
+            .is_none());
         assert_eq!(bump.remaining_bytes(), 0);
     }
 
     #[test]
     fn pages_are_demand_mapped_with_requested_kind() {
         let (mut mem, mut bump) = setup(8 * PAGE_SIZE);
-        bump.alloc(&mut mem, 100, MemoryKind::Pcm, SpaceId::MATURE_PCM).unwrap();
+        bump.alloc(&mut mem, 100, MemoryKind::Pcm, SpaceId::MATURE_PCM)
+            .unwrap();
         assert_eq!(mem.kind_of(bump.base()), MemoryKind::Pcm);
         assert_eq!(bump.mapped_bytes(), PAGE_SIZE);
-        bump.alloc(&mut mem, 2 * PAGE_SIZE, MemoryKind::Pcm, SpaceId::MATURE_PCM).unwrap();
+        bump.alloc(&mut mem, 2 * PAGE_SIZE, MemoryKind::Pcm, SpaceId::MATURE_PCM)
+            .unwrap();
         assert!(bump.mapped_bytes() >= 2 * PAGE_SIZE);
     }
 
     #[test]
     fn reset_keeps_pages_mapped() {
         let (mut mem, mut bump) = setup(4 * PAGE_SIZE);
-        bump.alloc(&mut mem, 3000, MemoryKind::Dram, SpaceId::NURSERY).unwrap();
+        bump.alloc(&mut mem, 3000, MemoryKind::Dram, SpaceId::NURSERY)
+            .unwrap();
         let mapped = bump.mapped_bytes();
         bump.reset();
         assert_eq!(bump.used_bytes(), 0);
@@ -172,7 +192,8 @@ mod tests {
     #[test]
     fn release_unmaps_pages() {
         let (mut mem, mut bump) = setup(4 * PAGE_SIZE);
-        bump.alloc(&mut mem, 3000, MemoryKind::Dram, SpaceId::NURSERY).unwrap();
+        bump.alloc(&mut mem, 3000, MemoryKind::Dram, SpaceId::NURSERY)
+            .unwrap();
         bump.release(&mut mem);
         assert!(!mem.is_mapped(bump.base()));
         assert_eq!(bump.mapped_bytes(), 0);
@@ -181,7 +202,9 @@ mod tests {
     #[test]
     fn contains_tracks_cursor() {
         let (mut mem, mut bump) = setup(4 * PAGE_SIZE);
-        let a = bump.alloc(&mut mem, 64, MemoryKind::Dram, SpaceId::NURSERY).unwrap();
+        let a = bump
+            .alloc(&mut mem, 64, MemoryKind::Dram, SpaceId::NURSERY)
+            .unwrap();
         assert!(bump.contains(a));
         assert!(!bump.contains(a.add(64)));
         assert!(bump.in_region(a.add(64)));

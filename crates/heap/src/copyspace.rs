@@ -118,14 +118,22 @@ impl CopySpace {
 
     /// Current usage snapshot.
     pub fn usage(&self) -> SpaceUsage {
-        SpaceUsage { used_bytes: self.bump.used_bytes(), mapped_bytes: self.bump.mapped_bytes() }
+        SpaceUsage {
+            used_bytes: self.bump.used_bytes(),
+            mapped_bytes: self.bump.mapped_bytes(),
+        }
     }
 
     /// Iterates over the objects currently allocated in this space, in
     /// allocation order. The callback receives each object; iteration uses
     /// the object sizes stored in headers, so it must only be called while
     /// the space contains a valid sequence of objects (not mid-copy).
-    pub fn iter_objects(&self, mem: &mut MemorySystem, phase: Phase, mut visit: impl FnMut(&mut MemorySystem, ObjectRef)) {
+    pub fn iter_objects(
+        &self,
+        mem: &mut MemorySystem,
+        phase: Phase,
+        mut visit: impl FnMut(&mut MemorySystem, ObjectRef),
+    ) {
         let mut cursor = self.bump.base();
         let end = self.bump.cursor();
         while cursor < end {
@@ -145,7 +153,10 @@ mod tests {
     fn setup(capacity: usize) -> (MemorySystem, CopySpace) {
         let mut mem = MemorySystem::new(MemoryConfig::architecture_independent());
         let base = mem.reserve_extent("nursery", capacity);
-        (mem, CopySpace::new(SpaceId::NURSERY, MemoryKind::Dram, base, capacity))
+        (
+            mem,
+            CopySpace::new(SpaceId::NURSERY, MemoryKind::Dram, base, capacity),
+        )
     }
 
     #[test]
@@ -175,21 +186,31 @@ mod tests {
     #[test]
     fn reset_allows_reuse_but_keeps_cumulative_counters() {
         let (mut mem, mut space) = setup(8192);
-        space.alloc(&mut mem, ObjectShape::new(0, 100), 0, Phase::Mutator).unwrap();
+        space
+            .alloc(&mut mem, ObjectShape::new(0, 100), 0, Phase::Mutator)
+            .unwrap();
         let total = space.total_bytes_allocated();
         space.reset();
         assert_eq!(space.used_bytes(), 0);
         assert_eq!(space.total_bytes_allocated(), total);
-        assert!(space.alloc(&mut mem, ObjectShape::new(0, 100), 0, Phase::Mutator).is_some());
+        assert!(space
+            .alloc(&mut mem, ObjectShape::new(0, 100), 0, Phase::Mutator)
+            .is_some());
         assert!(space.total_bytes_allocated() > total);
     }
 
     #[test]
     fn iter_objects_visits_allocation_order() {
         let (mut mem, mut space) = setup(64 * 1024);
-        let a = space.alloc(&mut mem, ObjectShape::new(1, 8), 1, Phase::Mutator).unwrap();
-        let b = space.alloc(&mut mem, ObjectShape::new(0, 64), 2, Phase::Mutator).unwrap();
-        let c = space.alloc(&mut mem, ObjectShape::new(3, 0), 3, Phase::Mutator).unwrap();
+        let a = space
+            .alloc(&mut mem, ObjectShape::new(1, 8), 1, Phase::Mutator)
+            .unwrap();
+        let b = space
+            .alloc(&mut mem, ObjectShape::new(0, 64), 2, Phase::Mutator)
+            .unwrap();
+        let c = space
+            .alloc(&mut mem, ObjectShape::new(3, 0), 3, Phase::Mutator)
+            .unwrap();
         let mut seen = Vec::new();
         space.iter_objects(&mut mem, Phase::MajorGc, |_, obj| seen.push(obj));
         assert_eq!(seen, vec![a, b, c]);

@@ -53,7 +53,13 @@ struct Block {
 
 impl Block {
     fn new() -> Self {
-        Block { occupied: 0, line_marks: 0, block_mark: false, state: BlockState::Free, mapped: false }
+        Block {
+            occupied: 0,
+            line_marks: 0,
+            block_mark: false,
+            state: BlockState::Free,
+            mapped: false,
+        }
     }
 
     fn occupied_lines(&self) -> usize {
@@ -143,7 +149,11 @@ impl ImmixSpace {
     /// Bytes of occupied lines (live data plus allocation since the last
     /// sweep). This is the figure used for heap-composition plots.
     pub fn used_bytes(&self) -> usize {
-        self.blocks.iter().filter(|b| b.mapped).map(|b| b.occupied_lines() * LINE_SIZE).sum()
+        self.blocks
+            .iter()
+            .filter(|b| b.mapped)
+            .map(|b| b.occupied_lines() * LINE_SIZE)
+            .sum()
     }
 
     /// Cumulative bytes ever bump-allocated into this space.
@@ -259,7 +269,11 @@ impl ImmixSpace {
             }
         }
         // Finally acquire a brand new block.
-        let next_index = self.blocks.iter().position(|b| !b.mapped).unwrap_or(self.blocks.len());
+        let next_index = self
+            .blocks
+            .iter()
+            .position(|b| !b.mapped)
+            .unwrap_or(self.blocks.len());
         if next_index >= self.max_blocks {
             return false;
         }
@@ -392,7 +406,10 @@ mod tests {
     fn setup(capacity: usize) -> (MemorySystem, ImmixSpace) {
         let mut mem = MemorySystem::new(MemoryConfig::architecture_independent());
         let base = mem.reserve_extent("mature", capacity);
-        (mem, ImmixSpace::new(SpaceId::MATURE_PCM, MemoryKind::Pcm, base, capacity))
+        (
+            mem,
+            ImmixSpace::new(SpaceId::MATURE_PCM, MemoryKind::Pcm, base, capacity),
+        )
     }
 
     #[test]
@@ -483,7 +500,11 @@ mod tests {
         // New allocation should reuse the recyclable block's holes.
         let addr = space.alloc_for_copy(&mut mem, 2048).unwrap();
         assert_eq!(space.blocks_in_use(), blocks_before);
-        assert_ne!(addr.align_down(LINE_SIZE), keep.align_down(LINE_SIZE), "allocation must not overwrite live lines");
+        assert_ne!(
+            addr.align_down(LINE_SIZE),
+            keep.align_down(LINE_SIZE),
+            "allocation must not overwrite live lines"
+        );
     }
 
     #[test]

@@ -98,7 +98,10 @@ impl LargeObjectSpace {
 
     /// Usage snapshot.
     pub fn usage(&self) -> SpaceUsage {
-        SpaceUsage { used_bytes: self.used_bytes(), mapped_bytes: self.used_bytes() }
+        SpaceUsage {
+            used_bytes: self.used_bytes(),
+            mapped_bytes: self.used_bytes(),
+        }
     }
 
     /// Returns `true` if `addr` lies in this space's reserved region.
@@ -122,7 +125,8 @@ impl LargeObjectSpace {
         if let Some(pos) = self.free_runs.iter().position(|&(_, p)| p >= pages) {
             let (addr, run_pages) = self.free_runs.swap_remove(pos);
             if run_pages > pages {
-                self.free_runs.push((addr.add(pages * PAGE_SIZE), run_pages - pages));
+                self.free_runs
+                    .push((addr.add(pages * PAGE_SIZE), run_pages - pages));
             }
             return Some(addr);
         }
@@ -164,7 +168,14 @@ impl LargeObjectSpace {
         let pages = size.div_ceil(PAGE_SIZE);
         let addr = self.take_run(pages)?;
         mem.map_pages(addr, pages, self.kind, self.id.raw());
-        self.objects.insert(addr.raw(), LargeInfo { size, pages, marked: false });
+        self.objects.insert(
+            addr.raw(),
+            LargeInfo {
+                size,
+                pages,
+                marked: false,
+            },
+        );
         self.bytes_allocated_total += size as u64;
         Some(addr)
     }
@@ -195,7 +206,10 @@ impl LargeObjectSpace {
 
     /// Returns `true` if the object is currently marked.
     pub fn is_marked(&self, obj: ObjectRef) -> bool {
-        self.objects.get(&obj.address().raw()).map(|i| i.marked).unwrap_or(false)
+        self.objects
+            .get(&obj.address().raw())
+            .map(|i| i.marked)
+            .unwrap_or(false)
     }
 
     /// Removes a large object from this space without reclaiming its pages'
@@ -233,7 +247,9 @@ impl LargeObjectSpace {
 
     /// Iterates over the live large objects in this space.
     pub fn iter_objects(&self) -> impl Iterator<Item = ObjectRef> + '_ {
-        self.objects.keys().map(|&addr| ObjectRef::from_address(Address::new(addr)))
+        self.objects
+            .keys()
+            .map(|&addr| ObjectRef::from_address(Address::new(addr)))
     }
 }
 
@@ -245,7 +261,10 @@ mod tests {
     fn setup() -> (MemorySystem, LargeObjectSpace) {
         let mut mem = MemorySystem::new(MemoryConfig::architecture_independent());
         let base = mem.reserve_extent("los", 8 << 20);
-        (mem, LargeObjectSpace::new(SpaceId::LARGE_PCM, MemoryKind::Pcm, base, 8 << 20))
+        (
+            mem,
+            LargeObjectSpace::new(SpaceId::LARGE_PCM, MemoryKind::Pcm, base, 8 << 20),
+        )
     }
 
     fn big_shape() -> ObjectShape {
@@ -271,7 +290,10 @@ mod tests {
         let dead = los.alloc(&mut mem, big_shape(), 2, Phase::Mutator).unwrap();
         los.prepare_collection();
         assert!(los.mark(&mut mem, live, Phase::MajorGc));
-        assert!(!los.mark(&mut mem, live, Phase::MajorGc), "second mark is a no-op");
+        assert!(
+            !los.mark(&mut mem, live, Phase::MajorGc),
+            "second mark is a no-op"
+        );
         let stats = los.sweep(&mut mem);
         assert_eq!(stats.objects_freed, 1);
         assert_eq!(stats.objects_live, 1);
@@ -310,7 +332,7 @@ mod tests {
         while los.alloc(&mut mem, big_shape(), 0, Phase::Mutator).is_some() {
             count += 1;
         }
-        assert!(count >= 1 && count <= 6, "unexpected capacity: {count}");
+        assert!((1..=6).contains(&count), "unexpected capacity: {count}");
     }
 
     #[test]
@@ -327,7 +349,11 @@ mod tests {
     #[should_panic(expected = "not in")]
     fn marking_foreign_object_panics() {
         let (mut mem, mut los) = setup();
-        los.mark(&mut mem, ObjectRef::from_address(Address::new(0x1234)), Phase::MajorGc);
+        los.mark(
+            &mut mem,
+            ObjectRef::from_address(Address::new(0x1234)),
+            Phase::MajorGc,
+        );
     }
 
     #[test]

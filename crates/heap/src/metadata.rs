@@ -73,7 +73,10 @@ impl MetadataSpace {
 
     /// Usage snapshot.
     pub fn usage(&self) -> SpaceUsage {
-        SpaceUsage { used_bytes: self.bump.used_bytes(), mapped_bytes: self.bump.mapped_bytes() }
+        SpaceUsage {
+            used_bytes: self.bump.used_bytes(),
+            mapped_bytes: self.bump.mapped_bytes(),
+        }
     }
 
     /// Allocates a raw metadata table of `bytes` bytes.
@@ -178,7 +181,10 @@ mod tests {
         let obj = ObjectRef::from_address(Address::new(0x4000_0000));
         assert!(!meta.object_mark(&mut mem, obj, Phase::MajorGc));
         assert!(meta.set_object_mark(&mut mem, obj, Phase::MajorGc));
-        assert!(!meta.set_object_mark(&mut mem, obj, Phase::MajorGc), "second mark is not new");
+        assert!(
+            !meta.set_object_mark(&mut mem, obj, Phase::MajorGc),
+            "second mark is not new"
+        );
         assert!(meta.object_mark(&mut mem, obj, Phase::MajorGc));
         // The mark stores landed in DRAM, not PCM: that is the whole point
         // of the metadata optimization.
@@ -240,7 +246,11 @@ mod tests {
     fn used_bytes_grow_with_tables() {
         let (mut mem, mut meta) = setup(MemoryKind::Dram);
         assert_eq!(meta.used_bytes(), 0);
-        meta.set_object_mark(&mut mem, ObjectRef::from_address(Address::new(0x7000_0000)), Phase::MajorGc);
+        meta.set_object_mark(
+            &mut mem,
+            ObjectRef::from_address(Address::new(0x7000_0000)),
+            Phase::MajorGc,
+        );
         assert!(meta.used_bytes() >= MARK_TABLE_BYTES);
         assert!(meta.usage().mapped_bytes >= MARK_TABLE_BYTES);
     }

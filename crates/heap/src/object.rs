@@ -57,7 +57,10 @@ impl ObjectShape {
     /// Creates a shape with `ref_slots` reference slots and `payload_bytes`
     /// bytes of primitive data.
     pub fn new(ref_slots: u16, payload_bytes: u32) -> Self {
-        ObjectShape { ref_slots, payload_bytes }
+        ObjectShape {
+            ref_slots,
+            payload_bytes,
+        }
     }
 
     /// A pure primitive object (e.g. a `byte[]`).
@@ -135,7 +138,10 @@ impl ObjectRef {
     /// Reads this object's shape from its info word.
     pub fn shape(self, mem: &mut MemorySystem, phase: Phase) -> ObjectShape {
         let info = mem.read_u64(self.0.add(INFO_OFFSET), phase);
-        ObjectShape { ref_slots: ((info >> 32) & 0xffff) as u16, payload_bytes: (info & 0xffff_ffff) as u32 }
+        ObjectShape {
+            ref_slots: ((info >> 32) & 0xffff) as u16,
+            payload_bytes: (info & 0xffff_ffff) as u32,
+        }
     }
 
     /// Reads this object's type id.
@@ -161,7 +167,8 @@ impl ObjectRef {
     /// Address of the primitive payload byte at `offset`.
     pub fn payload_addr(self, mem: &mut MemorySystem, offset: usize, phase: Phase) -> Address {
         let shape = self.shape(mem, phase);
-        self.0.add(HEADER_BYTES + shape.ref_slots as usize * REF_SLOT_BYTES + offset)
+        self.0
+            .add(HEADER_BYTES + shape.ref_slots as usize * REF_SLOT_BYTES + offset)
     }
 
     /// Reads reference slot `index`.
@@ -195,7 +202,11 @@ impl ObjectRef {
     /// matching the unconditional mark store a real collector performs.
     pub fn set_marked(self, mem: &mut MemorySystem, marked: bool, phase: Phase) {
         let status = self.status(mem, phase);
-        let new = if marked { status | MARK_BIT } else { status & !MARK_BIT };
+        let new = if marked {
+            status | MARK_BIT
+        } else {
+            status & !MARK_BIT
+        };
         self.set_status(mem, new, phase);
     }
 
@@ -225,7 +236,11 @@ impl ObjectRef {
     pub fn set_forwarding(self, mem: &mut MemorySystem, target: ObjectRef, phase: Phase) {
         let status = self.status(mem, phase);
         let preserved = status & SMALL_BIT;
-        self.set_status(mem, preserved | FORWARDED_BIT | (target.address().raw() & ADDRESS_MASK), phase);
+        self.set_status(
+            mem,
+            preserved | FORWARDED_BIT | (target.address().raw() & ADDRESS_MASK),
+            phase,
+        );
     }
 
     // ----- write word ---------------------------------------------------

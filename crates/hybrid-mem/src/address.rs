@@ -87,7 +87,7 @@ impl Address {
 
     /// Returns `true` if this address is a multiple of `align`.
     pub const fn is_aligned(self, align: usize) -> bool {
-        self.0 % align as u64 == 0
+        self.0.is_multiple_of(align as u64)
     }
 
     /// The page containing this address.

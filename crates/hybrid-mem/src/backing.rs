@@ -38,7 +38,10 @@ impl ChunkedMemory {
     }
 
     fn chunk_index(addr: Address) -> (u64, usize) {
-        (addr.raw() / CHUNK_SIZE as u64, (addr.raw() % CHUNK_SIZE as u64) as usize)
+        (
+            addr.raw() / CHUNK_SIZE as u64,
+            (addr.raw() % CHUNK_SIZE as u64) as usize,
+        )
     }
 
     fn chunk_mut(&mut self, index: u64) -> &mut [u8] {

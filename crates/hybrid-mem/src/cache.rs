@@ -42,9 +42,18 @@ impl CacheConfig {
     pub fn paper_default() -> Self {
         CacheConfig {
             levels: vec![
-                CacheLevelConfig { capacity_bytes: 32 * 1024, ways: 8 },
-                CacheLevelConfig { capacity_bytes: 256 * 1024, ways: 8 },
-                CacheLevelConfig { capacity_bytes: 4 * 1024 * 1024, ways: 16 },
+                CacheLevelConfig {
+                    capacity_bytes: 32 * 1024,
+                    ways: 8,
+                },
+                CacheLevelConfig {
+                    capacity_bytes: 256 * 1024,
+                    ways: 8,
+                },
+                CacheLevelConfig {
+                    capacity_bytes: 4 * 1024 * 1024,
+                    ways: 16,
+                },
             ],
         }
     }
@@ -84,7 +93,13 @@ struct Entry {
 
 impl Entry {
     const fn empty() -> Self {
-        Entry { tag: 0, valid: false, dirty: false, last_writer: Phase::Mutator, lru: 0 }
+        Entry {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            last_writer: Phase::Mutator,
+            lru: 0,
+        }
     }
 }
 
@@ -150,14 +165,32 @@ impl CacheLevel {
         let entries = &mut self.sets[set];
         // Prefer an invalid way.
         if let Some(entry) = entries.iter_mut().find(|e| !e.valid) {
-            *entry = Entry { tag: line, valid: true, dirty, last_writer, lru: tick };
+            *entry = Entry {
+                tag: line,
+                valid: true,
+                dirty,
+                last_writer,
+                lru: tick,
+            };
             return None;
         }
         // Evict the least recently used way.
-        let victim_idx = (0..ways).min_by_key(|&i| entries[i].lru).expect("cache set is never empty");
+        let victim_idx = (0..ways)
+            .min_by_key(|&i| entries[i].lru)
+            .expect("cache set is never empty");
         let victim = entries[victim_idx];
-        entries[victim_idx] = Entry { tag: line, valid: true, dirty, last_writer, lru: tick };
-        Some(Victim { tag: victim.tag, dirty: victim.dirty, last_writer: victim.last_writer })
+        entries[victim_idx] = Entry {
+            tag: line,
+            valid: true,
+            dirty,
+            last_writer,
+            lru: tick,
+        };
+        Some(Victim {
+            tag: victim.tag,
+            dirty: victim.dirty,
+            last_writer: victim.last_writer,
+        })
     }
 
     /// Removes `line` from this level, returning its state if present.
@@ -166,7 +199,11 @@ impl CacheLevel {
         for entry in &mut self.sets[set] {
             if entry.valid && entry.tag == line {
                 entry.valid = false;
-                return Some(Victim { tag: entry.tag, dirty: entry.dirty, last_writer: entry.last_writer });
+                return Some(Victim {
+                    tag: entry.tag,
+                    dirty: entry.dirty,
+                    last_writer: entry.last_writer,
+                });
             }
         }
         None
@@ -177,7 +214,11 @@ impl CacheLevel {
         for set in &mut self.sets {
             for entry in set {
                 if entry.valid && entry.dirty {
-                    out.push(Victim { tag: entry.tag, dirty: true, last_writer: entry.last_writer });
+                    out.push(Victim {
+                        tag: entry.tag,
+                        dirty: true,
+                        last_writer: entry.last_writer,
+                    });
                 }
                 entry.valid = false;
                 entry.dirty = false;
@@ -210,7 +251,10 @@ impl CacheHierarchy {
     /// Builds a pass-through "hierarchy" with no caching at all, used for the
     /// architecture-independent measurement mode.
     pub fn disabled() -> Self {
-        CacheHierarchy { levels: Vec::new(), enabled: false }
+        CacheHierarchy {
+            levels: Vec::new(),
+            enabled: false,
+        }
     }
 
     /// Returns `true` if caching is active.
@@ -247,7 +291,11 @@ impl CacheHierarchy {
             }
             None => {
                 // Full miss: fetch the line from memory...
-                events.push(MemEvent { line, write: false, phase });
+                events.push(MemEvent {
+                    line,
+                    write: false,
+                    phase,
+                });
                 // ...and install it in every level up to L1.
                 let levels = self.levels.len();
                 self.fill(0, levels, line, write, phase, events);
@@ -266,7 +314,9 @@ impl CacheHierarchy {
         events: &mut Vec<MemEvent>,
     ) {
         for level_idx in from..to {
-            if let Some(victim) = self.levels[level_idx].install(line, dirty && level_idx == from, last_writer) {
+            if let Some(victim) =
+                self.levels[level_idx].install(line, dirty && level_idx == from, last_writer)
+            {
                 if victim.dirty {
                     self.spill(level_idx + 1, victim, events);
                 }
@@ -278,7 +328,11 @@ impl CacheHierarchy {
     /// victim fell out of the last level.
     fn spill(&mut self, level_idx: usize, victim: Victim, events: &mut Vec<MemEvent>) {
         if level_idx >= self.levels.len() {
-            events.push(MemEvent { line: victim.tag, write: true, phase: victim.last_writer });
+            events.push(MemEvent {
+                line: victim.tag,
+                write: true,
+                phase: victim.last_writer,
+            });
             return;
         }
         // If the line is already present below, just mark it dirty there.
@@ -305,7 +359,11 @@ impl CacheHierarchy {
         for level in &mut self.levels {
             for victim in level.drain_dirty() {
                 if seen.insert(victim.tag) {
-                    events.push(MemEvent { line: victim.tag, write: true, phase: victim.last_writer });
+                    events.push(MemEvent {
+                        line: victim.tag,
+                        write: true,
+                        phase: victim.last_writer,
+                    });
                 }
             }
         }
@@ -329,8 +387,14 @@ mod tests {
     fn tiny_config() -> CacheConfig {
         CacheConfig {
             levels: vec![
-                CacheLevelConfig { capacity_bytes: 4 * CACHE_LINE_SIZE, ways: 2 },
-                CacheLevelConfig { capacity_bytes: 8 * CACHE_LINE_SIZE, ways: 2 },
+                CacheLevelConfig {
+                    capacity_bytes: 4 * CACHE_LINE_SIZE,
+                    ways: 2,
+                },
+                CacheLevelConfig {
+                    capacity_bytes: 8 * CACHE_LINE_SIZE,
+                    ways: 2,
+                },
             ],
         }
     }
@@ -363,7 +427,10 @@ mod tests {
     #[test]
     fn dirty_eviction_attributes_last_writer() {
         let mut cache = CacheHierarchy::new(&CacheConfig {
-            levels: vec![CacheLevelConfig { capacity_bytes: 2 * CACHE_LINE_SIZE, ways: 1 }],
+            levels: vec![CacheLevelConfig {
+                capacity_bytes: 2 * CACHE_LINE_SIZE,
+                ways: 1,
+            }],
         });
         let mut events = Vec::new();
         // Write line 0 as the nursery GC, then touch enough conflicting lines

@@ -34,7 +34,10 @@ impl MemoryController {
     /// tracking (needed only for wear-distribution statistics; per-page
     /// tracking is always on because the WP baseline requires it).
     pub fn new(track_lines: bool) -> Self {
-        MemoryController { track_lines, ..Default::default() }
+        MemoryController {
+            track_lines,
+            ..Default::default()
+        }
     }
 
     /// Records a device read of one cache line.

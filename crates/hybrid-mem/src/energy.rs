@@ -48,7 +48,10 @@ pub struct EnergyModel {
 
 impl Default for EnergyModel {
     fn default() -> Self {
-        EnergyModel { cpu_power_w: 15.0, static_power_scale: 1.0 }
+        EnergyModel {
+            cpu_power_w: 15.0,
+            static_power_scale: 1.0,
+        }
     }
 }
 
@@ -92,7 +95,9 @@ impl EnergyModel {
         dram_fraction: f64,
         pcm_fraction: f64,
     ) -> f64 {
-        self.breakdown(mem, execution_time_s, dram_fraction, pcm_fraction).total_j() * execution_time_s
+        self.breakdown(mem, execution_time_s, dram_fraction, pcm_fraction)
+            .total_j()
+            * execution_time_s
     }
 }
 

@@ -75,12 +75,18 @@ pub struct LifetimeModel {
 impl LifetimeModel {
     /// The paper's default: 32 GB PCM with 30 M writes-per-cell endurance.
     pub fn paper_default() -> Self {
-        LifetimeModel { capacity_bytes: 32 << 30, endurance_writes: Endurance::Mid30M.writes_per_cell() }
+        LifetimeModel {
+            capacity_bytes: 32 << 30,
+            endurance_writes: Endurance::Mid30M.writes_per_cell(),
+        }
     }
 
     /// Same capacity with a different endurance level.
     pub fn with_endurance(self, endurance: Endurance) -> Self {
-        LifetimeModel { endurance_writes: endurance.writes_per_cell(), ..self }
+        LifetimeModel {
+            endurance_writes: endurance.writes_per_cell(),
+            ..self
+        }
     }
 
     /// Lifetime in years at `write_rate_bytes_per_s`.
@@ -126,7 +132,9 @@ mod tests {
     #[test]
     fn zero_rate_is_infinite() {
         assert!(lifetime_years(32 << 30, 30_000_000, 0.0).is_infinite());
-        assert!(LifetimeModel::paper_default().years_from_traffic(100, 0.0).is_infinite());
+        assert!(LifetimeModel::paper_default()
+            .years_from_traffic(100, 0.0)
+            .is_infinite());
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl PageMap {
     ///
     /// Panics if `start` is not page-aligned.
     pub fn map_pages(&mut self, start: Address, count: usize, kind: MemoryKind, space: u8) {
-        assert!(start.is_aligned(PAGE_SIZE), "page map request not page-aligned: {start}");
+        assert!(
+            start.is_aligned(PAGE_SIZE),
+            "page map request not page-aligned: {start}"
+        );
         let first = start.page().0;
         for p in first..first + count as u64 {
             if let Some(prev) = self.pages.insert(p, PageInfo { kind, space }) {
@@ -160,7 +163,10 @@ mod tests {
         assert_eq!(map.mapped_bytes(MemoryKind::Dram), PAGE_SIZE as u64);
         assert_eq!(map.mapped_bytes(MemoryKind::Pcm), PAGE_SIZE as u64);
         // Migrating to the same kind is a no-op.
-        assert_eq!(map.migrate_page(Address::new(0x2000).page(), MemoryKind::Dram), Some(MemoryKind::Dram));
+        assert_eq!(
+            map.migrate_page(Address::new(0x2000).page(), MemoryKind::Dram),
+            Some(MemoryKind::Dram)
+        );
     }
 
     #[test]

@@ -58,8 +58,13 @@ impl Phase {
     /// Number of phases.
     pub const COUNT: usize = 5;
     /// All phases in index order.
-    pub const ALL: [Phase; Phase::COUNT] =
-        [Phase::Mutator, Phase::NurseryGc, Phase::ObserverGc, Phase::MajorGc, Phase::Runtime];
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Mutator,
+        Phase::NurseryGc,
+        Phase::ObserverGc,
+        Phase::MajorGc,
+        Phase::Runtime,
+    ];
 
     /// Short label used in reports.
     pub fn label(self) -> &'static str {
@@ -117,14 +122,20 @@ impl MemoryConfig {
     /// Hybrid system with a cache hierarchy scaled down by `divisor`, for the
     /// scaled-down workloads used in tests and quick experiments.
     pub fn hybrid_scaled(divisor: usize) -> Self {
-        MemoryConfig { cache: Some(CacheConfig::scaled(divisor)), ..Self::hybrid() }
+        MemoryConfig {
+            cache: Some(CacheConfig::scaled(divisor)),
+            ..Self::hybrid()
+        }
     }
 
     /// Architecture-independent mode: no caches, every heap write reaches the
     /// device counters (Section 6.2: "these results are architecture-
     /// independent since they do not consider cache effects").
     pub fn architecture_independent() -> Self {
-        MemoryConfig { cache: None, ..Self::hybrid() }
+        MemoryConfig {
+            cache: None,
+            ..Self::hybrid()
+        }
     }
 }
 
@@ -256,7 +267,8 @@ impl MemorySystem {
         let last = addr.add(len - 1).cache_line();
         for line in first..=last {
             self.event_buf.clear();
-            self.cache.access(line, kind == AccessKind::Write, phase, &mut self.event_buf);
+            self.cache
+                .access(line, kind == AccessKind::Write, phase, &mut self.event_buf);
             for event in self.event_buf.drain(..) {
                 let line_addr = Address::new(event.line * CACHE_LINE_SIZE as u64);
                 // A flushed line may belong to a page that has since been
@@ -264,7 +276,9 @@ impl MemorySystem {
                 // charge it to the kind it had when mapped, falling back to the
                 // page map; unmapped pages are charged to DRAM-free... They are
                 // simply skipped because the space no longer exists.
-                let Some(info) = self.page_map.info(line_addr) else { continue };
+                let Some(info) = self.page_map.info(line_addr) else {
+                    continue;
+                };
                 if event.write {
                     self.controller.record_write(info.kind, event.phase, event.line);
                 } else {
@@ -355,7 +369,9 @@ impl MemorySystem {
         self.cache.flush_all(&mut events);
         for event in events {
             let line_addr = Address::new(event.line * CACHE_LINE_SIZE as u64);
-            let Some(info) = self.page_map.info(line_addr) else { continue };
+            let Some(info) = self.page_map.info(line_addr) else {
+                continue;
+            };
             if event.write {
                 self.controller.record_write(info.kind, event.phase, event.line);
             } else {
@@ -368,8 +384,14 @@ impl MemorySystem {
     /// [`Self::flush_caches`] first for end-of-run numbers).
     pub fn stats(&self) -> MemoryStats {
         MemoryStats {
-            reads: [self.controller.reads(MemoryKind::Dram), self.controller.reads(MemoryKind::Pcm)],
-            writes: [self.controller.writes(MemoryKind::Dram), self.controller.writes(MemoryKind::Pcm)],
+            reads: [
+                self.controller.reads(MemoryKind::Dram),
+                self.controller.reads(MemoryKind::Pcm),
+            ],
+            writes: [
+                self.controller.writes(MemoryKind::Dram),
+                self.controller.writes(MemoryKind::Pcm),
+            ],
             migration_writes: [
                 self.controller.migration_writes(MemoryKind::Dram),
                 self.controller.migration_writes(MemoryKind::Pcm),
@@ -460,7 +482,11 @@ mod tests {
         }
         mem.flush_caches();
         let stats = mem.stats();
-        assert_eq!(stats.writes(MemoryKind::Pcm), 1, "cache must coalesce repeated writes to one line");
+        assert_eq!(
+            stats.writes(MemoryKind::Pcm),
+            1,
+            "cache must coalesce repeated writes to one line"
+        );
     }
 
     #[test]
@@ -483,7 +509,10 @@ mod tests {
         assert_eq!(mem.kind_of(base), MemoryKind::Dram);
         let stats = mem.stats();
         assert!(stats.writes(MemoryKind::Dram) > 0);
-        assert_eq!(stats.migration_writes(MemoryKind::Dram), stats.writes(MemoryKind::Dram));
+        assert_eq!(
+            stats.migration_writes(MemoryKind::Dram),
+            stats.writes(MemoryKind::Dram)
+        );
     }
 
     #[test]

@@ -102,7 +102,9 @@ impl ExecutionModel {
             // Reads stall the pipeline; writes mostly stall through write-queue
             // back-pressure, which grows with the write latency. Weight writes
             // at half their device latency.
-            self.exposed_miss_fraction * (reads * p.read_latency_ns + 0.5 * writes * p.write_latency_ns) * 1e-9
+            self.exposed_miss_fraction
+                * (reads * p.read_latency_ns + 0.5 * writes * p.write_latency_ns)
+                * 1e-9
         };
         TimeBreakdown {
             mutator_s: op_s(work.mutator_ops),
@@ -136,10 +138,16 @@ mod tests {
     #[test]
     fn pcm_traffic_is_slower_than_dram_traffic() {
         let model = ExecutionModel::default();
-        let work = WorkCounts { mutator_ops: 1000, ..Default::default() };
+        let work = WorkCounts {
+            mutator_ops: 1000,
+            ..Default::default()
+        };
         let on_dram = model.execution_time_s(&work, &stats_with(0, 0, 10_000, 10_000));
         let on_pcm = model.execution_time_s(&work, &stats_with(10_000, 10_000, 0, 0));
-        assert!(on_pcm > on_dram * 2.0, "PCM run must be much slower: {on_pcm} vs {on_dram}");
+        assert!(
+            on_pcm > on_dram * 2.0,
+            "PCM run must be much slower: {on_pcm} vs {on_dram}"
+        );
     }
 
     #[test]
@@ -162,14 +170,25 @@ mod tests {
     fn more_work_takes_longer() {
         let model = ExecutionModel::default();
         let stats = MemoryStats::default();
-        let small = WorkCounts { mutator_ops: 10, ..Default::default() };
-        let large = WorkCounts { mutator_ops: 10_000, ..Default::default() };
+        let small = WorkCounts {
+            mutator_ops: 10,
+            ..Default::default()
+        };
+        let large = WorkCounts {
+            mutator_ops: 10_000,
+            ..Default::default()
+        };
         assert!(model.execution_time_s(&large, &stats) > model.execution_time_s(&small, &stats));
     }
 
     #[test]
     fn work_counts_total() {
-        let w = WorkCounts { mutator_ops: 1, barrier_remset_ops: 2, barrier_monitor_ops: 3, gc_ops: 4 };
+        let w = WorkCounts {
+            mutator_ops: 1,
+            barrier_remset_ops: 2,
+            barrier_monitor_ops: 3,
+            gc_ops: 4,
+        };
         assert_eq!(w.total(), 10);
     }
 }

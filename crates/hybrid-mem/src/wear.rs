@@ -39,7 +39,9 @@ impl WearTracker {
 
     /// Builds a tracker from an iterator of per-line write counts.
     pub fn from_counts<I: IntoIterator<Item = u64>>(counts: I) -> Self {
-        WearTracker { counts: counts.into_iter().collect() }
+        WearTracker {
+            counts: counts.into_iter().collect(),
+        }
     }
 
     /// Records the write count of one line.
@@ -55,7 +57,12 @@ impl WearTracker {
         let total: u64 = self.counts.iter().sum();
         let n = self.counts.len() as f64;
         let mean = total as f64 / n;
-        let var = self.counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var = self
+            .counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         WearSummary {
             lines_written: self.counts.len() as u64,
             total_writes: total,

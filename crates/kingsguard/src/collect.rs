@@ -16,6 +16,7 @@
 
 use std::collections::HashSet;
 
+use advice::SiteId;
 use hybrid_mem::{Address, MemoryKind, Phase};
 use kingsguard_heap::object::{ObjectRef, ObjectShape};
 use kingsguard_heap::Handle;
@@ -28,11 +29,37 @@ impl KingsguardHeap {
     /// Returns `true` if this configuration stores PCM mark state in DRAM
     /// side tables (the metadata optimization).
     fn uses_mdo(&self) -> bool {
-        matches!(self.config.collector, CollectorKind::KingsguardWriters) && self.config.kgw.metadata_optimization
+        matches!(self.config.collector, CollectorKind::KingsguardWriters)
+            && self.config.kgw.metadata_optimization
     }
 
     fn is_kgw(&self) -> bool {
         matches!(self.config.collector, CollectorKind::KingsguardWriters)
+    }
+
+    fn is_kga(&self) -> bool {
+        matches!(self.config.collector, CollectorKind::KgAdvice)
+    }
+
+    /// Returns `true` for the collectors that apply the written-object
+    /// policies of full collections: rescue of written PCM objects to DRAM
+    /// and the large-object PCM→DRAM move. KG-W uses them as its primary
+    /// mechanism; KG-A keeps them as the fallback for mispredicted sites.
+    fn uses_rescue(&self) -> bool {
+        self.config.uses_write_monitoring()
+    }
+
+    /// Records a nursery survivor with the site profiler.
+    fn profile_nursery_survivor(&mut self, old_addr: Address, bytes: usize) {
+        if self.profiler.is_none() {
+            return;
+        }
+        let site = self.stats.site_of(old_addr);
+        if !site.is_unknown() {
+            if let Some(profiler) = self.profiler.as_mut() {
+                profiler.record_nursery_survivor(site, bytes as u64);
+            }
+        }
     }
 
     /// Young-generation collection entry point. For KG-W this is a nursery
@@ -43,7 +70,11 @@ impl KingsguardHeap {
     pub fn collect_young(&mut self) {
         if self.config.has_observer() {
             let needed = self.nursery.used_bytes();
-            let available = self.observer.as_ref().expect("KG-W has an observer space").free_bytes();
+            let available = self
+                .observer
+                .as_ref()
+                .expect("KG-W has an observer space")
+                .free_bytes();
             if available < needed {
                 self.collect_observer();
             } else {
@@ -97,7 +128,11 @@ impl KingsguardHeap {
 
         let survived = self.stats.nursery.bytes_copied - copied_before;
         self.stats.nursery_survived_bytes += survived;
-        let rate = if collected > 0 { survived as f64 / collected as f64 } else { 0.0 };
+        let rate = if collected > 0 {
+            survived as f64 / collected as f64
+        } else {
+            0.0
+        };
         self.survival_estimate = 0.5 * self.survival_estimate + 0.5 * rate;
 
         // Re-evaluate the Large Object Optimization: devote part of the
@@ -120,7 +155,10 @@ impl KingsguardHeap {
     ///
     /// Panics if called on a configuration without an observer space.
     pub fn collect_observer(&mut self) {
-        assert!(self.config.has_observer(), "observer collection requires Kingsguard-writers");
+        assert!(
+            self.config.has_observer(),
+            "observer collection requires Kingsguard-writers"
+        );
         let phase = Phase::ObserverGc;
         self.stats.observer.collections += 1;
         let observer_used = self.observer.as_ref().expect("observer space").used_bytes() as u64;
@@ -205,6 +243,7 @@ impl KingsguardHeap {
                 .expect("observer space")
                 .alloc_for_copy(&mut self.mem, size)
                 .expect("observer space sized at twice the nursery always fits nursery survivors");
+            self.profile_nursery_survivor(obj.address(), size);
             self.mem.copy(obj.address(), dst, size, phase);
             let new_obj = ObjectRef::from_address(dst);
             obj.set_forwarding(&mut self.mem, new_obj, phase);
@@ -286,11 +325,12 @@ impl KingsguardHeap {
         self.remset_nursery.clear();
         self.remset_observer = retained;
         self.survival_estimate = 0.5 * self.survival_estimate
-            + 0.5 * if nursery_used > 0 {
-                (self.stats.nursery.bytes_copied - nursery_copied_before) as f64 / nursery_used as f64
-            } else {
-                0.0
-            };
+            + 0.5
+                * if nursery_used > 0 {
+                    (self.stats.nursery.bytes_copied - nursery_copied_before) as f64 / nursery_used as f64
+                } else {
+                    0.0
+                };
         self.los_alloc_since_gc = 0;
         self.nursery_alloc_since_gc = 0;
         self.stats.work.gc_ops += (observer_used + nursery_used) / 64;
@@ -323,7 +363,13 @@ impl KingsguardHeap {
         let shape = obj.shape(&mut self.mem, phase);
         let written = obj.is_written(&mut self.mem, phase);
         let size = shape.size();
-        let dst = self.young_destination(loc, shape, written, phase);
+        let site = if self.tracks_sites() {
+            self.stats.site_of(obj.address())
+        } else {
+            SiteId::UNKNOWN
+        };
+        let dst = self.young_destination(loc, shape, written, site, phase);
+        self.profile_nursery_survivor(obj.address(), size);
         self.mem.copy(obj.address(), dst, size, phase);
         let new_obj = ObjectRef::from_address(dst);
         obj.set_forwarding(&mut self.mem, new_obj, phase);
@@ -336,20 +382,26 @@ impl KingsguardHeap {
     }
 
     /// Chooses the destination of a live young object during a nursery
-    /// collection.
-    fn young_destination(&mut self, loc: Location, shape: ObjectShape, written: bool, phase: Phase) -> Address {
+    /// collection. KG-W routes survivors through the observer space; KG-A
+    /// pretenures them into DRAM or PCM mature space by site advice.
+    fn young_destination(
+        &mut self,
+        loc: Location,
+        shape: ObjectShape,
+        written: bool,
+        site: SiteId,
+        phase: Phase,
+    ) -> Address {
         debug_assert_eq!(loc, Location::Nursery);
         let size = shape.size();
-        if self.config.has_observer() && !shape.is_large() {
-            if let Some(addr) = self.observer.as_mut().expect("observer space").alloc_for_copy(&mut self.mem, size)
-            {
-                return addr;
-            }
-        }
-        if self.config.has_observer() && shape.is_large() {
-            // A large object allocated in the nursery by LOO survives a
-            // nursery collection: copy it to the observer space if it fits.
-            if let Some(addr) = self.observer.as_mut().expect("observer space").alloc_for_copy(&mut self.mem, size)
+        if self.config.has_observer() {
+            // Small objects always; a large object allocated in the nursery
+            // by LOO also gets copied to the observer space if it fits.
+            if let Some(addr) = self
+                .observer
+                .as_mut()
+                .expect("observer space")
+                .alloc_for_copy(&mut self.mem, size)
             {
                 return addr;
             }
@@ -359,6 +411,23 @@ impl KingsguardHeap {
                 .los_primary
                 .alloc_raw(&mut self.mem, size)
                 .expect("large object space exhausted during nursery collection");
+        }
+        if self.is_kga() {
+            if self.advice_pretenures_to_dram(site) {
+                if let Some(addr) = self
+                    .mature_dram
+                    .as_mut()
+                    .expect("KG-A has a DRAM mature space")
+                    .alloc_for_copy(&mut self.mem, size)
+                {
+                    self.stats.advised_to_dram_objects += 1;
+                    self.stats.advised_to_dram_bytes += size as u64;
+                    return addr;
+                }
+            } else {
+                self.stats.advised_to_pcm_objects += 1;
+                self.stats.advised_to_pcm_bytes += size as u64;
+            }
         }
         let _ = written;
         self.mature_primary
@@ -546,14 +615,21 @@ impl KingsguardHeap {
                 let shape = obj.shape(&mut self.mem, phase);
                 let written = obj.is_written(&mut self.mem, phase);
                 let size = shape.size();
+                // KG-A pretenures young survivors by site advice even when
+                // the full collection (rather than a nursery collection)
+                // evacuates them.
+                let advised_dram =
+                    self.is_kga() && self.advice_pretenures_to_dram(self.stats.site_of(obj.address()));
                 let dst = if shape.is_large() {
-                    self.los_primary.alloc_raw(&mut self.mem, size).unwrap_or_else(|| {
-                        panic!(
-                            "large object space exhausted during full collection \
+                    self.los_primary
+                        .alloc_raw(&mut self.mem, size)
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "large object space exhausted during full collection \
                              (copying {obj:?} at {loc:?}, {size} bytes, shape {shape:?})"
-                        )
-                    })
-                } else if written && self.mature_dram.is_some() {
+                            )
+                        })
+                } else if (written || advised_dram) && self.mature_dram.is_some() {
                     self.mature_dram
                         .as_mut()
                         .expect("checked above")
@@ -564,6 +640,9 @@ impl KingsguardHeap {
                         .alloc_for_copy(&mut self.mem, size)
                         .expect("mature space exhausted during full collection")
                 };
+                if loc == Location::Nursery {
+                    self.profile_nursery_survivor(obj.address(), size);
+                }
                 self.mem.copy(obj.address(), dst, size, phase);
                 let new_obj = ObjectRef::from_address(dst);
                 obj.set_forwarding(&mut self.mem, new_obj, phase);
@@ -584,7 +663,7 @@ impl KingsguardHeap {
                 let shape = obj.shape(&mut self.mem, phase);
                 let size = shape.size();
                 let written = obj.is_written(&mut self.mem, phase);
-                let rescue = self.is_kgw()
+                let rescue = self.uses_rescue()
                     && written
                     && self.mature_primary.kind() == MemoryKind::Pcm
                     && self.mature_dram.is_some();
@@ -609,7 +688,8 @@ impl KingsguardHeap {
                     queue.push(new_obj);
                     return new_obj;
                 }
-                self.mature_primary.mark_lines(&mut self.mem, obj.address(), size, phase);
+                self.mature_primary
+                    .mark_lines(&mut self.mem, obj.address(), size, phase);
                 self.account_object_mark(obj, self.mature_primary.kind(), phase);
                 queue.push(obj);
                 obj
@@ -624,7 +704,13 @@ impl KingsguardHeap {
                 let shape = obj.shape(&mut self.mem, phase);
                 let size = shape.size();
                 let written = obj.is_written(&mut self.mem, phase);
-                if self.is_kgw() && !written {
+                // KG-A keeps advised-hot sites in DRAM even across quiet
+                // periods — demoting them would only churn the next rescue —
+                // but demotes rescued objects from cold/mixed sites once
+                // their write burst ends, exactly like KG-W.
+                let advice_pins =
+                    self.is_kga() && self.advice_pretenures_to_dram(self.stats.site_of(obj.address()));
+                if self.uses_rescue() && !written && !advice_pins {
                     // Unwritten DRAM mature object: demote to PCM to exploit
                     // PCM capacity (Section 4.2.3).
                     let dst = self
@@ -642,7 +728,10 @@ impl KingsguardHeap {
                     queue.push(new_obj);
                     return new_obj;
                 }
-                let space = self.mature_dram.as_mut().expect("location implies DRAM mature space");
+                let space = self
+                    .mature_dram
+                    .as_mut()
+                    .expect("location implies DRAM mature space");
                 space.mark_lines(&mut self.mem, obj.address(), size, phase);
                 obj.set_marked(&mut self.mem, true, phase);
                 queue.push(obj);
@@ -656,7 +745,7 @@ impl KingsguardHeap {
                     return obj;
                 }
                 let written = obj.is_written(&mut self.mem, phase);
-                let move_to_dram = self.is_kgw()
+                let move_to_dram = self.uses_rescue()
                     && written
                     && self.los_primary.kind() == MemoryKind::Pcm
                     && self.los_dram.is_some();
@@ -679,7 +768,10 @@ impl KingsguardHeap {
                     self.stats.large_pcm_to_dram_moves += 1;
                     self.stats.major.bytes_copied += size as u64;
                     self.stats.major.objects_copied += 1;
-                    self.los_dram.as_mut().expect("checked above").mark(&mut self.mem, new_obj, phase);
+                    self.los_dram
+                        .as_mut()
+                        .expect("checked above")
+                        .mark(&mut self.mem, new_obj, phase);
                     queue.push(new_obj);
                     return new_obj;
                 }
@@ -707,11 +799,15 @@ impl KingsguardHeap {
     fn mark_new_copy(&mut self, obj: ObjectRef, size: usize, phase: Phase) {
         match self.locate(obj.address()) {
             Location::MaturePrimary => {
-                self.mature_primary.mark_lines(&mut self.mem, obj.address(), size, phase);
+                self.mature_primary
+                    .mark_lines(&mut self.mem, obj.address(), size, phase);
                 self.account_object_mark(obj, self.mature_primary.kind(), phase);
             }
             Location::MatureDram => {
-                let space = self.mature_dram.as_mut().expect("location implies DRAM mature space");
+                let space = self
+                    .mature_dram
+                    .as_mut()
+                    .expect("location implies DRAM mature space");
                 space.mark_lines(&mut self.mem, obj.address(), size, phase);
                 obj.set_marked(&mut self.mem, true, phase);
             }
@@ -719,7 +815,10 @@ impl KingsguardHeap {
                 self.los_primary.mark(&mut self.mem, obj, phase);
             }
             Location::LargeDram => {
-                self.los_dram.as_mut().expect("location implies DRAM large space").mark(&mut self.mem, obj, phase);
+                self.los_dram
+                    .as_mut()
+                    .expect("location implies DRAM large space")
+                    .mark(&mut self.mem, obj, phase);
             }
             _ => {}
         }
@@ -749,6 +848,7 @@ impl KingsguardHeap {
 mod tests {
     use super::*;
     use crate::config::HeapConfig;
+    use advice::{AdviceTable, Placement};
     use hybrid_mem::MemoryConfig;
 
     fn heap(config: HeapConfig) -> KingsguardHeap {
@@ -785,7 +885,10 @@ mod tests {
         let child_obj = parent_obj.read_ref(&mut h.mem, 0, Phase::Mutator);
         assert!(!child_obj.is_null());
         assert_eq!(h.locate(child_obj.address()), Location::MaturePrimary);
-        assert_eq!(child_obj.shape(&mut h.mem, Phase::Mutator), ObjectShape::new(0, 24));
+        assert_eq!(
+            child_obj.shape(&mut h.mem, Phase::Mutator),
+            ObjectShape::new(0, 24)
+        );
     }
 
     #[test]
@@ -821,8 +924,16 @@ mod tests {
         // Write to the hot object while it is observed.
         h.write_prim(hot, 0, 16);
         h.collect_observer();
-        assert_eq!(h.locate(h.resolve(hot).address()), Location::MatureDram, "written object stays in DRAM");
-        assert_eq!(h.locate(h.resolve(cold).address()), Location::MaturePrimary, "unwritten object moves to PCM");
+        assert_eq!(
+            h.locate(h.resolve(hot).address()),
+            Location::MatureDram,
+            "written object stays in DRAM"
+        );
+        assert_eq!(
+            h.locate(h.resolve(cold).address()),
+            Location::MaturePrimary,
+            "unwritten object moves to PCM"
+        );
         assert!(h.stats().observer_to_dram_objects >= 1);
         assert!(h.stats().observer_to_pcm_objects >= 1);
     }
@@ -922,7 +1033,10 @@ mod tests {
         for _ in 0..objects {
             h.alloc(ObjectShape::new(0, object_bytes as u32 - 40), 1);
         }
-        assert!(h.stats().observer.collections > 0, "observer collections must have happened");
+        assert!(
+            h.stats().observer.collections > 0,
+            "observer collections must have happened"
+        );
         assert!(h.stats().nursery.collections > 0);
     }
 
@@ -956,6 +1070,110 @@ mod tests {
     }
 
     #[test]
+    fn kga_pretenures_by_site_advice() {
+        let table = AdviceTable::from_entries(
+            [
+                (SiteId(1), Placement::DramMature),
+                (SiteId(2), Placement::PcmMature),
+            ],
+            Placement::PcmMature,
+        );
+        let mut h = heap(HeapConfig::kg_a(table));
+        let hot = h.alloc_site(ObjectShape::new(0, 128), 1, SiteId(1));
+        let cold = h.alloc_site(ObjectShape::new(0, 128), 2, SiteId(2));
+        let untagged = h.alloc(ObjectShape::new(0, 128), 3);
+        h.collect_nursery();
+        assert_eq!(
+            h.locate(h.resolve(hot).address()),
+            Location::MatureDram,
+            "hot site pretenured to DRAM"
+        );
+        assert_eq!(
+            h.locate(h.resolve(cold).address()),
+            Location::MaturePrimary,
+            "cold site pretenured to PCM"
+        );
+        assert_eq!(
+            h.locate(h.resolve(untagged).address()),
+            Location::MaturePrimary,
+            "unknown site defaults to PCM"
+        );
+        assert_eq!(h.stats().advised_to_dram_objects, 1);
+        assert_eq!(h.stats().advised_to_pcm_objects, 2);
+        assert_eq!(h.stats().observer.collections, 0, "KG-A has no observer space");
+    }
+
+    #[test]
+    fn kga_rescues_mispredicted_written_pcm_objects() {
+        let mut h = heap(HeapConfig::kg_a(AdviceTable::all_cold()));
+        let handle = h.alloc_site(ObjectShape::new(0, 128), 1, SiteId(4));
+        h.collect_nursery();
+        assert_eq!(h.locate(h.resolve(handle).address()), Location::MaturePrimary);
+        // The profile said cold, but the object is written in PCM: the KG-W
+        // style rescue of the next full collection must save it.
+        h.write_prim(handle, 0, 8);
+        h.collect_full();
+        assert_eq!(h.locate(h.resolve(handle).address()), Location::MatureDram);
+        assert_eq!(h.stats().pcm_to_dram_rescues, 1);
+    }
+
+    #[test]
+    fn kga_advised_hot_sites_stay_in_dram_across_quiet_major_gcs() {
+        let table = AdviceTable::from_entries([(SiteId(1), Placement::DramMature)], Placement::PcmMature);
+        let mut h = heap(HeapConfig::kg_a(table));
+        let hot = h.alloc_site(ObjectShape::new(0, 128), 1, SiteId(1));
+        h.collect_nursery();
+        assert_eq!(h.locate(h.resolve(hot).address()), Location::MatureDram);
+        // Never written, but the advice pins it: no demotion churn.
+        h.collect_full();
+        h.collect_full();
+        assert_eq!(h.locate(h.resolve(hot).address()), Location::MatureDram);
+        assert_eq!(h.stats().dram_to_pcm_demotions, 0);
+    }
+
+    #[test]
+    fn kga_demotes_rescued_objects_once_their_write_burst_ends() {
+        let mut h = heap(HeapConfig::kg_a(AdviceTable::all_cold()));
+        let handle = h.alloc_site(ObjectShape::new(0, 128), 1, SiteId(4));
+        h.collect_nursery();
+        h.write_prim(handle, 0, 8);
+        h.collect_full(); // rescued to DRAM, write bit reset
+        assert_eq!(h.locate(h.resolve(handle).address()), Location::MatureDram);
+        h.collect_full(); // quiet since rescue: demoted back to PCM
+        assert_eq!(h.locate(h.resolve(handle).address()), Location::MaturePrimary);
+        assert_eq!(h.stats().dram_to_pcm_demotions, 1);
+    }
+
+    #[test]
+    fn kga_pretenures_hot_large_sites_into_the_dram_large_space() {
+        let table = AdviceTable::from_entries([(SiteId(8), Placement::DramMature)], Placement::PcmMature);
+        let mut h = heap(HeapConfig::kg_a(table));
+        let hot_large = h.alloc_site(ObjectShape::primitive(32 * 1024), 1, SiteId(8));
+        let cold_large = h.alloc_site(ObjectShape::primitive(32 * 1024), 2, SiteId(9));
+        assert_eq!(h.locate(h.resolve(hot_large).address()), Location::LargeDram);
+        assert_eq!(h.locate(h.resolve(cold_large).address()), Location::LargePrimary);
+    }
+
+    #[test]
+    fn kga_all_cold_advice_behaves_like_kg_n_for_placement() {
+        let mut h = heap(HeapConfig::kg_a(AdviceTable::all_cold()));
+        for i in 0..200 {
+            let handle = h.alloc_site(ObjectShape::new(1, 96), 1, SiteId(1 + (i % 7)));
+            if i % 3 != 0 {
+                h.release(handle);
+            }
+        }
+        h.collect_young();
+        h.collect_full();
+        assert_eq!(h.stats().advised_to_dram_objects, 0);
+        assert_eq!(
+            h.dram_heap_bytes(),
+            0,
+            "no mature object may live in DRAM under all-cold advice"
+        );
+    }
+
+    #[test]
     fn kg_n_keeps_nursery_writes_out_of_pcm() {
         let mut h = heap(HeapConfig::kg_n());
         for _ in 0..200 {
@@ -964,9 +1182,18 @@ mod tests {
             h.release(handle);
         }
         let report = h.finish();
-        let pcm_mutator = report.memory.phase_writes(hybrid_mem::MemoryKind::Pcm).get(Phase::Mutator);
-        let dram_mutator = report.memory.phase_writes(hybrid_mem::MemoryKind::Dram).get(Phase::Mutator);
-        assert_eq!(pcm_mutator, 0, "mutator writes to dying nursery objects must stay in DRAM");
+        let pcm_mutator = report
+            .memory
+            .phase_writes(hybrid_mem::MemoryKind::Pcm)
+            .get(Phase::Mutator);
+        let dram_mutator = report
+            .memory
+            .phase_writes(hybrid_mem::MemoryKind::Dram)
+            .get(Phase::Mutator);
+        assert_eq!(
+            pcm_mutator, 0,
+            "mutator writes to dying nursery objects must stay in DRAM"
+        );
         assert!(dram_mutator > 0);
     }
 }

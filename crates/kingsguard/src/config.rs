@@ -4,8 +4,11 @@
 //! Section 4: the generational Immix baseline running on DRAM-only or
 //! PCM-only memory, Kingsguard-nursery (KG-N) and Kingsguard-writers (KG-W)
 //! with its Large Object Optimization (LOO), Metadata Optimization (MDO) and
-//! primitive-write-monitoring toggles.
+//! primitive-write-monitoring toggles — and the profile-guided
+//! Kingsguard-advice (KG-A), which replays a per-site write profile instead
+//! of paying KG-W's online observer-space tax.
 
+use advice::AdviceTable;
 use hybrid_mem::MemoryKind;
 
 /// Which collector algorithm manages the heap.
@@ -22,6 +25,12 @@ pub enum CollectorKind {
     /// Kingsguard-writers: DRAM nursery + observer space, per-object
     /// placement of mature objects by observed write behaviour.
     KingsguardWriters,
+    /// Kingsguard-advice: DRAM nursery, no observer space; nursery survivors
+    /// are pretenured into DRAM or PCM mature space according to the
+    /// per-allocation-site advice table of [`HeapConfig::advice`], with
+    /// KG-W-style rescue of written PCM objects as the misprediction
+    /// fallback.
+    KgAdvice,
 }
 
 /// Feature toggles of Kingsguard-writers (Table 1 and Section 6.2).
@@ -70,6 +79,9 @@ pub struct HeapConfig {
     pub metadata_capacity_bytes: usize,
     /// KG-W feature toggles (ignored by the other collectors).
     pub kgw: KgwOptions,
+    /// Per-site placement advice (required by [`CollectorKind::KgAdvice`],
+    /// ignored by the other collectors).
+    pub advice: Option<AdviceTable>,
 }
 
 impl HeapConfig {
@@ -92,18 +104,23 @@ impl HeapConfig {
             los_capacity_bytes: (256 << 20) / scale,
             metadata_capacity_bytes: (32 << 20) / scale,
             kgw: KgwOptions::default(),
+            advice: None,
         }
     }
 
     /// Generational Immix on a DRAM-only memory system.
     pub fn gen_immix_dram() -> Self {
-        Self::base(CollectorKind::GenImmix { memory: MemoryKind::Dram })
+        Self::base(CollectorKind::GenImmix {
+            memory: MemoryKind::Dram,
+        })
     }
 
     /// Generational Immix on a PCM-only memory system (with hardware line
     /// wear-leveling assumed by the memory model).
     pub fn gen_immix_pcm() -> Self {
-        Self::base(CollectorKind::GenImmix { memory: MemoryKind::Pcm })
+        Self::base(CollectorKind::GenImmix {
+            memory: MemoryKind::Pcm,
+        })
     }
 
     /// Kingsguard-nursery (Table 1, row KG-N).
@@ -145,6 +162,13 @@ impl HeapConfig {
         config
     }
 
+    /// Kingsguard-advice: profile-guided placement driven by `advice`.
+    pub fn kg_a(advice: AdviceTable) -> Self {
+        let mut config = Self::base(CollectorKind::KgAdvice);
+        config.advice = Some(advice);
+        config
+    }
+
     /// Sets the mature-heap budget (2× minimum live size in the paper's
     /// methodology) and scales the large-object space with it. The
     /// large-object spaces get four times the budget of virtual room: their
@@ -168,6 +192,23 @@ impl HeapConfig {
     /// Returns `true` if this configuration uses an observer space.
     pub fn has_observer(&self) -> bool {
         matches!(self.collector, CollectorKind::KingsguardWriters)
+    }
+
+    /// Returns `true` if this configuration maintains DRAM mature and DRAM
+    /// large spaces alongside the PCM ones (KG-W via the observer space,
+    /// KG-A via profile-guided pretenuring).
+    pub fn has_dram_mature(&self) -> bool {
+        matches!(
+            self.collector,
+            CollectorKind::KingsguardWriters | CollectorKind::KgAdvice
+        )
+    }
+
+    /// Returns `true` if this configuration monitors application writes in
+    /// the barrier and applies the rescue/demotion policies during full-heap
+    /// collections (KG-W always; KG-A as its misprediction fallback).
+    pub fn uses_write_monitoring(&self) -> bool {
+        self.has_dram_mature()
     }
 
     /// Returns `true` if this configuration has both DRAM and PCM spaces.
@@ -196,7 +237,7 @@ impl HeapConfig {
         match self.collector {
             CollectorKind::GenImmix { memory } => memory,
             CollectorKind::KingsguardNursery => MemoryKind::Pcm,
-            CollectorKind::KingsguardWriters => MemoryKind::Dram,
+            CollectorKind::KingsguardWriters | CollectorKind::KgAdvice => MemoryKind::Dram,
         }
     }
 
@@ -204,8 +245,12 @@ impl HeapConfig {
     /// "KG-W-LOO", ...).
     pub fn label(&self) -> String {
         match self.collector {
-            CollectorKind::GenImmix { memory: MemoryKind::Dram } => "DRAM-only".to_string(),
-            CollectorKind::GenImmix { memory: MemoryKind::Pcm } => "PCM-only".to_string(),
+            CollectorKind::GenImmix {
+                memory: MemoryKind::Dram,
+            } => "DRAM-only".to_string(),
+            CollectorKind::GenImmix {
+                memory: MemoryKind::Pcm,
+            } => "PCM-only".to_string(),
             CollectorKind::KingsguardNursery => {
                 if self.nursery_bytes > Self::PAPER_NURSERY_BYTES / Self::DEFAULT_SCALE {
                     "KG-N-12".to_string()
@@ -226,6 +271,7 @@ impl HeapConfig {
                 }
                 label
             }
+            CollectorKind::KgAdvice => "KG-A".to_string(),
         }
     }
 }
@@ -266,6 +312,23 @@ mod tests {
         assert!(!HeapConfig::kg_n().has_observer());
         assert!(HeapConfig::kg_n().is_hybrid());
         assert!(!HeapConfig::gen_immix_pcm().is_hybrid());
+    }
+
+    #[test]
+    fn kg_a_configuration() {
+        let config = HeapConfig::kg_a(AdviceTable::all_cold());
+        assert_eq!(config.label(), "KG-A");
+        assert!(!config.has_observer(), "KG-A bypasses the observer space");
+        assert!(config.has_dram_mature());
+        assert!(config.uses_write_monitoring());
+        assert!(config.is_hybrid());
+        assert_eq!(config.nursery_kind(), MemoryKind::Dram);
+        assert_eq!(config.mature_kind(), MemoryKind::Pcm);
+        assert_eq!(config.metadata_kind(), MemoryKind::Dram);
+        assert!(config.advice.is_some());
+        assert!(HeapConfig::kg_w().has_dram_mature());
+        assert!(!HeapConfig::kg_n().has_dram_mature());
+        assert!(!HeapConfig::kg_n().uses_write_monitoring());
     }
 
     #[test]

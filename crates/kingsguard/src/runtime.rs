@@ -7,6 +7,7 @@
 //! gathers the statistics the evaluation needs. The collection algorithms
 //! themselves live in [`crate::collect`].
 
+use advice::{SiteId, SiteProfile, SiteProfiler};
 use hybrid_mem::{Address, MemoryConfig, MemoryKind, MemorySystem, Phase};
 use kingsguard_heap::object::{ObjectRef, ObjectShape};
 use kingsguard_heap::{
@@ -77,6 +78,8 @@ pub struct KingsguardHeap {
     pub(crate) los_alloc_since_gc: u64,
     /// Bytes allocated into the nursery since the last nursery collection.
     pub(crate) nursery_alloc_since_gc: u64,
+    /// Per-site profiler, present only during a profiling run.
+    pub(crate) profiler: Option<SiteProfiler>,
 }
 
 /// End-of-run report: collector statistics plus the flushed memory-system
@@ -87,6 +90,9 @@ pub struct RunReport {
     pub gc: GcStats,
     /// Memory-system statistics (caches flushed).
     pub memory: hybrid_mem::MemoryStats,
+    /// The per-site profile gathered by this run, when profiling was enabled
+    /// through [`KingsguardHeap::enable_profiling`].
+    pub site_profile: Option<SiteProfile>,
 }
 
 impl KingsguardHeap {
@@ -96,40 +102,72 @@ impl KingsguardHeap {
         let mut mem = MemorySystem::new(memory_config);
 
         let nursery_base = mem.reserve_extent("nursery", config.nursery_bytes);
-        let nursery = CopySpace::new(SpaceId::NURSERY, config.nursery_kind(), nursery_base, config.nursery_bytes);
+        let nursery = CopySpace::new(
+            SpaceId::NURSERY,
+            config.nursery_kind(),
+            nursery_base,
+            config.nursery_bytes,
+        );
 
         let observer = if config.has_observer() {
             let base = mem.reserve_extent("observer", config.observer_bytes);
-            Some(CopySpace::new(SpaceId::OBSERVER, MemoryKind::Dram, base, config.observer_bytes))
+            Some(CopySpace::new(
+                SpaceId::OBSERVER,
+                MemoryKind::Dram,
+                base,
+                config.observer_bytes,
+            ))
         } else {
             None
         };
 
         let mature_extent = config.heap_budget_bytes * 4;
         let mature_base = mem.reserve_extent("mature-primary", mature_extent);
-        let mature_primary =
-            ImmixSpace::new(SpaceId::MATURE_PCM, config.mature_kind(), mature_base, mature_extent);
+        let mature_primary = ImmixSpace::new(
+            SpaceId::MATURE_PCM,
+            config.mature_kind(),
+            mature_base,
+            mature_extent,
+        );
 
-        let mature_dram = if config.has_observer() {
+        let mature_dram = if config.has_dram_mature() {
             let base = mem.reserve_extent("mature-dram", mature_extent);
-            Some(ImmixSpace::new(SpaceId::MATURE_DRAM, MemoryKind::Dram, base, mature_extent))
+            Some(ImmixSpace::new(
+                SpaceId::MATURE_DRAM,
+                MemoryKind::Dram,
+                base,
+                mature_extent,
+            ))
         } else {
             None
         };
 
         let los_base = mem.reserve_extent("los-primary", config.los_capacity_bytes);
-        let los_primary =
-            LargeObjectSpace::new(SpaceId::LARGE_PCM, config.mature_kind(), los_base, config.los_capacity_bytes);
+        let los_primary = LargeObjectSpace::new(
+            SpaceId::LARGE_PCM,
+            config.mature_kind(),
+            los_base,
+            config.los_capacity_bytes,
+        );
 
-        let los_dram = if config.has_observer() {
+        let los_dram = if config.has_dram_mature() {
             let base = mem.reserve_extent("los-dram", config.los_capacity_bytes);
-            Some(LargeObjectSpace::new(SpaceId::LARGE_DRAM, MemoryKind::Dram, base, config.los_capacity_bytes))
+            Some(LargeObjectSpace::new(
+                SpaceId::LARGE_DRAM,
+                MemoryKind::Dram,
+                base,
+                config.los_capacity_bytes,
+            ))
         } else {
             None
         };
 
         let metadata_base = mem.reserve_extent("metadata", config.metadata_capacity_bytes);
-        let metadata = MetadataSpace::new(config.metadata_kind(), metadata_base, config.metadata_capacity_bytes);
+        let metadata = MetadataSpace::new(
+            config.metadata_kind(),
+            metadata_base,
+            config.metadata_capacity_bytes,
+        );
 
         KingsguardHeap {
             config,
@@ -149,7 +187,21 @@ impl KingsguardHeap {
             loo_active: false,
             los_alloc_since_gc: 0,
             nursery_alloc_since_gc: 0,
+            profiler: None,
         }
+    }
+
+    /// Enables per-site profiling for this run. The gathered
+    /// [`SiteProfile`] is returned by [`KingsguardHeap::finish`] and can be
+    /// persisted with [`advice::save_profile`] to drive a later KG-A run.
+    pub fn enable_profiling(&mut self, workload: &str) {
+        let collector = self.config.label();
+        self.profiler = Some(SiteProfiler::new(workload, &collector));
+    }
+
+    /// Returns `true` if this run is collecting a site profile.
+    pub fn is_profiling(&self) -> bool {
+        self.profiler.is_some()
     }
 
     /// The heap configuration.
@@ -184,18 +236,60 @@ impl KingsguardHeap {
 
     /// Allocates an object of `shape` and returns a rooted handle to it.
     ///
+    /// The object carries no allocation-site tag; profile-guided collectors
+    /// fall back to their default placement for it. Site-aware mutators use
+    /// [`KingsguardHeap::alloc_site`].
+    ///
     /// # Panics
     ///
     /// Panics if the object cannot be accommodated even after a full-heap
     /// collection (heap budget and large-object capacity exhausted).
     pub fn alloc(&mut self, shape: ObjectShape, type_id: u16) -> Handle {
+        self.alloc_site(shape, type_id, SiteId::UNKNOWN)
+    }
+
+    /// Allocates an object of `shape` tagged with its allocation `site`
+    /// (alongside the `type_id`) and returns a rooted handle to it.
+    ///
+    /// Site tags are tracked only while the heap has a consumer for them — a
+    /// profiling run ([`KingsguardHeap::enable_profiling`], called before the
+    /// first allocation) or the KG-A collector; the other collectors skip the
+    /// side-table bookkeeping on this hot path entirely. When tracked, the
+    /// tag follows the object through every copy: the profiler aggregates
+    /// per-site behaviour under it, and KG-A looks it up in the advice table
+    /// to pretenure the object when it leaves the nursery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object cannot be accommodated even after a full-heap
+    /// collection (heap budget and large-object capacity exhausted).
+    pub fn alloc_site(&mut self, shape: ObjectShape, type_id: u16, site: SiteId) -> Handle {
         let size = shape.size();
         self.stats.objects_allocated += 1;
         self.stats.bytes_allocated += size as u64;
         self.stats.work.mutator_ops += 2 + (size as u64) / 64;
+        if !site.is_unknown() {
+            if let Some(profiler) = self.profiler.as_mut() {
+                profiler.record_alloc(site, size as u64, shape.is_large());
+            }
+        }
 
-        let obj = if shape.is_large() { self.alloc_large(shape, type_id) } else { self.alloc_small(shape, type_id) };
+        let obj = if shape.is_large() {
+            self.alloc_large(shape, type_id, site)
+        } else {
+            self.alloc_small(shape, type_id)
+        };
+        if self.tracks_sites() {
+            self.stats.record_site(obj.address(), site);
+        }
         self.roots.add(obj)
+    }
+
+    /// Returns `true` if this heap maintains the address→site side table:
+    /// either a profiling run is recording per-site behaviour, or the KG-A
+    /// collector needs sites for placement.
+    pub(crate) fn tracks_sites(&self) -> bool {
+        self.profiler.is_some() || matches!(self.config.collector, CollectorKind::KgAdvice)
     }
 
     fn alloc_small(&mut self, shape: ObjectShape, type_id: u16) -> ObjectRef {
@@ -208,7 +302,7 @@ impl KingsguardHeap {
         }
     }
 
-    fn alloc_large(&mut self, shape: ObjectShape, type_id: u16) -> ObjectRef {
+    fn alloc_large(&mut self, shape: ObjectShape, type_id: u16, site: SiteId) -> ObjectRef {
         self.stats.large_bytes_allocated += shape.size() as u64;
         let use_loo = matches!(self.config.collector, CollectorKind::KingsguardWriters)
             && self.config.kgw.large_object_optimization
@@ -223,17 +317,39 @@ impl KingsguardHeap {
                 return obj;
             }
         }
-        self.los_alloc_since_gc += shape.size() as u64;
-        loop {
-            if let Some(obj) = self.los_primary.alloc(&mut self.mem, shape, type_id, Phase::Mutator) {
-                return obj;
+        // KG-A: a write-hot large site is allocated directly into the DRAM
+        // large space; everything else — including a DRAM-advised object
+        // that no longer fits there — lands in PCM, where the large-object
+        // rescue of the full collection remains the fallback.
+        if matches!(self.config.collector, CollectorKind::KgAdvice) {
+            if self.advice_pretenures_to_dram(site) {
+                if let Some(los_dram) = self.los_dram.as_mut() {
+                    if let Some(obj) = los_dram.alloc(&mut self.mem, shape, type_id, Phase::Mutator) {
+                        self.stats.advised_to_dram_objects += 1;
+                        self.stats.advised_to_dram_bytes += shape.size() as u64;
+                        return obj;
+                    }
+                }
             }
-            self.collect_full();
-            if let Some(obj) = self.los_primary.alloc(&mut self.mem, shape, type_id, Phase::Mutator) {
-                return obj;
-            }
-            panic!("large object space exhausted even after a full collection; increase los_capacity_bytes");
+            // Placed in PCM, whether by cold advice or by DRAM overflow.
+            self.stats.advised_to_pcm_objects += 1;
+            self.stats.advised_to_pcm_bytes += shape.size() as u64;
         }
+        self.los_alloc_since_gc += shape.size() as u64;
+        if let Some(obj) = self
+            .los_primary
+            .alloc(&mut self.mem, shape, type_id, Phase::Mutator)
+        {
+            return obj;
+        }
+        self.collect_full();
+        if let Some(obj) = self
+            .los_primary
+            .alloc(&mut self.mem, shape, type_id, Phase::Mutator)
+        {
+            return obj;
+        }
+        panic!("large object space exhausted even after a full collection; increase los_capacity_bytes");
     }
 
     /// Unregisters a root. The object it referenced becomes garbage unless it
@@ -370,10 +486,12 @@ impl KingsguardHeap {
     }
 
     /// The object-monitoring half of the barrier: lines 13–17 of Figure 4.
-    /// Only Kingsguard-writers monitors writes; `is_reference` distinguishes
+    /// Kingsguard-writers monitors writes to steer observer-space placement;
+    /// Kingsguard-advice keeps the same barrier as its misprediction signal
+    /// (the rescue of written PCM objects). `is_reference` distinguishes
     /// reference from primitive monitoring for the work model.
     fn monitoring_barrier(&mut self, src: ObjectRef, _is_reference: bool) {
-        if !matches!(self.config.collector, CollectorKind::KingsguardWriters) {
+        if !self.config.uses_write_monitoring() {
             return;
         }
         if self.nursery.in_region(src.address()) {
@@ -385,6 +503,18 @@ impl KingsguardHeap {
         // paper's Figure 11 reports application writes as seen by the
         // barrier, and Figure 10 folds metadata stores into the runtime /
         // collector components).
+        if matches!(self.config.collector, CollectorKind::KgAdvice) {
+            // KG-A already knows each site's placement; its barrier only
+            // needs *first-write detection* to trigger the rescue fallback,
+            // so it checks before storing. An unconditional store would
+            // re-dirty the write word of every advised-cold PCM object on
+            // every write — exactly the per-write PCM tax the profile was
+            // collected to avoid.
+            if !src.is_written(&mut self.mem, Phase::Runtime) {
+                src.set_written(&mut self.mem, Phase::Runtime);
+            }
+            return;
+        }
         src.set_written(&mut self.mem, Phase::Runtime);
     }
 
@@ -394,7 +524,26 @@ impl KingsguardHeap {
         } else {
             WriteTarget::Mature
         };
+        if target == WriteTarget::Mature && self.profiler.is_some() {
+            let site = self.stats.site_of(src.address());
+            if !site.is_unknown() {
+                if let Some(profiler) = self.profiler.as_mut() {
+                    profiler.record_post_nursery_write(site);
+                }
+            }
+        }
         self.stats.record_app_write(target, src.address());
+    }
+
+    /// Returns `true` if the advice table pretenures `site` into DRAM
+    /// (always `false` outside KG-A).
+    pub(crate) fn advice_pretenures_to_dram(&self, site: SiteId) -> bool {
+        matches!(self.config.collector, CollectorKind::KgAdvice)
+            && self
+                .config
+                .advice
+                .as_ref()
+                .is_some_and(|table| table.pretenure_to_dram(site))
     }
 
     // ------------------------------------------------------------------
@@ -475,14 +624,23 @@ impl KingsguardHeap {
 
     pub(crate) fn update_peaks(&mut self) {
         let stats = self.mem.stats();
-        self.stats.peak_pcm_mapped = self.stats.peak_pcm_mapped.max(stats.mapped_bytes(MemoryKind::Pcm));
-        self.stats.peak_dram_mapped = self.stats.peak_dram_mapped.max(stats.mapped_bytes(MemoryKind::Dram));
+        self.stats.peak_pcm_mapped = self
+            .stats
+            .peak_pcm_mapped
+            .max(stats.mapped_bytes(MemoryKind::Pcm));
+        self.stats.peak_dram_mapped = self
+            .stats
+            .peak_dram_mapped
+            .max(stats.mapped_bytes(MemoryKind::Dram));
         if let Some(mature_dram) = &self.mature_dram {
             let used = (mature_dram.used_bytes()
                 + self.los_dram.as_ref().map(|l| l.used_bytes()).unwrap_or(0)) as u64;
             self.stats.peak_mature_dram_used = self.stats.peak_mature_dram_used.max(used);
         }
-        self.stats.peak_metadata_used = self.stats.peak_metadata_used.max(self.metadata.used_bytes() as u64);
+        self.stats.peak_metadata_used = self
+            .stats
+            .peak_metadata_used
+            .max(self.metadata.used_bytes() as u64);
     }
 
     // ------------------------------------------------------------------
@@ -493,7 +651,12 @@ impl KingsguardHeap {
     pub fn finish(mut self) -> RunReport {
         self.update_peaks();
         self.mem.flush_caches();
-        RunReport { gc: self.stats, memory: self.mem.stats() }
+        let site_profile = self.profiler.take().map(SiteProfiler::finish);
+        RunReport {
+            gc: self.stats,
+            memory: self.mem.stats(),
+            site_profile,
+        }
     }
 }
 
@@ -573,7 +736,10 @@ mod tests {
         let young = heap.alloc(ObjectShape::new(1, 16), 1);
         heap.write_ref(young, 0, None);
         let obj = heap.resolve(young);
-        assert!(!obj.is_written(&mut heap.mem, Phase::Mutator), "nursery writes are not monitored");
+        assert!(
+            !obj.is_written(&mut heap.mem, Phase::Mutator),
+            "nursery writes are not monitored"
+        );
         // Promote to the observer space, then write again.
         heap.collect_young();
         let promoted = heap.resolve(young);
@@ -617,6 +783,73 @@ mod tests {
         let mut heap = heap(HeapConfig::kg_n());
         let handle = heap.alloc(ObjectShape::new(1, 0), 1);
         heap.write_ref(handle, 5, None);
+    }
+
+    #[test]
+    fn profiling_run_gathers_a_site_profile() {
+        let mut heap = heap(HeapConfig::kg_n());
+        heap.enable_profiling("unit");
+        assert!(heap.is_profiling());
+        // Site 1: survives and is written after promotion. Site 2: dies young.
+        let survivor = heap.alloc_site(ObjectShape::new(0, 64), 1, advice::SiteId(1));
+        for _ in 0..40 {
+            let doomed = heap.alloc_site(ObjectShape::new(0, 64), 2, advice::SiteId(2));
+            heap.release(doomed);
+        }
+        heap.collect_young();
+        for _ in 0..10 {
+            heap.write_prim(survivor, 0, 8);
+        }
+        let report = heap.finish();
+        let profile = report.site_profile.expect("profiling was enabled");
+        assert_eq!(profile.collector, "KG-N");
+        assert_eq!(profile.workload, "unit");
+        let site1 = profile.site(advice::SiteId(1)).expect("site 1 observed");
+        assert_eq!(site1.objects, 1);
+        assert_eq!(site1.survived_objects, 1);
+        assert_eq!(site1.post_nursery_writes, 10);
+        let site2 = profile.site(advice::SiteId(2)).expect("site 2 observed");
+        assert_eq!(site2.objects, 40);
+        assert_eq!(site2.survived_objects, 0);
+        assert_eq!(site2.post_nursery_writes, 0);
+    }
+
+    #[test]
+    fn unprofiled_runs_report_no_site_profile() {
+        let mut heap = heap(HeapConfig::kg_n());
+        assert!(!heap.is_profiling());
+        let h = heap.alloc(ObjectShape::new(0, 32), 1);
+        heap.release(h);
+        assert!(heap.finish().site_profile.is_none());
+    }
+
+    #[test]
+    fn site_tags_survive_collections() {
+        let mut heap = heap(HeapConfig::kg_w());
+        heap.enable_profiling("tags");
+        let tagged = heap.alloc_site(ObjectShape::new(0, 64), 1, advice::SiteId(17));
+        heap.collect_young();
+        heap.collect_observer();
+        heap.collect_full();
+        let obj = heap.resolve(tagged);
+        assert_eq!(heap.stats().site_of(obj.address()), advice::SiteId(17));
+    }
+
+    #[test]
+    fn site_tags_are_not_tracked_without_a_consumer() {
+        // Collectors that never read sites skip the side-table bookkeeping.
+        let mut heap = heap(HeapConfig::kg_w());
+        assert!(!heap.tracks_sites());
+        let tagged = heap.alloc_site(ObjectShape::new(0, 64), 1, advice::SiteId(17));
+        let obj = heap.resolve(tagged);
+        assert_eq!(heap.stats().site_of(obj.address()), advice::SiteId::UNKNOWN);
+        assert!(heap.stats().object_sites.is_empty());
+        // KG-A and profiling runs do track.
+        let kg_a = KingsguardHeap::new(
+            HeapConfig::kg_a(advice::AdviceTable::all_cold()),
+            MemoryConfig::architecture_independent(),
+        );
+        assert!(kg_a.tracks_sites());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use advice::SiteId;
 use hybrid_mem::timing::WorkCounts;
 use hybrid_mem::Address;
 
@@ -87,6 +88,14 @@ pub struct GcStats {
     pub dram_to_pcm_demotions: u64,
     /// Written large objects moved from the PCM to the DRAM large space.
     pub large_pcm_to_dram_moves: u64,
+    /// Nursery survivors pretenured into mature DRAM by site advice (KG-A).
+    pub advised_to_dram_objects: u64,
+    /// Bytes pretenured into mature DRAM by site advice (KG-A).
+    pub advised_to_dram_bytes: u64,
+    /// Nursery survivors placed in PCM by site advice or its default (KG-A).
+    pub advised_to_pcm_objects: u64,
+    /// Bytes placed in PCM by site advice or its default (KG-A).
+    pub advised_to_pcm_bytes: u64,
 
     /// Barrier-observed application reference writes.
     pub reference_writes: u64,
@@ -103,6 +112,13 @@ pub struct GcStats {
     /// object's *current* address (entries are re-keyed when the collector
     /// moves an object). Drives the Figure 2 "top N %" analysis.
     pub mature_object_writes: HashMap<u64, u64>,
+
+    /// Allocation site of each tagged live object, keyed by the object's
+    /// *current* address (re-keyed on every move, like
+    /// [`GcStats::mature_object_writes`]). Feeds the site profiler and the
+    /// KG-A placement decisions; objects allocated through the untagged
+    /// [`crate::KingsguardHeap::alloc`] entry point have no entry.
+    pub object_sites: HashMap<u64, u32>,
 
     /// Heap composition samples, one per collection (Figure 13).
     pub composition: Vec<CompositionSample>,
@@ -133,7 +149,10 @@ impl GcStats {
 
     /// Fraction of observer survivors (by bytes) retained in mature DRAM.
     pub fn observer_dram_fraction(&self) -> f64 {
-        ratio(self.observer_to_dram_bytes, self.observer_to_dram_bytes + self.observer_to_pcm_bytes)
+        ratio(
+            self.observer_to_dram_bytes,
+            self.observer_to_dram_bytes + self.observer_to_pcm_bytes,
+        )
     }
 
     /// Fraction of observer survivors (by objects) retained in mature DRAM.
@@ -164,11 +183,53 @@ impl GcStats {
         }
     }
 
-    /// Re-keys the per-object write count of a moved object.
+    /// Re-keys the per-object write count and site tag of a moved object.
     pub fn object_moved(&mut self, from: Address, to: Address) {
         if let Some(count) = self.mature_object_writes.remove(&from.raw()) {
             *self.mature_object_writes.entry(to.raw()).or_insert(0) += count;
         }
+        if !self.object_sites.is_empty() {
+            match self.object_sites.remove(&from.raw()) {
+                Some(site) => {
+                    self.object_sites.insert(to.raw(), site);
+                }
+                // The destination address may be recycled space previously
+                // occupied by a dead tagged object; an untagged arrival must
+                // clear that stale tag, not inherit it.
+                None => {
+                    self.object_sites.remove(&to.raw());
+                }
+            }
+        }
+    }
+
+    /// Tags the object at `addr` with its allocation site.
+    pub fn record_site(&mut self, addr: Address, site: SiteId) {
+        if !site.is_unknown() {
+            self.object_sites.insert(addr.raw(), site.raw());
+        } else {
+            // The address may be recycled from a released site-tagged object;
+            // drop the stale tag rather than misattribute the newcomer.
+            self.object_sites.remove(&addr.raw());
+        }
+    }
+
+    /// The allocation site of the object at `addr` ([`SiteId::UNKNOWN`] for
+    /// untagged objects).
+    pub fn site_of(&self, addr: Address) -> SiteId {
+        self.object_sites
+            .get(&addr.raw())
+            .copied()
+            .map(SiteId)
+            .unwrap_or(SiteId::UNKNOWN)
+    }
+
+    /// Fraction of advised placements (by objects) that chose mature DRAM.
+    pub fn advised_dram_object_fraction(&self) -> f64 {
+        ratio(
+            self.advised_to_dram_objects,
+            self.advised_to_dram_objects + self.advised_to_pcm_objects,
+        )
     }
 
     /// Fraction of writes to mature objects captured by the most-written
@@ -214,11 +275,13 @@ mod tests {
 
     #[test]
     fn survival_rates() {
-        let mut stats = GcStats::default();
-        stats.nursery_survived_bytes = 20;
-        stats.nursery_collected_bytes = 100;
-        stats.observer_survived_bytes = 30;
-        stats.observer_collected_bytes = 60;
+        let stats = GcStats {
+            nursery_survived_bytes: 20,
+            nursery_collected_bytes: 100,
+            observer_survived_bytes: 30,
+            observer_collected_bytes: 60,
+            ..Default::default()
+        };
         assert!((stats.nursery_survival() - 0.2).abs() < 1e-12);
         assert!((stats.observer_survival() - 0.5).abs() < 1e-12);
         assert_eq!(GcStats::default().nursery_survival(), 0.0);
@@ -248,7 +311,10 @@ mod tests {
             stats.record_app_write(WriteTarget::Mature, Address::new(0x1_0000 + i * 64));
         }
         let share = stats.top_mature_writer_share(0.01);
-        assert!(share > 0.45, "top 1% should capture the hot object's writes: {share}");
+        assert!(
+            share > 0.45,
+            "top 1% should capture the hot object's writes: {share}"
+        );
         assert!(stats.top_mature_writer_share(1.0) > 0.999);
     }
 
@@ -265,12 +331,47 @@ mod tests {
     }
 
     #[test]
-    fn dram_fraction_of_observer_survivors() {
+    fn site_tags_follow_moved_objects() {
         let mut stats = GcStats::default();
-        stats.observer_to_dram_bytes = 10;
-        stats.observer_to_pcm_bytes = 90;
-        stats.observer_to_dram_objects = 1;
-        stats.observer_to_pcm_objects = 9;
+        stats.record_site(Address::new(0x100), SiteId(7));
+        assert_eq!(stats.site_of(Address::new(0x100)), SiteId(7));
+        stats.object_moved(Address::new(0x100), Address::new(0x200));
+        assert_eq!(stats.site_of(Address::new(0x200)), SiteId(7));
+        assert_eq!(stats.site_of(Address::new(0x100)), SiteId::UNKNOWN);
+        // An untagged allocation at a recycled address clears the stale tag.
+        stats.record_site(Address::new(0x200), SiteId::UNKNOWN);
+        assert_eq!(stats.site_of(Address::new(0x200)), SiteId::UNKNOWN);
+    }
+
+    #[test]
+    fn untagged_object_copied_onto_a_dead_tagged_objects_address_clears_the_tag() {
+        let mut stats = GcStats::default();
+        // A tagged object lived (and died) at 0x500; its entry lingers.
+        stats.record_site(Address::new(0x500), SiteId(9));
+        // An untagged object is copied onto the recycled address: it must
+        // not inherit the dead object's site.
+        stats.object_moved(Address::new(0x900), Address::new(0x500));
+        assert_eq!(stats.site_of(Address::new(0x500)), SiteId::UNKNOWN);
+    }
+
+    #[test]
+    fn advised_fraction() {
+        let mut stats = GcStats::default();
+        assert_eq!(stats.advised_dram_object_fraction(), 0.0);
+        stats.advised_to_dram_objects = 1;
+        stats.advised_to_pcm_objects = 3;
+        assert!((stats.advised_dram_object_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dram_fraction_of_observer_survivors() {
+        let stats = GcStats {
+            observer_to_dram_bytes: 10,
+            observer_to_pcm_bytes: 90,
+            observer_to_dram_objects: 1,
+            observer_to_pcm_objects: 9,
+            ..Default::default()
+        };
         assert!((stats.observer_dram_fraction() - 0.1).abs() < 1e-12);
         assert!((stats.observer_dram_object_fraction() - 0.1).abs() < 1e-12);
     }
@@ -278,8 +379,16 @@ mod tests {
     #[test]
     fn composition_samples_accumulate() {
         let mut stats = GcStats::default();
-        stats.sample_composition(CompositionSample { allocated_bytes: 1, pcm_bytes: 2, dram_bytes: 3 });
-        stats.sample_composition(CompositionSample { allocated_bytes: 4, pcm_bytes: 5, dram_bytes: 6 });
+        stats.sample_composition(CompositionSample {
+            allocated_bytes: 1,
+            pcm_bytes: 2,
+            dram_bytes: 3,
+        });
+        stats.sample_composition(CompositionSample {
+            allocated_bytes: 4,
+            pcm_bytes: 5,
+            dram_bytes: 6,
+        });
         assert_eq!(stats.composition.len(), 2);
         assert_eq!(stats.composition[1].pcm_bytes, 5);
     }

@@ -39,7 +39,10 @@ pub struct MultiQueue {
 impl MultiQueue {
     /// Creates an empty ranking.
     pub fn new(config: MultiQueueConfig) -> Self {
-        MultiQueue { config, pages: HashMap::new() }
+        MultiQueue {
+            config,
+            pages: HashMap::new(),
+        }
     }
 
     /// Number of queues.

@@ -189,8 +189,16 @@ mod tests {
         hammer(&mut mem, base, 100); // page 0 becomes hot
         mem.write_u64(base.add(PAGE_SIZE), 1, Phase::Mutator); // page 1 cold
         wp.advance(&mut mem, 10);
-        assert_eq!(mem.kind_of(base), MemoryKind::Dram, "hot page must migrate to DRAM");
-        assert_eq!(mem.kind_of(base.add(PAGE_SIZE)), MemoryKind::Pcm, "cold page stays in PCM");
+        assert_eq!(
+            mem.kind_of(base),
+            MemoryKind::Dram,
+            "hot page must migrate to DRAM"
+        );
+        assert_eq!(
+            mem.kind_of(base.add(PAGE_SIZE)),
+            MemoryKind::Pcm,
+            "cold page stays in PCM"
+        );
         assert_eq!(wp.stats().promotions, 1);
         assert_eq!(wp.dram_resident_pages(), 1);
         assert_eq!(wp.dram_resident_bytes(), PAGE_SIZE as u64);
@@ -218,14 +226,23 @@ mod tests {
         wp.advance(&mut mem, 10);
         wp.advance(&mut mem, 600); // demote back to PCM
         let stats = mem.stats();
-        assert!(stats.migration_writes(MemoryKind::Dram) > 0, "promotion writes the page into DRAM");
-        assert!(stats.migration_writes(MemoryKind::Pcm) > 0, "demotion writes the page back into PCM");
+        assert!(
+            stats.migration_writes(MemoryKind::Dram) > 0,
+            "promotion writes the page into DRAM"
+        );
+        assert!(
+            stats.migration_writes(MemoryKind::Pcm) > 0,
+            "demotion writes the page back into PCM"
+        );
     }
 
     #[test]
     fn dram_capacity_is_respected() {
         let (mut mem, base) = memory_with_pcm_pages(8);
-        let config = WritePartitioningConfig { dram_capacity_pages: 2, ..Default::default() };
+        let config = WritePartitioningConfig {
+            dram_capacity_pages: 2,
+            ..Default::default()
+        };
         let mut wp = WritePartitioning::new(config);
         for p in 0..8 {
             hammer(&mut mem, base.add(p * PAGE_SIZE), 64);

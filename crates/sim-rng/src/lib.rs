@@ -1,0 +1,194 @@
+//! A small, dependency-free deterministic RNG with a `rand`-compatible
+//! surface.
+//!
+//! The synthetic workloads and the property tests need nothing more than a
+//! fast, seedable, reproducible stream of integers, floats and booleans. This
+//! crate provides exactly that — an xoshiro256** generator behind the subset
+//! of the `rand` API the workspace uses (`SmallRng`, `Rng::gen`,
+//! `Rng::gen_range`, `Rng::gen_bool`, `SeedableRng::seed_from_u64`) — so the
+//! workspace builds without any external dependency while runs stay
+//! bit-for-bit reproducible for a given seed.
+
+use std::ops::Range;
+
+/// Types that can be sampled uniformly from the generator's raw 64-bit
+/// output (the `rand` `Standard` distribution, for the types we use).
+pub trait Sample: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample(rng: &mut SmallRng) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut SmallRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for f64 {
+    fn sample(rng: &mut SmallRng) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types usable as `gen_range` bounds.
+pub trait RangeSample: Copy {
+    /// Draws a value uniformly from `[low, high)`.
+    fn sample_range(rng: &mut SmallRng, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_range_sample {
+    ($($ty:ty),*) => {$(
+        impl RangeSample for $ty {
+            fn sample_range(rng: &mut SmallRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range called with an empty range");
+                let span = (high as u64).wrapping_sub(low as u64);
+                // Multiply-shift bounded sampling; the bias is < 2^-64 per
+                // draw, far below anything the simulation could observe.
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                low + draw as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_sample!(u16, u32, u64, usize);
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Draws one value of an inferred type (`f64` or `u64`).
+    fn gen<T: Sample>(&mut self) -> T;
+
+    /// Draws a value uniformly from `range` (half-open).
+    fn gen_range<T: RangeSample>(&mut self, range: Range<T>) -> T;
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+/// The subset of `rand::SeedableRng` the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A small, fast xoshiro256** generator (the same algorithm family
+/// `rand::rngs::SmallRng` uses on 64-bit platforms).
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: [u64; 4],
+}
+
+impl SmallRng {
+    /// Advances the generator and returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the seed with splitmix64, the xoshiro authors' recommended
+        // seeding procedure (never yields the all-zero state).
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl Rng for SmallRng {
+    fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T: RangeSample>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let u = rng.gen_range(0usize..1);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut buckets = [0u32; 8];
+        for _ in 0..80_000 {
+            buckets[rng.gen_range(0usize..8)] += 1;
+        }
+        for &count in &buckets {
+            assert!((8_000..12_000).contains(&count), "skewed bucket: {count}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!(
+            (28_000..32_000).contains(&hits),
+            "gen_bool(0.3) hit {hits}/100000"
+        );
+        assert!(!(0..1000).any(|_| rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+}

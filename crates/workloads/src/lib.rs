@@ -23,6 +23,7 @@
 pub mod mutator;
 pub mod profile;
 pub mod profiles;
+pub mod sites;
 
 pub use mutator::{MutatorProgress, SyntheticMutator, WorkloadConfig};
 pub use profile::{BenchmarkProfile, Suite};

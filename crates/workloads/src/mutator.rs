@@ -4,17 +4,20 @@
 //! volume, object lifetimes, the nursery/mature split of writes, the
 //! concentration of mature writes in a few hot objects, large-object
 //! behaviour and inter-object pointer writes — matches the per-benchmark
-//! profile. Everything is deterministic given the seed.
+//! profile. Every allocation is tagged with a synthetic allocation site
+//! (see [`crate::sites`]) whose behaviour class is decided *before* the
+//! object is born, so per-site profiles collected from one run are
+//! predictive in the next. Everything is deterministic given the seed.
 
 use std::collections::VecDeque;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use sim_rng::{Rng, SeedableRng, SmallRng};
 
 use kingsguard::KingsguardHeap;
 use kingsguard_heap::{Handle, ObjectShape};
 
 use crate::profile::BenchmarkProfile;
+use crate::sites::{site_for, AllocClass};
 
 /// Configuration of a synthetic workload run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,7 +31,10 @@ pub struct WorkloadConfig {
 
 impl Default for WorkloadConfig {
     fn default() -> Self {
-        WorkloadConfig { scale: 256, seed: 0x5eed_1234 }
+        WorkloadConfig {
+            scale: 256,
+            seed: 0x5eed_1234,
+        }
     }
 }
 
@@ -90,7 +96,11 @@ impl SyntheticMutator {
     /// Runs the workload, invoking `hook` roughly every 1/200th of the
     /// allocation volume (used to drive the OS Write Partitioning baseline
     /// and to take additional measurements mid-run).
-    pub fn run_with(&self, heap: &mut KingsguardHeap, mut hook: impl FnMut(&mut KingsguardHeap, MutatorProgress)) {
+    pub fn run_with(
+        &self,
+        heap: &mut KingsguardHeap,
+        mut hook: impl FnMut(&mut KingsguardHeap, MutatorProgress),
+    ) {
         let mut rng = SmallRng::seed_from_u64(self.config.seed ^ hash_name(self.profile.name));
         let profile = &self.profile;
         let total = profile.scaled_allocation_bytes(self.config.scale).max(1 << 20);
@@ -117,8 +127,25 @@ impl SyntheticMutator {
         let mut next_hook = hook_interval;
 
         while allocated < total {
-            // ---- allocate one object -------------------------------------
+            // ---- behaviour class, then site, then allocation -------------
+            // The lifetime/hotness class is rolled *before* the allocation
+            // (a real allocation site fixes the behaviour of the objects
+            // born at it), and the site is drawn from the class's range.
             let want_large = (large_allocated as f64) < profile.large_alloc_fraction * allocated as f64;
+            let roll: f64 = rng.gen();
+            let short = roll < 1.0 - profile.nursery_survival;
+            let observed_class = !short && roll < 1.0 - profile.nursery_survival * profile.observer_survival;
+            let hot_target =
+                ((mature.len() + hot.len()) as f64 * BenchmarkProfile::HOT_OBJECT_FRACTION).ceil() as usize;
+            let goes_hot = !want_large && !short && !observed_class && hot.len() < hot_target.max(1);
+            let class = AllocClass {
+                large: want_large,
+                short,
+                observed: observed_class,
+                hot: goes_hot,
+            };
+            let site = site_for(&mut rng, class);
+
             let shape = if want_large {
                 ObjectShape::primitive(rng.gen_range(9 * 1024..40 * 1024))
             } else {
@@ -127,39 +154,42 @@ impl SyntheticMutator {
                 ObjectShape::new(ref_slots, payload)
             };
             let size = shape.size() as u64;
-            let type_id = if want_large { 200 } else { rng.gen_range(1..100) };
-            let handle = heap.alloc(shape, type_id);
+            let type_id = if want_large { 200 } else { rng.gen_range(1u16..100) };
+            let handle = heap.alloc_site(shape, type_id, site);
             allocated += size;
             if want_large {
                 large_allocated += size;
             }
 
-            // ---- lifetime class ------------------------------------------
-            let roll: f64 = rng.gen();
+            // ---- queue by lifetime class ---------------------------------
             let object = LiveObject {
                 handle,
                 expires_at: 0,
                 ref_slots: shape.ref_slots,
                 payload_bytes: shape.payload_bytes,
             };
-            if roll < 1.0 - profile.nursery_survival {
+            if short {
                 // Dies well before its first nursery collection: short-lived
                 // objects in Java die within a small fraction of a nursery.
                 let lifetime = rng.gen_range(0..(nursery_bytes / 16).max(1));
-                young.push_back(LiveObject { expires_at: allocated + lifetime, ..object });
-            } else if roll < 1.0 - profile.nursery_survival * profile.observer_survival {
+                young.push_back(LiveObject {
+                    expires_at: allocated + lifetime,
+                    ..object
+                });
+            } else if observed_class {
                 // Survives the nursery but dies while (or shortly after)
                 // being observed.
                 let lifetime = nursery_bytes + rng.gen_range(0..(observer_bytes * 2).max(1));
-                observed.push_back(LiveObject { expires_at: allocated + lifetime, ..object });
+                observed.push_back(LiveObject {
+                    expires_at: allocated + lifetime,
+                    ..object
+                });
             } else {
                 // Long-lived.
                 mature_live_bytes += size;
-                let hot_target = ((mature.len() + hot.len()) as f64 * BenchmarkProfile::HOT_OBJECT_FRACTION)
-                    .ceil() as usize;
                 if want_large {
                     large_mature.push(object);
-                } else if hot.len() < hot_target.max(1) {
+                } else if goes_hot {
                     hot.push(object);
                 } else {
                     mature.push_back(object);
@@ -175,14 +205,22 @@ impl SyntheticMutator {
             // the profile's nursery survival rate.
             if shape.ref_slots > 0 && rng.gen_bool(0.2) {
                 if let Some(donor) = young.back() {
-                    heap.write_ref(handle, rng.gen_range(0..shape.ref_slots) as usize, Some(donor.handle));
+                    heap.write_ref(
+                        handle,
+                        rng.gen_range(0..shape.ref_slots) as usize,
+                        Some(donor.handle),
+                    );
                 }
             }
             if !mature.is_empty() && rng.gen_bool(0.1) {
                 let idx = rng.gen_range(0..mature.len());
                 let parent = mature[idx];
                 if parent.ref_slots > 0 {
-                    heap.write_ref(parent.handle, rng.gen_range(0..parent.ref_slots) as usize, Some(handle));
+                    heap.write_ref(
+                        parent.handle,
+                        rng.gen_range(0..parent.ref_slots) as usize,
+                        Some(handle),
+                    );
                 }
             }
 
@@ -298,7 +336,9 @@ impl SyntheticMutator {
 }
 
 fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |hash, byte| (hash ^ byte as u64).wrapping_mul(0x100_0000_01b3))
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |hash, byte| {
+        (hash ^ byte as u64).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
 #[cfg(test)]
@@ -309,13 +349,17 @@ mod tests {
     use kingsguard::HeapConfig;
 
     fn quick_config() -> WorkloadConfig {
-        WorkloadConfig { scale: 2048, seed: 42 }
+        WorkloadConfig {
+            scale: 2048,
+            seed: 42,
+        }
     }
 
     fn run(profile_name: &str, heap_config: HeapConfig) -> kingsguard::RunReport {
         let profile = benchmark(profile_name).unwrap();
         let scale = quick_config().scale;
-        let heap_config = heap_config.with_heap_budget(profile.scaled_heap_bytes(scale).max(2 << 20) as usize);
+        let heap_config =
+            heap_config.with_heap_budget(profile.scaled_heap_bytes(scale).max(2 << 20) as usize);
         let mut heap = KingsguardHeap::new(heap_config, MemoryConfig::architecture_independent());
         let mutator = SyntheticMutator::new(profile, quick_config());
         mutator.run(&mut heap);
@@ -335,8 +379,18 @@ mod tests {
             reports.push(heap.finish());
         }
         assert_eq!(
-            (reports[0].gc.objects_allocated, reports[0].gc.bytes_allocated, reports[0].gc.nursery.collections, reports[0].gc.primitive_writes),
-            (reports[1].gc.objects_allocated, reports[1].gc.bytes_allocated, reports[1].gc.nursery.collections, reports[1].gc.primitive_writes)
+            (
+                reports[0].gc.objects_allocated,
+                reports[0].gc.bytes_allocated,
+                reports[0].gc.nursery.collections,
+                reports[0].gc.primitive_writes
+            ),
+            (
+                reports[1].gc.objects_allocated,
+                reports[1].gc.bytes_allocated,
+                reports[1].gc.nursery.collections,
+                reports[1].gc.primitive_writes
+            )
         );
         assert_eq!(reports[0].gc.reference_writes, reports[1].gc.reference_writes);
         assert_eq!(
@@ -395,7 +449,10 @@ mod tests {
     fn hot_objects_concentrate_mature_writes() {
         let report = run("lusearch", HeapConfig::kg_n());
         let share = report.gc.top_mature_writer_share(0.10);
-        assert!(share > 0.5, "top 10% of mature objects should capture most mature writes, got {share:.2}");
+        assert!(
+            share > 0.5,
+            "top 10% of mature objects should capture most mature writes, got {share:.2}"
+        );
     }
 
     #[test]
@@ -405,10 +462,60 @@ mod tests {
     }
 
     #[test]
+    fn profiling_a_workload_classifies_the_site_map_correctly() {
+        use crate::sites;
+        use advice::{classify, ClassifyParams, SiteClass, SiteId};
+
+        let profile = benchmark("lusearch").unwrap();
+        let scale = 512;
+        let heap_config =
+            HeapConfig::kg_n().with_heap_budget(profile.scaled_heap_bytes(scale).max(2 << 20) as usize);
+        let mut heap = KingsguardHeap::new(heap_config, MemoryConfig::architecture_independent());
+        heap.enable_profiling(profile.name);
+        SyntheticMutator::new(profile, WorkloadConfig { scale, seed: 21 }).run(&mut heap);
+        let site_profile = heap.finish().site_profile.expect("profiling enabled");
+
+        let params = ClassifyParams::for_profile(&site_profile);
+        let class_of = |id: u32| site_profile.site(SiteId(id)).map(|r| classify(r, &params));
+        // Every hot site observed must classify hot; cold sites must never
+        // classify hot — this is what makes the profile worth replaying.
+        let mut hot_seen = 0;
+        for id in sites::MATURE_HOT_SITES {
+            if let Some(class) = class_of(id) {
+                assert_eq!(class, SiteClass::WriteHot, "hot site {id} misclassified");
+                hot_seen += 1;
+            }
+        }
+        assert!(hot_seen > 0, "the workload must exercise hot sites");
+        for id in sites::MATURE_COLD_SITES
+            .chain(sites::SHORT_SITES)
+            .chain(sites::OBSERVED_SITES)
+        {
+            if let Some(class) = class_of(id) {
+                assert_ne!(
+                    class,
+                    SiteClass::WriteHot,
+                    "cold/ephemeral site {id} misclassified as hot"
+                );
+            }
+        }
+        // Short-lived sites barely survive the nursery.
+        for id in sites::SHORT_SITES {
+            if let Some(record) = site_profile.site(SiteId(id)) {
+                assert!(
+                    record.survival() < 0.3,
+                    "short site {id} survival {:.2}",
+                    record.survival()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn progress_hook_fires_and_reports_monotonic_progress() {
         let profile = benchmark("antlr").unwrap();
-        let heap_config = HeapConfig::kg_w()
-            .with_heap_budget(profile.scaled_heap_bytes(2048).max(2 << 20) as usize);
+        let heap_config =
+            HeapConfig::kg_w().with_heap_budget(profile.scaled_heap_bytes(2048).max(2 << 20) as usize);
         let mut heap = KingsguardHeap::new(heap_config, MemoryConfig::architecture_independent());
         let mutator = SyntheticMutator::new(profile, quick_config());
         let mut calls = 0;

@@ -112,7 +112,9 @@ pub fn simulated_benchmarks() -> Vec<BenchmarkProfile> {
 /// Looks a profile up by its paper name (case-insensitive).
 pub fn benchmark(name: &str) -> Option<BenchmarkProfile> {
     let lower = name.to_ascii_lowercase();
-    all_benchmarks().into_iter().find(|p| p.name.eq_ignore_ascii_case(&lower))
+    all_benchmarks()
+        .into_iter()
+        .find(|p| p.name.eq_ignore_ascii_case(&lower))
 }
 
 #[cfg(test)]
@@ -147,7 +149,10 @@ mod tests {
     fn nursery_write_fraction_averages_roughly_seventy_percent() {
         let all = all_benchmarks();
         let avg: f64 = all.iter().map(|p| p.nursery_write_fraction).sum::<f64>() / all.len() as f64;
-        assert!((0.60..0.75).contains(&avg), "Figure 2 reports ~70% nursery writes on average, got {avg}");
+        assert!(
+            (0.60..0.75).contains(&avg),
+            "Figure 2 reports ~70% nursery writes on average, got {avg}"
+        );
         // The range matches the paper's 26% .. 99%.
         assert!(all.iter().any(|p| p.nursery_write_fraction <= 0.30));
         assert!(all.iter().any(|p| p.nursery_write_fraction >= 0.95));
@@ -157,11 +162,20 @@ mod tests {
     fn survival_rates_match_table4_extremes() {
         let all = all_benchmarks();
         let jython = all.iter().find(|p| p.name == "jython").unwrap();
-        assert!(jython.nursery_survival < 0.01, "jython has a ~0.001% nursery survival");
+        assert!(
+            jython.nursery_survival < 0.01,
+            "jython has a ~0.001% nursery survival"
+        );
         let hsqldb = all.iter().find(|p| p.name == "hsqldb").unwrap();
-        assert!(hsqldb.nursery_survival > 0.5, "hsqldb has the highest nursery survival (~60-66%)");
+        assert!(
+            hsqldb.nursery_survival > 0.5,
+            "hsqldb has the highest nursery survival (~60-66%)"
+        );
         let avg: f64 = all.iter().map(|p| p.nursery_survival).sum::<f64>() / all.len() as f64;
-        assert!((0.10..0.25).contains(&avg), "average nursery survival is ~17%, got {avg}");
+        assert!(
+            (0.10..0.25).contains(&avg),
+            "average nursery survival is ~17%, got {avg}"
+        );
     }
 
     #[test]
@@ -187,7 +201,11 @@ mod tests {
 
     #[test]
     fn low_allocation_benchmarks_are_flagged() {
-        let low: Vec<_> = all_benchmarks().into_iter().filter(|p| p.low_allocation()).map(|p| p.name).collect();
+        let low: Vec<_> = all_benchmarks()
+            .into_iter()
+            .filter(|p| p.low_allocation())
+            .map(|p| p.name)
+            .collect();
         assert_eq!(low, vec!["avrora", "luindex", "fop"]);
     }
 }

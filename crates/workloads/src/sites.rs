@@ -1,0 +1,204 @@
+//! The synthetic allocation-site map.
+//!
+//! Real allocation sites are strongly predictive of object behaviour: the
+//! objects born at one `new` statement tend to share lifetime and write
+//! behaviour, which is what makes offline, profile-guided placement work.
+//! The synthetic mutator models this by drawing every allocation from a
+//! small set of *sites*, each dedicated to one behaviour class, plus two
+//! deliberately heterogeneous "mixed" sites that produce both hot and cold
+//! long-lived objects — the case profile homogeneity classification exists
+//! to catch.
+//!
+//! The ids are stable across runs of the same workload, so a profile
+//! collected in one run can be replayed as advice in another.
+
+use advice::SiteId;
+use sim_rng::{Rng, SmallRng};
+
+/// Sites whose objects die well before their first nursery collection.
+pub const SHORT_SITES: std::ops::Range<u32> = 1..13;
+/// Sites whose objects survive the nursery but die soon after promotion
+/// (while KG-W would still be observing them).
+pub const OBSERVED_SITES: std::ops::Range<u32> = 13..21;
+/// Sites producing long-lived objects that are rarely written after
+/// promotion (write-cold).
+pub const MATURE_COLD_SITES: std::ops::Range<u32> = 21..29;
+/// Sites producing the long-lived, frequently written objects that capture
+/// the paper's "top 2 %" of mature writes (write-hot).
+pub const MATURE_HOT_SITES: std::ops::Range<u32> = 29..31;
+/// Heterogeneous sites: long-lived objects that are hot or cold with equal
+/// probability, defeating site-level prediction.
+pub const MIXED_SITES: std::ops::Range<u32> = 31..33;
+/// Sites allocating large (> 8 KB) objects that die young.
+pub const LARGE_EPHEMERAL_SITES: std::ops::Range<u32> = 33..35;
+/// Sites allocating long-lived large objects (the targets of
+/// `large_write_fraction`).
+pub const LARGE_MATURE_SITES: std::ops::Range<u32> = 35..37;
+
+/// Fraction of long-lived small allocations drawn from a mixed site instead
+/// of their homogeneous hot/cold site.
+pub const MIXED_SITE_FRACTION: f64 = 0.05;
+
+fn pick(rng: &mut SmallRng, range: std::ops::Range<u32>) -> SiteId {
+    SiteId(rng.gen_range(range.start..range.end))
+}
+
+/// Behaviour class of one allocation, decided before the object is born
+/// (sites must be chosen at allocation time, like a real `new` statement).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocClass {
+    /// Allocated into a large object space.
+    pub large: bool,
+    /// Dies before its first nursery collection.
+    pub short: bool,
+    /// Survives the nursery but dies shortly after promotion.
+    pub observed: bool,
+    /// Long-lived and frequently written (member of the hot set).
+    pub hot: bool,
+}
+
+/// Draws the allocation site for `class`, occasionally substituting a mixed
+/// site for long-lived small objects.
+pub fn site_for(rng: &mut SmallRng, class: AllocClass) -> SiteId {
+    if class.large {
+        if class.short || class.observed {
+            pick(rng, LARGE_EPHEMERAL_SITES)
+        } else {
+            pick(rng, LARGE_MATURE_SITES)
+        }
+    } else if class.short {
+        pick(rng, SHORT_SITES)
+    } else if class.observed {
+        pick(rng, OBSERVED_SITES)
+    } else if rng.gen_bool(MIXED_SITE_FRACTION) {
+        pick(rng, MIXED_SITES)
+    } else if class.hot {
+        pick(rng, MATURE_HOT_SITES)
+    } else {
+        pick(rng, MATURE_COLD_SITES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_rng::SeedableRng;
+
+    #[test]
+    fn site_ranges_are_disjoint_and_skip_unknown() {
+        let ranges = [
+            SHORT_SITES,
+            OBSERVED_SITES,
+            MATURE_COLD_SITES,
+            MATURE_HOT_SITES,
+            MIXED_SITES,
+            LARGE_EPHEMERAL_SITES,
+            LARGE_MATURE_SITES,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for range in &ranges {
+            assert!(
+                range.start > SiteId::UNKNOWN.raw(),
+                "site 0 is reserved for unknown"
+            );
+            for id in range.clone() {
+                assert!(seen.insert(id), "site id {id} appears in two ranges");
+            }
+        }
+    }
+
+    #[test]
+    fn classes_map_to_their_ranges() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let short = site_for(
+                &mut rng,
+                AllocClass {
+                    large: false,
+                    short: true,
+                    observed: false,
+                    hot: false,
+                },
+            );
+            assert!(SHORT_SITES.contains(&short.raw()));
+            let observed = site_for(
+                &mut rng,
+                AllocClass {
+                    large: false,
+                    short: false,
+                    observed: true,
+                    hot: false,
+                },
+            );
+            assert!(OBSERVED_SITES.contains(&observed.raw()));
+            let large_old = site_for(
+                &mut rng,
+                AllocClass {
+                    large: true,
+                    short: false,
+                    observed: false,
+                    hot: false,
+                },
+            );
+            assert!(LARGE_MATURE_SITES.contains(&large_old.raw()));
+            let large_young = site_for(
+                &mut rng,
+                AllocClass {
+                    large: true,
+                    short: true,
+                    observed: false,
+                    hot: false,
+                },
+            );
+            assert!(LARGE_EPHEMERAL_SITES.contains(&large_young.raw()));
+            let hot = site_for(
+                &mut rng,
+                AllocClass {
+                    large: false,
+                    short: false,
+                    observed: false,
+                    hot: true,
+                },
+            );
+            assert!(MATURE_HOT_SITES.contains(&hot.raw()) || MIXED_SITES.contains(&hot.raw()));
+            let cold = site_for(
+                &mut rng,
+                AllocClass {
+                    large: false,
+                    short: false,
+                    observed: false,
+                    hot: false,
+                },
+            );
+            assert!(MATURE_COLD_SITES.contains(&cold.raw()) || MIXED_SITES.contains(&cold.raw()));
+        }
+    }
+
+    #[test]
+    fn mixed_sites_receive_both_hot_and_cold_objects() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut mixed_hot = 0;
+        let mut mixed_cold = 0;
+        for i in 0..4000 {
+            let hot = i % 2 == 0;
+            let site = site_for(
+                &mut rng,
+                AllocClass {
+                    large: false,
+                    short: false,
+                    observed: false,
+                    hot,
+                },
+            );
+            if MIXED_SITES.contains(&site.raw()) {
+                if hot {
+                    mixed_hot += 1;
+                } else {
+                    mixed_cold += 1;
+                }
+            }
+        }
+        assert!(mixed_hot > 0, "mixed sites must see hot objects");
+        assert!(mixed_cold > 0, "mixed sites must see cold objects");
+    }
+}

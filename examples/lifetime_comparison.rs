@@ -13,11 +13,21 @@ fn main() {
     let profile = benchmark(&name).unwrap_or_else(|| panic!("unknown benchmark: {name}"));
     let config = ExperimentConfig::simulation();
 
-    println!("benchmark: {} ({} MB allocation, {} MB heap)", profile.name, profile.allocation_mb, profile.heap_mb);
-    println!("{:<10} {:>14} {:>18} {:>12}", "collector", "PCM writes", "32-core GB/s", "years @30M");
+    println!(
+        "benchmark: {} ({} MB allocation, {} MB heap)",
+        profile.name, profile.allocation_mb, profile.heap_mb
+    );
+    println!(
+        "{:<10} {:>14} {:>18} {:>12}",
+        "collector", "PCM writes", "32-core GB/s", "years @30M"
+    );
 
     let mut baseline_years = None;
-    for heap_config in [HeapConfig::gen_immix_pcm(), HeapConfig::kg_n(), HeapConfig::kg_w()] {
+    for heap_config in [
+        HeapConfig::gen_immix_pcm(),
+        HeapConfig::kg_n(),
+        HeapConfig::kg_w(),
+    ] {
         let result = run_benchmark(&profile, heap_config, &config);
         let years = result.pcm_lifetime_years(Endurance::Mid30M.writes_per_cell());
         let improvement = match baseline_years {

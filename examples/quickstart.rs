@@ -23,11 +23,18 @@ fn main() {
     }
 
     let report = heap.finish();
-    println!("allocated          : {:>10} objects, {} MB", report.gc.objects_allocated, report.gc.bytes_allocated >> 20);
+    println!(
+        "allocated          : {:>10} objects, {} MB",
+        report.gc.objects_allocated,
+        report.gc.bytes_allocated >> 20
+    );
     println!("nursery collections: {:>10}", report.gc.nursery.collections);
     println!("observer collections: {:>9}", report.gc.observer.collections);
     println!("major collections  : {:>10}", report.gc.major.collections);
-    println!("nursery survival   : {:>9.1}%", report.gc.nursery_survival() * 100.0);
+    println!(
+        "nursery survival   : {:>9.1}%",
+        report.gc.nursery_survival() * 100.0
+    );
     println!(
         "DRAM writes        : {:>10} lines   PCM writes: {} lines",
         report.memory.writes(MemoryKind::Dram),
@@ -35,7 +42,6 @@ fn main() {
     );
     println!(
         "write-rationing    : {:>9.1}% of device writes were kept out of PCM",
-        100.0 * report.memory.writes(MemoryKind::Dram) as f64
-            / (report.memory.total_writes().max(1)) as f64
+        100.0 * report.memory.writes(MemoryKind::Dram) as f64 / (report.memory.total_writes().max(1)) as f64
     );
 }

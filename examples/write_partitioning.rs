@@ -20,8 +20,18 @@ fn main() {
     let base = pcm_only.pcm_writes().max(1) as f64;
 
     println!("benchmark: {}", profile.name);
-    println!("{:<10} {:>12} {:>12} {:>14} {:>12}", "system", "PCM writes", "vs PCM-only", "migrations", "DRAM MB");
-    println!("{:<10} {:>12} {:>12} {:>14} {:>12}", "PCM-only", pcm_only.pcm_writes(), "1.00", "-", "-");
+    println!(
+        "{:<10} {:>12} {:>12} {:>14} {:>12}",
+        "system", "PCM writes", "vs PCM-only", "migrations", "DRAM MB"
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>14} {:>12}",
+        "PCM-only",
+        pcm_only.pcm_writes(),
+        "1.00",
+        "-",
+        "-"
+    );
     for result in [&kg_n, &kg_w] {
         println!(
             "{:<10} {:>12} {:>12.2} {:>14} {:>12.1}",

@@ -3,16 +3,20 @@
 //! This crate re-exports the workspace's public surface so that examples and
 //! downstream users can depend on a single crate:
 //!
-//! * [`kingsguard`] — the write-rationing collectors (GenImmix, KG-N, KG-W),
+//! * [`kingsguard`] — the write-rationing collectors (GenImmix, KG-N, KG-W
+//!   and the profile-guided KG-A),
+//! * [`advice`] — profile-guided placement: site profiles, the on-disk
+//!   profile format and advice tables,
 //! * [`kingsguard_heap`] — the heap substrate (object model, spaces),
 //! * [`hybrid_mem`] — the hybrid DRAM/PCM memory simulator,
 //! * [`oswp`] — the OS Write Partitioning baseline,
 //! * [`workloads`] — synthetic models of the paper's Java benchmarks,
-//! * [`experiments`] — the harness that regenerates every table and figure.
+//! * [`experiments`] — the harness that regenerates every table and figure
+//!   and runs the two-phase profile→advise pipeline.
 //!
-//! See `README.md` for a tour and `EXPERIMENTS.md` for the paper-vs-measured
-//! comparison.
+//! See `README.md` for a tour.
 
+pub use advice;
 pub use experiments;
 pub use hybrid_mem;
 pub use kingsguard;

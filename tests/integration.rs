@@ -1,6 +1,8 @@
 //! Cross-crate integration tests: drive full benchmark workloads through the
 //! collectors and check the paper's qualitative claims end to end.
 
+use advice::{load_profile, parse_profile, profile_to_string, AdviceTable, ClassifyParams};
+use experiments::advise::{profile_then_advise_one, profile_workload};
 use experiments::runner::{run_benchmark, run_benchmark_with_wp, ExperimentConfig};
 use hybrid_mem::{MemoryConfig, MemoryKind, Phase};
 use kingsguard::{HeapConfig, KingsguardHeap};
@@ -54,7 +56,10 @@ fn kg_w_keeps_most_of_the_heap_in_pcm() {
     let pcm = kg_w.gc.peak_pcm_mapped as f64;
     let dram_mature = kg_w.gc.peak_mature_dram_used as f64;
     assert!(pcm > 0.0);
-    assert!(dram_mature < pcm, "mature DRAM ({dram_mature}) must stay below PCM footprint ({pcm})");
+    assert!(
+        dram_mature < pcm,
+        "mature DRAM ({dram_mature}) must stay below PCM footprint ({pcm})"
+    );
 }
 
 #[test]
@@ -73,8 +78,14 @@ fn write_partitioning_reduces_pcm_writes_but_less_than_kg_w() {
     let pcm_only = run_benchmark(&profile, HeapConfig::gen_immix_pcm(), &config);
     let kg_w = run_benchmark(&profile, HeapConfig::kg_w(), &config);
     let wp = run_benchmark_with_wp(&profile, &config);
-    assert!(wp.pcm_writes() < pcm_only.pcm_writes(), "WP must reduce PCM writes");
-    assert!(kg_w.pcm_writes() < wp.pcm_writes(), "KG-W must beat OS write partitioning");
+    assert!(
+        wp.pcm_writes() < pcm_only.pcm_writes(),
+        "WP must reduce PCM writes"
+    );
+    assert!(
+        kg_w.pcm_writes() < wp.pcm_writes(),
+        "KG-W must beat OS write partitioning"
+    );
 }
 
 #[test]
@@ -95,10 +106,19 @@ fn observer_survivors_split_between_dram_and_pcm() {
     let profile = benchmark("pjbb").unwrap();
     // Needs a long enough run for the observer space to fill and be collected.
     let kg_w = run_benchmark(&profile, HeapConfig::kg_w(), &quick().with_scale(512));
-    assert!(kg_w.gc.observer_to_pcm_objects > 0, "most observer survivors go to PCM");
-    assert!(kg_w.gc.observer_to_dram_objects > 0, "written observer survivors go to DRAM");
+    assert!(
+        kg_w.gc.observer_to_pcm_objects > 0,
+        "most observer survivors go to PCM"
+    );
+    assert!(
+        kg_w.gc.observer_to_dram_objects > 0,
+        "written observer survivors go to DRAM"
+    );
     let dram_fraction = kg_w.gc.observer_dram_object_fraction();
-    assert!(dram_fraction < 0.6, "only a minority of survivors should be retained in DRAM, got {dram_fraction}");
+    assert!(
+        dram_fraction < 0.6,
+        "only a minority of survivors should be retained in DRAM, got {dram_fraction}"
+    );
 }
 
 #[test]
@@ -108,7 +128,10 @@ fn heap_composition_series_shows_pcm_dominating_dram() {
     assert!(!kg_w.gc.composition.is_empty());
     let peak_pcm = kg_w.gc.composition.iter().map(|s| s.pcm_bytes).max().unwrap();
     let peak_dram = kg_w.gc.composition.iter().map(|s| s.dram_bytes).max().unwrap();
-    assert!(peak_pcm > peak_dram, "KG-W exploits PCM capacity: {peak_pcm} vs {peak_dram}");
+    assert!(
+        peak_pcm > peak_dram,
+        "KG-W exploits PCM capacity: {peak_pcm} vs {peak_dram}"
+    );
 }
 
 #[test]
@@ -117,7 +140,14 @@ fn workload_runs_are_reproducible_across_processes_for_a_fixed_seed() {
     let run = || {
         let heap_config = HeapConfig::kg_w().with_heap_budget(4 << 20);
         let mut heap = KingsguardHeap::new(heap_config, MemoryConfig::architecture_independent());
-        SyntheticMutator::new(profile.clone(), WorkloadConfig { scale: 2048, seed: 99 }).run(&mut heap);
+        SyntheticMutator::new(
+            profile.clone(),
+            WorkloadConfig {
+                scale: 2048,
+                seed: 99,
+            },
+        )
+        .run(&mut heap);
         heap.finish()
     };
     let a = run();
@@ -125,7 +155,71 @@ fn workload_runs_are_reproducible_across_processes_for_a_fixed_seed() {
     assert_eq!(a.gc.objects_allocated, b.gc.objects_allocated);
     assert_eq!(a.gc.bytes_allocated, b.gc.bytes_allocated);
     assert_eq!(a.memory.writes(MemoryKind::Pcm), b.memory.writes(MemoryKind::Pcm));
-    assert_eq!(a.memory.writes(MemoryKind::Dram), b.memory.writes(MemoryKind::Dram));
+    assert_eq!(
+        a.memory.writes(MemoryKind::Dram),
+        b.memory.writes(MemoryKind::Dram)
+    );
+}
+
+#[test]
+fn profile_then_advise_pipeline_runs_end_to_end() {
+    // The full two-phase pipeline: profile under KG-N, persist the profile,
+    // reload it from disk, and replay it through KG-A — checking the paper's
+    // qualitative ordering PCM-only > KG-N >= KG-A along the way.
+    let dir = std::env::temp_dir().join(format!("kingsguard-integration-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let profile = benchmark("lusearch").unwrap();
+    let config = quick();
+    let row = profile_then_advise_one(&profile, &config, &dir);
+
+    // The on-disk profile round-trips exactly.
+    let text = std::fs::read_to_string(&row.profile_path).unwrap();
+    let reloaded = parse_profile(&text).unwrap();
+    assert_eq!(profile_to_string(&reloaded), text);
+    assert_eq!(reloaded.workload, "lusearch");
+
+    let pcm_only = run_benchmark(&profile, HeapConfig::gen_immix_pcm(), &config);
+    let kg_n = run_benchmark(&profile, HeapConfig::kg_n(), &config);
+    let kg_a = &row.results[3];
+    assert_eq!(kg_a.collector, "KG-A");
+    assert!(
+        kg_a.pcm_writes() < pcm_only.pcm_writes(),
+        "KG-A must reduce PCM writes vs PCM-only"
+    );
+    assert!(
+        kg_a.pcm_write_rate_32core() <= kg_n.pcm_write_rate_32core(),
+        "KG-A write rate {} must not exceed KG-N {}",
+        kg_a.pcm_write_rate_32core(),
+        kg_n.pcm_write_rate_32core()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kg_a_advice_transfers_across_seeds() {
+    // A profile collected under one seed must still help a run with a
+    // different seed — the whole point of offline profiling.
+    let dir = std::env::temp_dir().join(format!("kingsguard-xfer-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let profile = benchmark("pmd").unwrap();
+    let profiling_config = ExperimentConfig::quick();
+    let (_, path) = profile_workload(&profile, &profiling_config, &dir);
+    let site_profile = load_profile(&path).unwrap();
+    let table = AdviceTable::from_profile(&site_profile, &ClassifyParams::for_profile(&site_profile));
+
+    let production_config = ExperimentConfig {
+        seed: 0xD1FF_5EED,
+        ..ExperimentConfig::quick()
+    };
+    let kg_n = run_benchmark(&profile, HeapConfig::kg_n(), &production_config);
+    let kg_a = run_benchmark(&profile, HeapConfig::kg_a(table), &production_config);
+    assert!(
+        kg_a.pcm_write_rate_32core() <= kg_n.pcm_write_rate_32core(),
+        "stale-seed advice must still ration writes: KG-A {} vs KG-N {}",
+        kg_a.pcm_write_rate_32core(),
+        kg_n.pcm_write_rate_32core()
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
