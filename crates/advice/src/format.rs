@@ -4,14 +4,21 @@
 //! diffable, greppable and stable across toolchains:
 //!
 //! ```text
-//! kingsguard-site-profile 1
+//! kingsguard-site-profile 2
 //! workload lusearch
 //! collector KG-N
+//! site-map-hash 00c3e1f29b04d877
 //! sites 3
 //! site 1 objects 120 bytes 7680 survived-objects 30 survived-bytes 1920 post-writes 400 large 0
 //! site 2 objects 8 bytes 131072 survived-objects 8 survived-bytes 131072 post-writes 0 large 8
 //! site 7 objects 50 bytes 3200 survived-objects 0 survived-bytes 0 post-writes 0 large 0
 //! ```
+//!
+//! The optional `site-map-hash` line records a hash of the workload's site
+//! map at profiling time; version-1 files (without it) still parse. When a
+//! later run's site map hashes differently the profile has *drifted* across
+//! program versions — [`site_map_drift`] reports it so consumers can log
+//! and fall back per-site instead of rejecting the profile outright.
 //!
 //! The parser refuses unknown versions, truncated files and malformed
 //! records; [`profile_to_string`] and [`parse_profile`] round-trip exactly.
@@ -26,9 +33,14 @@ use crate::profiler::{SiteProfile, SiteRecord};
 /// First token of the header line.
 pub const FORMAT_MAGIC: &str = "kingsguard-site-profile";
 
-/// Current format version. Bump when the record layout changes; the parser
-/// rejects any other version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version (adds the optional `site-map-hash` header line).
+/// Bump when the record layout changes; the parser accepts every version
+/// from [`FORMAT_MIN_VERSION`] up to this one and rejects the rest.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version this build still reads (version 1 lacks the
+/// `site-map-hash` line).
+pub const FORMAT_MIN_VERSION: u32 = 1;
 
 /// Everything that can go wrong reading a profile.
 #[derive(Debug)]
@@ -53,7 +65,8 @@ impl fmt::Display for ProfileError {
             ProfileError::UnsupportedVersion(version) => {
                 write!(
                     f,
-                    "unsupported profile version {version} (this build reads version {FORMAT_VERSION})"
+                    "unsupported profile version {version} (this build reads versions \
+                     {FORMAT_MIN_VERSION}..={FORMAT_VERSION})"
                 )
             }
             ProfileError::BadRecord { line, reason } => {
@@ -80,6 +93,9 @@ pub fn profile_to_string(profile: &SiteProfile) -> String {
     out.push_str(&format!("{FORMAT_MAGIC} {FORMAT_VERSION}\n"));
     out.push_str(&format!("workload {}\n", sanitize(&profile.workload)));
     out.push_str(&format!("collector {}\n", sanitize(&profile.collector)));
+    if let Some(hash) = profile.site_map_hash {
+        out.push_str(&format!("site-map-hash {hash:016x}\n"));
+    }
     out.push_str(&format!("sites {}\n", profile.sites.len()));
     for (id, record) in &profile.sites {
         out.push_str(&format!(
@@ -110,19 +126,45 @@ pub fn parse_profile(text: &str) -> Result<SiteProfile, ProfileError> {
         .next()
         .and_then(|v| v.parse().ok())
         .ok_or_else(|| ProfileError::BadHeader(header.to_string()))?;
-    if version != FORMAT_VERSION {
+    if !(FORMAT_MIN_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(ProfileError::UnsupportedVersion(version));
     }
 
     let workload = parse_field(&mut lines, "workload")?;
     let collector = parse_field(&mut lines, "collector")?;
-    let declared: usize = parse_field(&mut lines, "sites")?
-        .parse()
-        .map_err(|_| ProfileError::BadHeader("sites count is not a number".to_string()))?;
+    // The site-map-hash line is optional (absent in version-1 files and in
+    // profiles from harnesses that do not know their site map).
+    let (_, line) = lines
+        .next()
+        .ok_or_else(|| ProfileError::BadHeader("missing sites line".to_string()))?;
+    let (site_map_hash, sites_line) = match line.strip_prefix("site-map-hash ") {
+        Some(value) => {
+            let hash = u64::from_str_radix(value.trim(), 16).map_err(|_| {
+                ProfileError::BadHeader(format!("site-map-hash value {value:?} is not hexadecimal"))
+            })?;
+            let (_, next) = lines
+                .next()
+                .ok_or_else(|| ProfileError::BadHeader("missing sites line".to_string()))?;
+            (Some(hash), next)
+        }
+        None => (None, line),
+    };
+    let declared: usize = match sites_line.split_once(' ') {
+        Some(("sites", value)) => value
+            .trim()
+            .parse()
+            .map_err(|_| ProfileError::BadHeader("sites count is not a number".to_string()))?,
+        _ => {
+            return Err(ProfileError::BadHeader(format!(
+                "expected \"sites ...\", found {sites_line:?}"
+            )))
+        }
+    };
 
     let mut profile = SiteProfile {
         workload,
         collector,
+        site_map_hash,
         sites: Default::default(),
     };
     for (index, line) in lines {
@@ -148,6 +190,42 @@ pub fn parse_profile(text: &str) -> Result<SiteProfile, ProfileError> {
         });
     }
     Ok(profile)
+}
+
+/// Outcome of comparing a loaded profile's site-map hash against the site
+/// map of the run about to consume it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SiteMapDrift {
+    /// The profile was collected under the same site map.
+    Match,
+    /// The profile predates site-map hashing; nothing can be checked.
+    Unhashed,
+    /// The site map changed since the profile was collected. The advice is
+    /// still applied per-site — sites that kept their ids keep their
+    /// advice, everything else uses the table's default placement — but
+    /// consumers should log the drift.
+    Drifted {
+        /// The hash stored in the profile.
+        stored: u64,
+        /// The consuming run's site-map hash.
+        current: u64,
+    },
+}
+
+impl SiteMapDrift {
+    /// Returns `true` when the profile's site map no longer matches.
+    pub fn is_drifted(self) -> bool {
+        matches!(self, SiteMapDrift::Drifted { .. })
+    }
+}
+
+/// Compares `profile`'s recorded site-map hash against `current`.
+pub fn site_map_drift(profile: &SiteProfile, current: u64) -> SiteMapDrift {
+    match profile.site_map_hash {
+        None => SiteMapDrift::Unhashed,
+        Some(stored) if stored == current => SiteMapDrift::Match,
+        Some(stored) => SiteMapDrift::Drifted { stored, current },
+    }
 }
 
 /// Writes a profile to `path`, creating parent directories as needed.
@@ -294,6 +372,59 @@ mod tests {
     }
 
     #[test]
+    fn site_map_hash_round_trips() {
+        let mut profile = sample_profile();
+        profile.site_map_hash = Some(0x00c3_e1f2_9b04_d877);
+        let text = profile_to_string(&profile);
+        assert!(text.contains("site-map-hash 00c3e1f29b04d877"));
+        let parsed = parse_profile(&text).unwrap();
+        assert_eq!(parsed, profile);
+        assert_eq!(parsed.site_map_hash, Some(0x00c3_e1f2_9b04_d877));
+        // And through disk.
+        let dir = std::env::temp_dir().join(format!("kingsguard-advice-hash-{}", std::process::id()));
+        let path = dir.join("hashed.kgprof");
+        save_profile(&profile, &path).unwrap();
+        assert_eq!(load_profile(&path).unwrap(), profile);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_1_files_without_a_hash_still_parse() {
+        let text = "kingsguard-site-profile 1\nworkload old\ncollector KG-N\nsites 1\n\
+                    site 1 objects 1 bytes 64 survived-objects 0 survived-bytes 0 post-writes 0 large 0\n";
+        let parsed = parse_profile(text).unwrap();
+        assert_eq!(parsed.site_map_hash, None);
+        assert_eq!(parsed.sites.len(), 1);
+        assert_eq!(site_map_drift(&parsed, 42), SiteMapDrift::Unhashed);
+    }
+
+    #[test]
+    fn drift_is_reported_but_not_fatal() {
+        let mut profile = sample_profile();
+        profile.site_map_hash = Some(7);
+        assert_eq!(site_map_drift(&profile, 7), SiteMapDrift::Match);
+        let drift = site_map_drift(&profile, 8);
+        assert_eq!(
+            drift,
+            SiteMapDrift::Drifted {
+                stored: 7,
+                current: 8
+            }
+        );
+        assert!(drift.is_drifted());
+        assert!(!SiteMapDrift::Match.is_drifted());
+        // The drifted profile still parses and its sites remain usable.
+        let reparsed = parse_profile(&profile_to_string(&profile)).unwrap();
+        assert_eq!(reparsed.sites.len(), profile.sites.len());
+    }
+
+    #[test]
+    fn malformed_site_map_hash_is_rejected() {
+        let text = "kingsguard-site-profile 2\nworkload x\ncollector y\nsite-map-hash zz\nsites 0\n";
+        assert!(matches!(parse_profile(text), Err(ProfileError::BadHeader(_))));
+    }
+
+    #[test]
     fn unknown_version_is_rejected() {
         let text = "kingsguard-site-profile 99\nworkload x\ncollector y\nsites 0\n";
         match parse_profile(text) {
@@ -346,8 +477,8 @@ mod tests {
 
     #[test]
     fn error_messages_are_descriptive() {
-        let err = parse_profile("kingsguard-site-profile 2\n").unwrap_err();
-        assert!(err.to_string().contains("version 2"));
+        let err = parse_profile("kingsguard-site-profile 99\n").unwrap_err();
+        assert!(err.to_string().contains("version 99"));
         let err = parse_profile("bogus\n").unwrap_err();
         assert!(err.to_string().contains("header"));
     }

@@ -34,7 +34,8 @@ pub mod table;
 
 pub use classify::{classify, ClassifyParams, SiteClass};
 pub use format::{
-    load_profile, parse_profile, profile_to_string, save_profile, ProfileError, FORMAT_MAGIC, FORMAT_VERSION,
+    load_profile, parse_profile, profile_to_string, save_profile, site_map_drift, ProfileError, SiteMapDrift,
+    FORMAT_MAGIC, FORMAT_MIN_VERSION, FORMAT_VERSION,
 };
 pub use profiler::{SiteProfile, SiteProfiler, SiteRecord};
 pub use site::SiteId;

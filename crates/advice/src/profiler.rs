@@ -80,6 +80,14 @@ pub struct SiteProfile {
     pub workload: String,
     /// Label of the collector that drove the profiling run (e.g. "KG-N").
     pub collector: String,
+    /// Hash of the workload's site map at profiling time, set by the
+    /// profiling harness. A later run whose site map hashes differently has
+    /// *drifted* (sites renumbered or re-ranged across program versions);
+    /// consumers should log the drift and apply the advice per-site instead
+    /// of rejecting the profile outright. `None` for profiles written
+    /// before hashing existed (or by harnesses that do not know their site
+    /// map).
+    pub site_map_hash: Option<u64>,
     /// Per-site records keyed by raw site id.
     pub sites: BTreeMap<u32, SiteRecord>,
 }
@@ -157,11 +165,14 @@ impl SiteProfiler {
         self.sites.len()
     }
 
-    /// Finalises the profiler into an immutable profile.
+    /// Finalises the profiler into an immutable profile. The harness that
+    /// knows the workload's site map stamps
+    /// [`SiteProfile::site_map_hash`] before persisting.
     pub fn finish(self) -> SiteProfile {
         SiteProfile {
             workload: self.workload,
             collector: self.collector,
+            site_map_hash: None,
             sites: self.sites,
         }
     }

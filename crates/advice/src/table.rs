@@ -122,6 +122,18 @@ impl AdviceTable {
         self.mixed_sites
     }
 
+    /// The default placement for sites without explicit advice.
+    pub fn default_placement(&self) -> Placement {
+        self.default
+    }
+
+    /// Iterates over the explicit `(site, placement)` entries (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (SiteId, Placement)> + '_ {
+        self.placements
+            .iter()
+            .map(|(&id, &placement)| (SiteId(id), placement))
+    }
+
     /// Total sites with explicit advice.
     pub fn len(&self) -> usize {
         self.placements.len()

@@ -1,7 +1,7 @@
 //! Ablation benchmarks for the design choices called out in `DESIGN.md`:
 //! nursery size, observer-space size, the KG-W optimizations, cache-size
-//! sensitivity of PCM-write filtering, and advice-quality sensitivity of the
-//! profile-guided KG-A collector.
+//! sensitivity of PCM-write filtering, advice-quality sensitivity of the
+//! profile-guided KG-A collector, and online adaptation of KG-D.
 
 use advice::AdviceTable;
 use bench_support::runner::bench;
@@ -72,5 +72,17 @@ fn main() {
             "profile-derived advice must not lose to the all-cold fallback"
         );
         std::fs::remove_dir_all(&dir).ok();
+    });
+
+    bench("ablations/online_adaptation", 10, || {
+        // The adaptive KG-D (no profile) versus the static all-cold KG-A
+        // fallback: online learning must not lose to never learning.
+        let adaptive = run_benchmark(&profile, HeapConfig::kg_d(), &config);
+        let static_cold = run_benchmark(&profile, HeapConfig::kg_a(AdviceTable::all_cold()), &config);
+        assert!(
+            adaptive.pcm_app_writes() <= static_cold.pcm_app_writes(),
+            "online adaptation must not lose to the static all-cold table"
+        );
+        assert!(adaptive.gc.advised_to_dram_objects > 0, "KG-D must adapt");
     });
 }

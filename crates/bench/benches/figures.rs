@@ -7,7 +7,7 @@
 
 use bench_support::runner::bench;
 use experiments::runner::ExperimentConfig;
-use experiments::{advise, composition, energy_time, lifetime, tables, writes};
+use experiments::{adaptive, advise, composition, energy_time, lifetime, tables, writes};
 
 fn quick_sim() -> ExperimentConfig {
     ExperimentConfig {
@@ -76,6 +76,13 @@ fn main() {
         let results = advise::profile_then_advise(&quick_hw(), &["lusearch", "pmd"], &dir);
         assert_eq!(results.rows.len(), 2);
         assert!(results.kg_a_wins() >= 1);
+        std::fs::remove_dir_all(&dir).ok();
+    });
+    bench("figures/adaptive_comparison", 10, || {
+        let dir = std::env::temp_dir().join(format!("kingsguard-bench-adaptive-{}", std::process::id()));
+        let results = adaptive::adaptive_comparison(&quick_hw(), &["lusearch", "pmd"], &dir, 2);
+        assert_eq!(results.rows.len(), 2);
+        assert_eq!(results.kg_d_wins(), 2, "KG-D must stay at or below KG-N");
         std::fs::remove_dir_all(&dir).ok();
     });
 }

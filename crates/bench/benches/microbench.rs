@@ -1,5 +1,6 @@
 //! Microbenchmarks of the runtime mechanisms: allocation, write barriers and
-//! the collection types, across all four Kingsguard collectors.
+//! the collection types, across the Kingsguard collectors (including the
+//! online-adaptive KG-D).
 
 use advice::AdviceTable;
 use bench_support::runner::{bench, bench_batched};
@@ -16,6 +17,7 @@ fn bench_allocation() {
         ("allocation/kg_n", HeapConfig::kg_n()),
         ("allocation/kg_w", HeapConfig::kg_w()),
         ("allocation/kg_a", HeapConfig::kg_a(AdviceTable::all_cold())),
+        ("allocation/kg_d", HeapConfig::kg_d()),
     ] {
         bench_batched(
             label,
@@ -26,6 +28,7 @@ fn bench_allocation() {
                     let handle = heap.alloc(ObjectShape::new(1, 40), 1);
                     heap.release(handle);
                 }
+                heap // returned so teardown stays outside the measurement
             },
         );
     }
@@ -43,6 +46,7 @@ fn bench_write_barrier() {
             "write_barrier/kg_a_first_write_detection",
             HeapConfig::kg_a(AdviceTable::all_cold()),
         ),
+        ("write_barrier/kg_d_adaptive", HeapConfig::kg_d()),
     ] {
         let mut heap = fresh_heap(config);
         let mature = heap.alloc(ObjectShape::new(2, 64), 1);
@@ -73,7 +77,10 @@ fn bench_collections() {
             }
             heap
         },
-        |mut heap| heap.collect_nursery(),
+        |mut heap| {
+            heap.collect_nursery();
+            heap // returned so teardown stays outside the measurement
+        },
     );
     bench_batched(
         "collection/major_gc_kg_w",
@@ -88,7 +95,10 @@ fn bench_collections() {
             }
             heap
         },
-        |mut heap| heap.collect_full(),
+        |mut heap| {
+            heap.collect_full();
+            heap // returned so teardown stays outside the measurement
+        },
     );
 }
 

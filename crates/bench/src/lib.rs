@@ -15,21 +15,25 @@ pub mod runner {
     use std::time::{Duration, Instant};
 
     /// Times `setup() -> input` then `routine(input)` pairs, reporting only
-    /// the routine (the equivalent of Criterion's `iter_batched`).
-    pub fn bench_batched<T>(
+    /// the routine (the equivalent of Criterion's `iter_batched`). The
+    /// routine's return value — typically the consumed input, handed back so
+    /// heavyweight state outlives the measurement — is dropped *after* the
+    /// sample is taken, so teardown never pollutes the timing.
+    pub fn bench_batched<T, R>(
         name: &str,
         samples: u32,
         mut setup: impl FnMut() -> T,
-        mut routine: impl FnMut(T),
+        mut routine: impl FnMut(T) -> R,
     ) {
         // Warm-up.
-        routine(setup());
+        drop(routine(setup()));
         let mut times: Vec<Duration> = Vec::with_capacity(samples as usize);
         for _ in 0..samples {
             let input = setup();
             let start = Instant::now();
-            routine(input);
+            let output = routine(input);
             times.push(start.elapsed());
+            drop(output);
         }
         report(name, &mut times);
     }

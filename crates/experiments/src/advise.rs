@@ -12,20 +12,22 @@
 
 use std::path::{Path, PathBuf};
 
-use advice::{load_profile, save_profile, AdviceTable, ClassifyParams, SiteProfile};
+use advice::{
+    load_profile, save_profile, site_map_drift, AdviceTable, ClassifyParams, SiteMapDrift, SiteProfile,
+};
 use hybrid_mem::lifetime::Endurance;
 use kingsguard::HeapConfig;
-use workloads::{benchmark, simulated_benchmarks, BenchmarkProfile};
+use workloads::{benchmark, simulated_benchmarks, site_map_hash, BenchmarkProfile};
 
-use crate::report::{ratio, TextTable};
-use crate::runner::{run_benchmark, run_benchmark_profiled, ExperimentConfig, ExperimentResult};
+use crate::report::{self, ratio, TextTable};
+use crate::runner::{run_benchmark, run_benchmark_profiled, run_jobs, ExperimentConfig, ExperimentResult};
 
 /// The collector labels of the comparison, in column order.
 pub const ADVISE_CONFIGS: [&str; 4] = ["PCM-only", "KG-N", "KG-W", "KG-A"];
 
 /// Endurance level used for the lifetime column (the paper's headline
 /// 30 M writes-per-cell point).
-pub const LIFETIME_ENDURANCE: Endurance = Endurance::Mid30M;
+pub const LIFETIME_ENDURANCE: Endurance = report::LIFETIME_ENDURANCE;
 
 /// One benchmark's end-to-end comparison.
 #[derive(Clone, Debug)]
@@ -44,30 +46,22 @@ pub struct AdviseRow {
 
 impl AdviseRow {
     fn result(&self, collector: &str) -> &ExperimentResult {
-        self.results
-            .iter()
-            .find(|r| r.collector == collector)
-            .unwrap_or_else(|| panic!("missing {collector} result for {}", self.benchmark))
+        report::result_for(&self.results, &self.benchmark, collector)
     }
 
     /// Estimated 32-core PCM write rate of `collector` in GB/s.
     pub fn write_rate_gbps(&self, collector: &str) -> f64 {
-        self.result(collector).pcm_write_rate_32core() / 1e9
+        report::write_rate_gbps(self.result(collector))
     }
 
     /// PCM lifetime of `collector` in years at [`LIFETIME_ENDURANCE`].
     pub fn lifetime_years(&self, collector: &str) -> f64 {
-        self.result(collector)
-            .pcm_lifetime_years(LIFETIME_ENDURANCE.writes_per_cell())
+        report::lifetime_years(self.result(collector))
     }
 
     /// Energy-delay product of `collector` relative to KG-N.
     pub fn edp_vs_kg_n(&self, collector: &str) -> f64 {
-        let base = self.result("KG-N").edp;
-        if base == 0.0 {
-            return 0.0;
-        }
-        self.result(collector).edp / base
+        report::edp_relative(&self.results, &self.benchmark, collector, "KG-N")
     }
 
     /// Returns `true` if KG-A's PCM write rate is no worse than KG-N's.
@@ -144,7 +138,13 @@ pub fn profile_workload(
     config: &ExperimentConfig,
     dir: &Path,
 ) -> (ExperimentResult, PathBuf) {
-    let result = run_benchmark_profiled(profile, HeapConfig::kg_n(), config);
+    let mut result = run_benchmark_profiled(profile, HeapConfig::kg_n(), config);
+    // Stamp the workload's site-map hash so a later program version whose
+    // site map drifted can detect the mismatch (and still apply the advice
+    // per-site instead of rejecting the file).
+    if let Some(site_profile) = result.site_profile.as_mut() {
+        site_profile.site_map_hash = Some(site_map_hash());
+    }
     let site_profile = result
         .site_profile
         .as_ref()
@@ -158,11 +158,31 @@ pub fn profile_workload(
 /// Phase 2: reloads the persisted profile and derives the KG-A advice table
 /// from it with profile-adaptive classification thresholds.
 pub fn advice_from_disk(path: &Path) -> (SiteProfile, AdviceTable) {
+    let (site_profile, table, _) = advice_from_disk_checked(path, site_map_hash());
+    (site_profile, table)
+}
+
+/// Like [`advice_from_disk`], but checks the profile's recorded site-map
+/// hash against `current_hash`. A drifted profile is *not* rejected: the
+/// drift is logged and the advice is applied per-site — sites whose ids
+/// survived the drift keep their advice, everything else falls back to the
+/// table's default (PCM) placement, where the rescue fallback corrects
+/// mispredictions.
+pub fn advice_from_disk_checked(path: &Path, current_hash: u64) -> (SiteProfile, AdviceTable, SiteMapDrift) {
     let site_profile = load_profile(path)
         .unwrap_or_else(|err| panic!("cannot reload site profile {}: {err}", path.display()));
+    let drift = site_map_drift(&site_profile, current_hash);
+    if let SiteMapDrift::Drifted { stored, current } = drift {
+        eprintln!(
+            "warning: site profile {} was collected under site map {stored:016x}, but this run's \
+             site map hashes to {current:016x}; applying its advice per-site (unmatched sites use \
+             the default PCM placement and rely on the rescue fallback)",
+            path.display()
+        );
+    }
     let params = ClassifyParams::for_profile(&site_profile);
     let table = AdviceTable::from_profile(&site_profile, &params);
-    (site_profile, table)
+    (site_profile, table, drift)
 }
 
 /// Runs the full pipeline for one benchmark: profile, persist, reload,
@@ -173,7 +193,7 @@ pub fn profile_then_advise_one(
     dir: &Path,
 ) -> AdviseRow {
     let (kg_n, path) = profile_workload(profile, config, dir);
-    let (site_profile, table) = advice_from_disk(&path);
+    let (site_profile, table, _) = advice_from_disk_checked(&path, site_map_hash());
     let kg_a = run_benchmark(profile, HeapConfig::kg_a(table.clone()), config);
     let pcm_only = run_benchmark(profile, HeapConfig::gen_immix_pcm(), config);
     let kg_w = run_benchmark(profile, HeapConfig::kg_w(), config);
@@ -189,11 +209,106 @@ pub fn profile_then_advise_one(
 /// Runs the pipeline over `benchmarks` (names resolved against the paper's
 /// profiles), writing profile files into `dir`.
 pub fn profile_then_advise(config: &ExperimentConfig, benchmarks: &[&str], dir: &Path) -> AdviseResults {
-    let rows = benchmarks
+    profile_then_advise_jobs(config, benchmarks, dir, 1)
+}
+
+/// One benchmark's output from [`run_profiled_waves`]: the profiling run
+/// (reusable as the KG-N row), the persisted profile and its derived advice,
+/// and the wave-2 results in the order the caller's `configs_for` listed
+/// their configurations.
+pub(crate) struct ProfiledWave {
+    pub(crate) profile: BenchmarkProfile,
+    pub(crate) kg_n: ExperimentResult,
+    pub(crate) path: PathBuf,
+    pub(crate) site_profile: SiteProfile,
+    pub(crate) table: AdviceTable,
+    pub(crate) results: Vec<ExperimentResult>,
+}
+
+/// Shared two-wave orchestration of the advise and adaptive experiments,
+/// with the (benchmark, collector) pairs fanned out over up to `jobs`
+/// worker threads. Wave 1 profiles every benchmark under KG-N (each
+/// benchmark's advice must exist before its advised runs) and derives the
+/// advice table from disk; wave 2 runs every `configs_for(table)`
+/// configuration per benchmark. Each run owns its heap and memory system,
+/// so the results — and their order — are identical for any job count;
+/// only the wall-clock changes.
+pub(crate) fn run_profiled_waves(
+    config: &ExperimentConfig,
+    benchmarks: &[&str],
+    dir: &Path,
+    jobs: usize,
+    configs_for: impl Fn(&AdviceTable) -> Vec<HeapConfig>,
+) -> Vec<ProfiledWave> {
+    let profiles: Vec<BenchmarkProfile> = benchmarks
         .iter()
-        .map(|name| {
-            let profile = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
-            profile_then_advise_one(&profile, config, dir)
+        .map(|name| benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}")))
+        .collect();
+    // Wave 1: the profiling runs (reused as the KG-N rows).
+    let profiled = run_jobs(&profiles, jobs, |profile| profile_workload(profile, config, dir));
+    let advice: Vec<(SiteProfile, AdviceTable)> = profiled
+        .iter()
+        .map(|(_, path)| {
+            let (site_profile, table, _) = advice_from_disk_checked(path, site_map_hash());
+            (site_profile, table)
+        })
+        .collect();
+    // Wave 2: every remaining (benchmark, collector) pair.
+    let wave2: Vec<Vec<HeapConfig>> = advice.iter().map(|(_, table)| configs_for(table)).collect();
+    let counts: Vec<usize> = wave2.iter().map(Vec::len).collect();
+    let pairs: Vec<(usize, &HeapConfig)> = wave2
+        .iter()
+        .enumerate()
+        .flat_map(|(index, configs)| configs.iter().map(move |c| (index, c)))
+        .collect();
+    let mut ran: Vec<ExperimentResult> = run_jobs(&pairs, jobs, |(index, heap_config)| {
+        run_benchmark(&profiles[*index], (*heap_config).clone(), config)
+    });
+    profiles
+        .into_iter()
+        .zip(profiled)
+        .zip(advice)
+        .zip(counts)
+        .map(
+            |(((profile, (kg_n, path)), (site_profile, table)), count)| ProfiledWave {
+                profile,
+                kg_n,
+                path,
+                site_profile,
+                table,
+                results: ran.drain(..count).collect(),
+            },
+        )
+        .collect()
+}
+
+/// [`profile_then_advise`] with the (benchmark, collector) pairs fanned out
+/// over up to `jobs` worker threads (see [`run_profiled_waves`]).
+pub fn profile_then_advise_jobs(
+    config: &ExperimentConfig,
+    benchmarks: &[&str],
+    dir: &Path,
+    jobs: usize,
+) -> AdviseResults {
+    let waves = run_profiled_waves(config, benchmarks, dir, jobs, |table| {
+        vec![
+            HeapConfig::gen_immix_pcm(),
+            HeapConfig::kg_w(),
+            HeapConfig::kg_a(table.clone()),
+        ]
+    });
+    let rows = waves
+        .into_iter()
+        .map(|wave| {
+            let [pcm_only, kg_w, kg_a]: [ExperimentResult; 3] =
+                wave.results.try_into().expect("three wave-2 runs per benchmark");
+            AdviseRow {
+                benchmark: wave.profile.name.to_string(),
+                profile_path: wave.path,
+                sites: wave.site_profile.sites.len(),
+                hot_sites: wave.table.hot_sites(),
+                results: vec![pcm_only, wave.kg_n, kg_w, kg_a],
+            }
         })
         .collect();
     AdviseResults { rows }
@@ -242,6 +357,51 @@ mod tests {
             row.write_rate_gbps("KG-A"),
             row.write_rate_gbps("KG-N")
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn threaded_pipeline_matches_the_sequential_pipeline() {
+        let dir = temp_dir("jobs");
+        let config = ExperimentConfig::quick();
+        let sequential = profile_then_advise(&config, &["lu.fix", "pmd"], &dir);
+        let threaded = profile_then_advise_jobs(&config, &["lu.fix", "pmd"], &dir, 2);
+        assert_eq!(sequential.rows.len(), threaded.rows.len());
+        for (a, b) in sequential.rows.iter().zip(&threaded.rows) {
+            assert_eq!(a.benchmark, b.benchmark);
+            assert_eq!(a.sites, b.sites);
+            assert_eq!(a.hot_sites, b.hot_sites);
+            for (ra, rb) in a.results.iter().zip(&b.results) {
+                assert_eq!(ra.collector, rb.collector);
+                assert_eq!(
+                    ra.pcm_writes(),
+                    rb.pcm_writes(),
+                    "{}: {}",
+                    a.benchmark,
+                    ra.collector
+                );
+                assert_eq!(ra.dram_writes(), rb.dram_writes());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persisted_profiles_carry_the_site_map_hash_and_survive_drift() {
+        use advice::SiteMapDrift;
+        let dir = temp_dir("drift");
+        let config = ExperimentConfig::quick();
+        let profile = benchmark("pmd").unwrap();
+        let (_, path) = profile_workload(&profile, &config, &dir);
+        let current = workloads::site_map_hash();
+        let (site_profile, _, drift) = advice_from_disk_checked(&path, current);
+        assert_eq!(site_profile.site_map_hash, Some(current));
+        assert_eq!(drift, SiteMapDrift::Match);
+        // A run whose site map hashes differently sees the drift but still
+        // gets a usable per-site table.
+        let (_, table, drift) = advice_from_disk_checked(&path, current ^ 1);
+        assert!(drift.is_drifted());
+        assert!(!table.is_empty(), "drifted advice still applies per-site");
         std::fs::remove_dir_all(&dir).ok();
     }
 

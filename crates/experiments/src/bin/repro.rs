@@ -3,15 +3,18 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment> [--scale N] [--quick] [--profile-dir DIR]
+//! repro <experiment> [--scale N] [--quick] [--jobs N] [--profile-dir DIR]
 //!
 //! experiments: fig1 fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!              table1 table2 table3 table4 headline advise all
+//!              table1 table2 table3 table4 headline advise adaptive all
 //! ```
 //!
 //! `--scale N` divides the paper's allocation volumes and heap sizes by `N`
 //! (default 256). `--quick` uses the small smoke-test configuration.
-//! Build with `--release`; full-scale runs of `all` take a few minutes.
+//! `--jobs N` fans the embarrassingly parallel (benchmark, collector) pairs
+//! of the advise/adaptive experiments over `N` worker threads (results and
+//! output ordering are identical to a sequential run). Build with
+//! `--release`; full-scale runs of `all` take a few minutes.
 //!
 //! The `advise` experiment (also reachable as `--profile-then-advise`) runs
 //! the two-phase pipeline: a KG-N profiling run per benchmark persists a
@@ -19,16 +22,21 @@
 //! `target/site-profiles`), the profile is reloaded from disk, and the
 //! profile-guided KG-A collector replays it, compared against GenImmix
 //! (PCM-only), KG-N and KG-W.
+//!
+//! The `adaptive` experiment (also reachable as `--adaptive`) compares the
+//! online-adaptive KG-D collector — per-site advice learned *during* the
+//! run, with no prior profiling run and no observer space — against
+//! PCM-only, KG-N, KG-W and KG-A.
 
 use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use experiments::runner::ExperimentConfig;
-use experiments::{advise, composition, energy_time, lifetime, tables, writes};
+use experiments::{adaptive, advise, composition, energy_time, lifetime, tables, writes};
 
 fn usage() -> &'static str {
-    "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table1|table2|table3|table4|headline|advise|all> [--scale N] [--quick] [--profile-dir DIR]\n       repro --profile-then-advise [--scale N] [--quick] [--profile-dir DIR]"
+    "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table1|table2|table3|table4|headline|advise|adaptive|all> [--scale N] [--quick] [--jobs N] [--profile-dir DIR]\n       repro --profile-then-advise [--scale N] [--quick] [--jobs N] [--profile-dir DIR]\n       repro --adaptive [--scale N] [--quick] [--jobs N] [--profile-dir DIR]"
 }
 
 fn main() -> ExitCode {
@@ -41,10 +49,25 @@ fn main() -> ExitCode {
     let mut sim = ExperimentConfig::simulation();
     let mut hw = ExperimentConfig::architecture_independent();
     let mut profile_dir = PathBuf::from("target/site-profiles");
+    let mut jobs = 1usize;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--profile-then-advise" if experiment.is_empty() => experiment = "advise".to_string(),
+            "--adaptive" if experiment.is_empty() => experiment = "adaptive".to_string(),
+            "--jobs" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--jobs requires a value");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => jobs = n,
+                    _ => {
+                        eprintln!("invalid --jobs value: {value}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--profile-dir" => {
                 let Some(value) = iter.next() else {
                     eprintln!("--profile-dir requires a value");
@@ -106,7 +129,11 @@ fn main() -> ExitCode {
             "table4" => Some(tables::table4(&hw, true).report()),
             "advise" => {
                 let benchmarks = advise::default_benchmarks();
-                Some(advise::profile_then_advise(&hw, &benchmarks, &profile_dir).report())
+                Some(advise::profile_then_advise_jobs(&hw, &benchmarks, &profile_dir, jobs).report())
+            }
+            "adaptive" => {
+                let benchmarks = adaptive::default_benchmarks();
+                Some(adaptive::adaptive_comparison(&hw, &benchmarks, &profile_dir, jobs).report())
             }
             "headline" => {
                 let life = lifetime::run(&sim);
@@ -140,7 +167,7 @@ fn main() -> ExitCode {
     let experiments: Vec<&str> = if experiment == "all" {
         vec![
             "table1", "table2", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "fig13", "table3", "table4", "advise", "headline",
+            "fig12", "fig13", "table3", "table4", "advise", "adaptive", "headline",
         ]
     } else {
         vec![experiment.as_str()]

@@ -24,9 +24,14 @@
 //! | Table 4 (object demographics) | [`tables::table4`] |
 //!
 //! Beyond the paper, [`advise`] implements the two-phase profile→advise
-//! pipeline: a profiling run records per-site write profiles to disk and a
-//! second run replays them through the profile-guided KG-A collector.
+//! pipeline — a profiling run records per-site write profiles to disk and a
+//! second run replays them through the profile-guided KG-A collector — and
+//! [`adaptive`] compares the online-adaptive KG-D collector (no profiling
+//! run, no observer space) against the paper's collectors. Both fan their
+//! embarrassingly parallel (benchmark, collector) pairs over worker threads
+//! via [`runner::run_jobs`] (`repro --jobs N`).
 
+pub mod adaptive;
 pub mod advise;
 pub mod composition;
 pub mod energy_time;
@@ -36,5 +41,6 @@ pub mod runner;
 pub mod tables;
 pub mod writes;
 
-pub use advise::{profile_then_advise, AdviseResults};
-pub use runner::{ExperimentConfig, ExperimentResult, MeasurementMode};
+pub use adaptive::{adaptive_comparison, AdaptiveResults};
+pub use advise::{profile_then_advise, profile_then_advise_jobs, AdviseResults};
+pub use runner::{run_jobs, ExperimentConfig, ExperimentResult, MeasurementMode};

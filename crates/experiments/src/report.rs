@@ -1,4 +1,50 @@
-//! Plain-text table formatting for experiment reports.
+//! Plain-text table formatting for experiment reports, plus the per-row
+//! metric helpers shared by the advise and adaptive comparison tables.
+
+use hybrid_mem::lifetime::Endurance;
+
+use crate::runner::ExperimentResult;
+
+/// Endurance level used for the lifetime columns of the comparison tables
+/// (the paper's headline 30 M writes-per-cell point).
+pub const LIFETIME_ENDURANCE: Endurance = Endurance::Mid30M;
+
+/// Finds `collector`'s result within one comparison row.
+pub(crate) fn result_for<'a>(
+    results: &'a [ExperimentResult],
+    benchmark: &str,
+    collector: &str,
+) -> &'a ExperimentResult {
+    results
+        .iter()
+        .find(|r| r.collector == collector)
+        .unwrap_or_else(|| panic!("missing {collector} result for {benchmark}"))
+}
+
+/// Estimated 32-core PCM write rate in GB/s.
+pub(crate) fn write_rate_gbps(result: &ExperimentResult) -> f64 {
+    result.pcm_write_rate_32core() / 1e9
+}
+
+/// PCM lifetime in years at [`LIFETIME_ENDURANCE`].
+pub(crate) fn lifetime_years(result: &ExperimentResult) -> f64 {
+    result.pcm_lifetime_years(LIFETIME_ENDURANCE.writes_per_cell())
+}
+
+/// Energy-delay product of `collector` relative to `baseline` within one
+/// comparison row (0.0 when the baseline's EDP is zero).
+pub(crate) fn edp_relative(
+    results: &[ExperimentResult],
+    benchmark: &str,
+    collector: &str,
+    baseline: &str,
+) -> f64 {
+    let base = result_for(results, benchmark, baseline).edp;
+    if base == 0.0 {
+        return 0.0;
+    }
+    result_for(results, benchmark, collector).edp / base
+}
 
 /// A simple fixed-width text table builder.
 #[derive(Debug, Default, Clone)]

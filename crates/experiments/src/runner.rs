@@ -267,6 +267,44 @@ pub fn run_benchmark_with_wp(profile: &BenchmarkProfile, config: &ExperimentConf
     finalize(profile, "WP".to_string(), heap, Some(wp.stats()), 1.0 / 32.0, 1.0)
 }
 
+/// Runs `f` over `items` on up to `jobs` worker threads, returning the
+/// results in input order. Each (benchmark, collector) run is embarrassingly
+/// parallel — every worker builds its own heap and memory system — so the
+/// results are identical to a sequential run; only the wall-clock changes.
+/// `jobs <= 1` runs inline.
+pub fn run_jobs<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    let slots = std::sync::Mutex::new(slots);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(items.len()) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(item) = items.get(index) else {
+                    break;
+                };
+                let result = f(item);
+                slots.lock().expect("worker poisoned the result set")[index] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("worker poisoned the result set")
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed by exactly one worker"))
+        .collect()
+}
+
 /// Convenience: the Table 1 collector configurations plus the two baselines,
 /// as `(label, config)` pairs.
 pub fn standard_configs() -> Vec<(String, HeapConfig)> {
@@ -326,6 +364,29 @@ mod tests {
         let wp = result.wp.expect("WP statistics present");
         assert!(wp.quanta > 0, "OS quanta must have elapsed");
         assert_eq!(result.collector, "WP");
+    }
+
+    #[test]
+    fn run_jobs_preserves_input_order_for_any_job_count() {
+        let items: Vec<u64> = (0..17).collect();
+        let expected: Vec<u64> = items.iter().map(|i| i * i).collect();
+        for jobs in [0, 1, 2, 3, 8, 32] {
+            assert_eq!(run_jobs(&items, jobs, |&i| i * i), expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn threaded_runs_match_sequential_runs_exactly() {
+        let profile = benchmark("lu.fix").unwrap();
+        let config = ExperimentConfig::quick();
+        let pairs: Vec<HeapConfig> = vec![HeapConfig::kg_n(), HeapConfig::gen_immix_pcm()];
+        let sequential = run_jobs(&pairs, 1, |c| {
+            run_benchmark(&profile, c.clone(), &config).pcm_writes()
+        });
+        let threaded = run_jobs(&pairs, 2, |c| {
+            run_benchmark(&profile, c.clone(), &config).pcm_writes()
+        });
+        assert_eq!(sequential, threaded);
     }
 
     #[test]

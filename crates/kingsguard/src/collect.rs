@@ -21,32 +21,24 @@ use hybrid_mem::{Address, MemoryKind, Phase};
 use kingsguard_heap::object::{ObjectRef, ObjectShape};
 use kingsguard_heap::Handle;
 
-use crate::config::CollectorKind;
+use crate::policy::SurvivorPlacement;
 use crate::runtime::{KingsguardHeap, Location};
 use crate::stats::CompositionSample;
 
 impl KingsguardHeap {
-    /// Returns `true` if this configuration stores PCM mark state in DRAM
-    /// side tables (the metadata optimization).
+    /// Returns `true` if the policy stores PCM mark state in DRAM side
+    /// tables (the metadata optimization).
     fn uses_mdo(&self) -> bool {
-        matches!(self.config.collector, CollectorKind::KingsguardWriters)
-            && self.config.kgw.metadata_optimization
+        self.policy.metadata_marks_in_dram()
     }
 
-    fn is_kgw(&self) -> bool {
-        matches!(self.config.collector, CollectorKind::KingsguardWriters)
-    }
-
-    fn is_kga(&self) -> bool {
-        matches!(self.config.collector, CollectorKind::KgAdvice)
-    }
-
-    /// Returns `true` for the collectors that apply the written-object
-    /// policies of full collections: rescue of written PCM objects to DRAM
+    /// Returns `true` for the policies that apply the written-object
+    /// movement of full collections: rescue of written PCM objects to DRAM
     /// and the large-object PCM→DRAM move. KG-W uses them as its primary
-    /// mechanism; KG-A keeps them as the fallback for mispredicted sites.
+    /// mechanism; the per-site policies keep them as the fallback for
+    /// mispredicted sites.
     fn uses_rescue(&self) -> bool {
-        self.config.uses_write_monitoring()
+        self.policy.rescue_written_objects()
     }
 
     /// Records a nursery survivor with the site profiler.
@@ -68,13 +60,9 @@ impl KingsguardHeap {
     /// collectors it is always a nursery collection. A full-heap collection
     /// follows if the mature spaces exceed the heap budget.
     pub fn collect_young(&mut self) {
-        if self.config.has_observer() {
+        if let Some(observer) = self.observer.as_ref() {
             let needed = self.nursery.used_bytes();
-            let available = self
-                .observer
-                .as_ref()
-                .expect("KG-W has an observer space")
-                .free_bytes();
+            let available = observer.free_bytes();
             if available < needed {
                 self.collect_observer();
             } else {
@@ -88,6 +76,8 @@ impl KingsguardHeap {
         }
         self.sample_composition();
         self.update_peaks();
+        // End-of-GC refresh point for adaptive policies.
+        self.policy.on_gc_feedback(&self.stats);
     }
 
     /// Collects the nursery only.
@@ -138,7 +128,7 @@ impl KingsguardHeap {
         // Re-evaluate the Large Object Optimization: devote part of the
         // nursery to large objects only while the large-object allocation
         // rate outpaces the nursery allocation rate (Section 4.2.4).
-        if self.is_kgw() && self.config.kgw.large_object_optimization {
+        if self.policy.large_object_optimization() {
             self.loo_active = self.los_alloc_since_gc > self.nursery_alloc_since_gc;
         }
         self.los_alloc_since_gc = 0;
@@ -156,8 +146,8 @@ impl KingsguardHeap {
     /// Panics if called on a configuration without an observer space.
     pub fn collect_observer(&mut self) {
         assert!(
-            self.config.has_observer(),
-            "observer collection requires Kingsguard-writers"
+            self.observer.is_some(),
+            "observer collection requires an observer-space policy (KG-W)"
         );
         let phase = Phase::ObserverGc;
         self.stats.observer.collections += 1;
@@ -382,8 +372,8 @@ impl KingsguardHeap {
     }
 
     /// Chooses the destination of a live young object during a nursery
-    /// collection. KG-W routes survivors through the observer space; KG-A
-    /// pretenures them into DRAM or PCM mature space by site advice.
+    /// collection. KG-W routes survivors through the observer space; the
+    /// per-site policies pretenure them into DRAM or PCM mature space.
     fn young_destination(
         &mut self,
         loc: Location,
@@ -394,15 +384,10 @@ impl KingsguardHeap {
     ) -> Address {
         debug_assert_eq!(loc, Location::Nursery);
         let size = shape.size();
-        if self.config.has_observer() {
+        if let Some(observer) = self.observer.as_mut() {
             // Small objects always; a large object allocated in the nursery
             // by LOO also gets copied to the observer space if it fits.
-            if let Some(addr) = self
-                .observer
-                .as_mut()
-                .expect("observer space")
-                .alloc_for_copy(&mut self.mem, size)
-            {
+            if let Some(addr) = observer.alloc_for_copy(&mut self.mem, size) {
                 return addr;
             }
         }
@@ -412,24 +397,29 @@ impl KingsguardHeap {
                 .alloc_raw(&mut self.mem, size)
                 .expect("large object space exhausted during nursery collection");
         }
-        if self.is_kga() {
-            if self.advice_pretenures_to_dram(site) {
-                if let Some(addr) = self
-                    .mature_dram
-                    .as_mut()
-                    .expect("KG-A has a DRAM mature space")
-                    .alloc_for_copy(&mut self.mem, size)
-                {
+        match self.policy.survivor_placement(site, written) {
+            SurvivorPlacement::Mature => {}
+            SurvivorPlacement::AdvisedDram => {
+                let mut placed = None;
+                if let Some(mature_dram) = self.mature_dram.as_mut() {
+                    placed = mature_dram.alloc_for_copy(&mut self.mem, size);
+                }
+                if let Some(addr) = placed {
                     self.stats.advised_to_dram_objects += 1;
                     self.stats.advised_to_dram_bytes += size as u64;
                     return addr;
                 }
-            } else {
+                // DRAM overflow: fall through to the primary mature space,
+                // counted as an advised-to-PCM placement (the same
+                // accounting as the large-allocation overflow path).
+                self.stats.advised_to_pcm_objects += 1;
+                self.stats.advised_to_pcm_bytes += size as u64;
+            }
+            SurvivorPlacement::AdvisedPcm => {
                 self.stats.advised_to_pcm_objects += 1;
                 self.stats.advised_to_pcm_bytes += size as u64;
             }
         }
-        let _ = written;
         self.mature_primary
             .alloc_for_copy(&mut self.mem, size)
             .unwrap_or_else(|| panic!("mature space exhausted during nursery collection (phase {phase})"))
@@ -500,10 +490,10 @@ impl KingsguardHeap {
         }
     }
 
-    /// Chooses the destination of a live observer-space object: written
-    /// objects go to the DRAM mature space, unwritten ones to PCM; large
-    /// objects go straight to the PCM large space without consulting the
-    /// write bit (Section 4.2.4).
+    /// Chooses the destination of a live observer-space object: the policy
+    /// tenures it into the DRAM mature space (by default when its write bit
+    /// is set) or into PCM; large objects go straight to the PCM large
+    /// space without consulting the write bit (Section 4.2.4).
     fn observer_destination(&mut self, shape: ObjectShape, written: bool) -> Address {
         let size = shape.size();
         if shape.is_large() {
@@ -515,7 +505,7 @@ impl KingsguardHeap {
             self.stats.observer_to_pcm_objects += 1;
             return addr;
         }
-        if written {
+        if self.policy.observer_tenure_to_dram(written) {
             if let Some(space) = self.mature_dram.as_mut() {
                 if let Some(addr) = space.alloc_for_copy(&mut self.mem, size) {
                     self.stats.observer_to_dram_bytes += size as u64;
@@ -592,10 +582,13 @@ impl KingsguardHeap {
         self.remset_observer.clear();
         self.sample_composition();
         self.update_peaks();
+        // End-of-GC refresh point for adaptive policies: the rescue and
+        // demotion counters this collection produced are now visible.
+        self.policy.on_gc_feedback(&self.stats);
     }
 
-    /// Traces one object during a full-heap collection, applying KG-W's
-    /// between-space movement policies.
+    /// Traces one object during a full-heap collection, applying the
+    /// policy's between-space movement decisions.
     fn trace_major(
         &mut self,
         obj: ObjectRef,
@@ -615,11 +608,12 @@ impl KingsguardHeap {
                 let shape = obj.shape(&mut self.mem, phase);
                 let written = obj.is_written(&mut self.mem, phase);
                 let size = shape.size();
-                // KG-A pretenures young survivors by site advice even when
-                // the full collection (rather than a nursery collection)
-                // evacuates them.
-                let advised_dram =
-                    self.is_kga() && self.advice_pretenures_to_dram(self.stats.site_of(obj.address()));
+                // Per-site policies pretenure young survivors by site advice
+                // even when the full collection (rather than a nursery
+                // collection) evacuates them.
+                let site = self.stats.site_of(obj.address());
+                let placement = self.policy.survivor_placement(site, written);
+                let advised_dram = placement == SurvivorPlacement::AdvisedDram;
                 let dst = if shape.is_large() {
                     self.los_primary
                         .alloc_raw(&mut self.mem, size)
@@ -629,16 +623,35 @@ impl KingsguardHeap {
                              (copying {obj:?} at {loc:?}, {size} bytes, shape {shape:?})"
                             )
                         })
-                } else if (written || advised_dram) && self.mature_dram.is_some() {
-                    self.mature_dram
-                        .as_mut()
-                        .expect("checked above")
-                        .alloc_for_copy(&mut self.mem, size)
-                        .expect("mature DRAM space exhausted during full collection")
                 } else {
-                    self.mature_primary
-                        .alloc_for_copy(&mut self.mem, size)
-                        .expect("mature space exhausted during full collection")
+                    let mut dram_dst = None;
+                    if written || advised_dram {
+                        if let Some(mature_dram) = self.mature_dram.as_mut() {
+                            dram_dst = mature_dram.alloc_for_copy(&mut self.mem, size);
+                        }
+                    }
+                    match dram_dst {
+                        Some(dst) => {
+                            if advised_dram {
+                                self.stats.advised_to_dram_objects += 1;
+                                self.stats.advised_to_dram_bytes += size as u64;
+                            }
+                            dst
+                        }
+                        // DRAM full or absent: place in PCM (for a written or
+                        // advised-hot object the rescue of a later collection
+                        // remains the safety net), with the same advised
+                        // accounting as the nursery-collection path.
+                        None => {
+                            if placement != SurvivorPlacement::Mature {
+                                self.stats.advised_to_pcm_objects += 1;
+                                self.stats.advised_to_pcm_bytes += size as u64;
+                            }
+                            self.mature_primary
+                                .alloc_for_copy(&mut self.mem, size)
+                                .expect("mature space exhausted during full collection")
+                        }
+                    }
                 };
                 if loc == Location::Nursery {
                     self.profile_nursery_survivor(obj.address(), size);
@@ -670,6 +683,7 @@ impl KingsguardHeap {
                 if rescue {
                     // A written object was detected in PCM: move it back to
                     // the DRAM mature space and reset its write bit.
+                    let site = self.stats.site_of(obj.address());
                     let dst = self
                         .mature_dram
                         .as_mut()
@@ -682,6 +696,7 @@ impl KingsguardHeap {
                     obj.set_forwarding(&mut self.mem, new_obj, phase);
                     self.stats.object_moved(obj.address(), dst);
                     self.stats.pcm_to_dram_rescues += 1;
+                    self.stats.record_site_rescue(site);
                     self.stats.major.bytes_copied += size as u64;
                     self.stats.major.objects_copied += 1;
                     self.mark_new_copy(new_obj, size, phase);
@@ -704,13 +719,14 @@ impl KingsguardHeap {
                 let shape = obj.shape(&mut self.mem, phase);
                 let size = shape.size();
                 let written = obj.is_written(&mut self.mem, phase);
-                // KG-A keeps advised-hot sites in DRAM even across quiet
-                // periods — demoting them would only churn the next rescue —
-                // but demotes rescued objects from cold/mixed sites once
-                // their write burst ends, exactly like KG-W.
-                let advice_pins =
-                    self.is_kga() && self.advice_pretenures_to_dram(self.stats.site_of(obj.address()));
-                if self.uses_rescue() && !written && !advice_pins {
+                // The policy decides whether an unwritten DRAM object may be
+                // demoted: KG-A pins advised-hot sites in DRAM even across
+                // quiet periods — demoting them would only churn the next
+                // rescue — while KG-W and KG-D demote every unwritten object
+                // (for KG-D, demotion is the signal that un-learns stale
+                // advice).
+                let site = self.stats.site_of(obj.address());
+                if self.uses_rescue() && !written && self.policy.demote_unwritten_dram(site) {
                     // Unwritten DRAM mature object: demote to PCM to exploit
                     // PCM capacity (Section 4.2.3).
                     let dst = self
@@ -722,6 +738,7 @@ impl KingsguardHeap {
                     obj.set_forwarding(&mut self.mem, new_obj, phase);
                     self.stats.object_moved(obj.address(), dst);
                     self.stats.dram_to_pcm_demotions += 1;
+                    self.stats.record_site_demotion(site);
                     self.stats.major.bytes_copied += size as u64;
                     self.stats.major.objects_copied += 1;
                     self.mark_new_copy(new_obj, size, phase);

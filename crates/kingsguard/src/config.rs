@@ -31,6 +31,12 @@ pub enum CollectorKind {
     /// KG-W-style rescue of written PCM objects as the misprediction
     /// fallback.
     KgAdvice,
+    /// Kingsguard-dynamic: online-adaptive per-site placement. Starts from
+    /// KG-N-like all-PCM placement (or the stale advice table in
+    /// [`HeapConfig::advice`], if any) and refreshes per-site advice during
+    /// the run from rescue/demotion feedback and barrier-observed PCM
+    /// writes — no prior profiling run, no observer space.
+    KgDynamic,
 }
 
 /// Feature toggles of Kingsguard-writers (Table 1 and Section 6.2).
@@ -169,6 +175,20 @@ impl HeapConfig {
         config
     }
 
+    /// Kingsguard-dynamic: online-adaptive placement starting from KG-N-like
+    /// all-PCM placement, with no prior profiling run.
+    pub fn kg_d() -> Self {
+        Self::base(CollectorKind::KgDynamic)
+    }
+
+    /// Kingsguard-dynamic seeded from a (possibly stale) advice table whose
+    /// DRAM placements form the starting advice, refined online.
+    pub fn kg_d_with(advice: AdviceTable) -> Self {
+        let mut config = Self::base(CollectorKind::KgDynamic);
+        config.advice = Some(advice);
+        config
+    }
+
     /// Sets the mature-heap budget (2× minimum live size in the paper's
     /// methodology) and scales the large-object space with it. The
     /// large-object spaces get four times the budget of virtual room: their
@@ -200,15 +220,8 @@ impl HeapConfig {
     pub fn has_dram_mature(&self) -> bool {
         matches!(
             self.collector,
-            CollectorKind::KingsguardWriters | CollectorKind::KgAdvice
+            CollectorKind::KingsguardWriters | CollectorKind::KgAdvice | CollectorKind::KgDynamic
         )
-    }
-
-    /// Returns `true` if this configuration monitors application writes in
-    /// the barrier and applies the rescue/demotion policies during full-heap
-    /// collections (KG-W always; KG-A as its misprediction fallback).
-    pub fn uses_write_monitoring(&self) -> bool {
-        self.has_dram_mature()
     }
 
     /// Returns `true` if this configuration has both DRAM and PCM spaces.
@@ -237,7 +250,9 @@ impl HeapConfig {
         match self.collector {
             CollectorKind::GenImmix { memory } => memory,
             CollectorKind::KingsguardNursery => MemoryKind::Pcm,
-            CollectorKind::KingsguardWriters | CollectorKind::KgAdvice => MemoryKind::Dram,
+            CollectorKind::KingsguardWriters | CollectorKind::KgAdvice | CollectorKind::KgDynamic => {
+                MemoryKind::Dram
+            }
         }
     }
 
@@ -272,6 +287,7 @@ impl HeapConfig {
                 label
             }
             CollectorKind::KgAdvice => "KG-A".to_string(),
+            CollectorKind::KgDynamic => "KG-D".to_string(),
         }
     }
 }
@@ -320,7 +336,6 @@ mod tests {
         assert_eq!(config.label(), "KG-A");
         assert!(!config.has_observer(), "KG-A bypasses the observer space");
         assert!(config.has_dram_mature());
-        assert!(config.uses_write_monitoring());
         assert!(config.is_hybrid());
         assert_eq!(config.nursery_kind(), MemoryKind::Dram);
         assert_eq!(config.mature_kind(), MemoryKind::Pcm);
@@ -328,7 +343,6 @@ mod tests {
         assert!(config.advice.is_some());
         assert!(HeapConfig::kg_w().has_dram_mature());
         assert!(!HeapConfig::kg_n().has_dram_mature());
-        assert!(!HeapConfig::kg_n().uses_write_monitoring());
     }
 
     #[test]

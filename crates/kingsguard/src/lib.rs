@@ -12,7 +12,17 @@
 //!   per-object write monitoring through the write barrier, selective
 //!   placement of mature objects in DRAM or PCM, rescue of written PCM
 //!   objects, the Large Object Optimization (LOO) and the Metadata
-//!   Optimization (MDO).
+//!   Optimization (MDO),
+//! * **Kingsguard-advice (KG-A)** — offline profile replay: per-site
+//!   pretenuring with the KG-W rescue as misprediction fallback,
+//! * **Kingsguard-dynamic (KG-D)** — online-adaptive per-site placement
+//!   learned during the run from rescue/demotion feedback.
+//!
+//! All of them are implementations of the [`policy::PlacementPolicy`] trait:
+//! the collection mechanics live once in [`collect`]/[`runtime`], and each
+//! collector only supplies the placement decisions. New rationing strategies
+//! plug in through [`KingsguardHeap::with_policy`] without touching the
+//! collector core.
 //!
 //! The entry point is [`KingsguardHeap`]: create one from a [`HeapConfig`]
 //! and a [`hybrid_mem::MemoryConfig`], drive it through the mutator API
@@ -36,9 +46,14 @@
 
 pub mod collect;
 pub mod config;
+pub mod policy;
 pub mod runtime;
 pub mod stats;
 
 pub use config::{CollectorKind, HeapConfig, KgwOptions};
+pub use policy::{
+    BarrierMode, GenImmixPolicy, KgAdvicePolicy, KgDynamicParams, KgDynamicPolicy, KgNurseryPolicy,
+    KgWritersPolicy, LargePlacement, PlacementPolicy, SurvivorPlacement, Topology,
+};
 pub use runtime::{KingsguardHeap, RunReport};
 pub use stats::{CollectionCounters, CompositionSample, GcStats, WriteTarget};

@@ -1,0 +1,318 @@
+//! Pluggable placement policies: the variation points of write-rationing
+//! collection as a first-class API.
+//!
+//! The paper's collectors all share one mechanical skeleton — a copying
+//! nursery, Immix mature spaces, optional large-object and observer spaces,
+//! remembered sets and a two-part write barrier — and differ only in a small
+//! set of *placement decisions*: where nursery survivors go, where large
+//! objects are allocated, how observer survivors are tenured, whether written
+//! PCM objects are rescued and unwritten DRAM objects demoted, and what the
+//! monitoring half of the write barrier records. [`PlacementPolicy`] names
+//! exactly those decisions, so a new rationing strategy is a small trait
+//! implementation instead of another arm in every `match` of the collector
+//! core.
+//!
+//! The built-in policies reproduce the paper's collectors:
+//!
+//! | Policy | Collector | Strategy |
+//! |---|---|---|
+//! | [`GenImmixPolicy`] | DRAM-only / PCM-only | single technology, no rationing |
+//! | [`KgNurseryPolicy`] | KG-N | DRAM nursery, everything else PCM |
+//! | [`KgWritersPolicy`] | KG-W | online observation, per-object placement |
+//! | [`KgAdvicePolicy`] | KG-A | offline profile replay, per-site placement |
+//! | [`KgDynamicPolicy`] | KG-D | online-adaptive per-site placement |
+//!
+//! KG-D is the first policy the old `CollectorKind` dispatch could not
+//! express: it starts from KG-N-like all-PCM placement (or a stale advice
+//! table) and refreshes per-site advice *during* the run from the
+//! rescue/demotion counters in [`GcStats`] and the write events the barrier
+//! reports — converging toward KG-W's PCM write rate with no prior profiling
+//! run and no observer space.
+//!
+//! Policies are consulted through plain-data hooks (sites, write bits,
+//! shapes in; placement decisions out) and never touch the heap directly;
+//! the runtime applies each decision, falling back to the primary PCM space
+//! when a requested space is full.
+
+mod builtin;
+mod dynamic;
+
+pub use builtin::{GenImmixPolicy, KgAdvicePolicy, KgNurseryPolicy, KgWritersPolicy};
+pub use dynamic::{KgDynamicParams, KgDynamicPolicy};
+
+use advice::SiteId;
+use hybrid_mem::MemoryKind;
+
+use crate::config::{CollectorKind, HeapConfig};
+use crate::stats::GcStats;
+
+/// The space layout a policy requires; [`crate::KingsguardHeap::new`] builds
+/// the heap's spaces from this descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// Memory technology of the nursery.
+    pub nursery: MemoryKind,
+    /// Memory technology of the primary mature and large spaces.
+    pub mature: MemoryKind,
+    /// Memory technology of metadata (mark tables, remset buffers).
+    pub metadata: MemoryKind,
+    /// Whether a DRAM observer space routes nursery survivors.
+    pub observer: bool,
+    /// Whether DRAM mature and DRAM large spaces exist alongside the
+    /// primary ones.
+    pub dram_mature: bool,
+}
+
+impl Topology {
+    /// Every space on a single memory technology (the GenImmix baselines).
+    pub fn single(memory: MemoryKind) -> Self {
+        Topology {
+            nursery: memory,
+            mature: memory,
+            metadata: memory,
+            observer: false,
+            dram_mature: false,
+        }
+    }
+
+    /// DRAM nursery over a PCM mature heap, no DRAM mature spaces (KG-N).
+    pub fn dram_nursery() -> Self {
+        Topology {
+            nursery: MemoryKind::Dram,
+            mature: MemoryKind::Pcm,
+            metadata: MemoryKind::Pcm,
+            observer: false,
+            dram_mature: false,
+        }
+    }
+
+    /// DRAM nursery + DRAM mature/large spaces over a PCM mature heap, DRAM
+    /// metadata (KG-A, KG-D; KG-W adds the observer space on top).
+    pub fn hybrid_rationing() -> Self {
+        Topology {
+            nursery: MemoryKind::Dram,
+            mature: MemoryKind::Pcm,
+            metadata: MemoryKind::Dram,
+            observer: false,
+            dram_mature: true,
+        }
+    }
+}
+
+/// Where a policy places a small nursery survivor that did not go to the
+/// observer space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SurvivorPlacement {
+    /// The primary mature space, no advice accounting (GenImmix, KG-N, and
+    /// KG-W survivors that overflowed the observer space).
+    Mature,
+    /// Pretenure into the DRAM mature space, counted as an advised
+    /// placement; falls back to the primary space when DRAM is full.
+    AdvisedDram,
+    /// The primary (PCM) mature space, counted as an advised placement.
+    AdvisedPcm,
+}
+
+/// Where a policy places a directly allocated large object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LargePlacement {
+    /// The primary large object space, no advice accounting.
+    Default,
+    /// The DRAM large space, counted as an advised placement; falls back to
+    /// the primary large space (counted as advised-to-PCM) when full.
+    AdvisedDram,
+    /// The primary large space, counted as an advised placement.
+    AdvisedPcm,
+}
+
+/// What the monitoring half of the write barrier does for post-nursery
+/// objects (Figure 4, lines 13–17).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BarrierMode {
+    /// No write monitoring (GenImmix, KG-N).
+    None,
+    /// Unconditionally store the write word (KG-W: placement *is* the
+    /// observed write behaviour, so every write refreshes it).
+    SetWritten,
+    /// Store the write word only on the first write (KG-A, KG-D: the
+    /// barrier is a misprediction detector, and an unconditional store
+    /// would re-dirty the write word of every advised-cold PCM object on
+    /// every write — exactly the per-write PCM tax being rationed away).
+    FirstWriteOnly,
+}
+
+/// A placement policy: the decisions a write-rationing collector is made of.
+///
+/// Every hook has a conservative default, so a minimal policy only overrides
+/// [`PlacementPolicy::name`], [`PlacementPolicy::topology`] and the
+/// decisions it actually cares about — see the crate README for a worked
+/// example under 50 lines.
+pub trait PlacementPolicy: std::fmt::Debug + Send {
+    /// Short collector label ("KG-W", "KG-D", ...).
+    fn name(&self) -> String;
+
+    /// The space layout this policy requires.
+    fn topology(&self) -> Topology;
+
+    /// Placement of a small nursery survivor (after observer routing and
+    /// large-object handling). `written` is the survivor's write bit.
+    fn survivor_placement(&mut self, _site: SiteId, _written: bool) -> SurvivorPlacement {
+        SurvivorPlacement::Mature
+    }
+
+    /// Placement of a directly allocated large object.
+    fn large_placement(&mut self, _site: SiteId) -> LargePlacement {
+        LargePlacement::Default
+    }
+
+    /// Whether a live observer-space object is tenured into the DRAM mature
+    /// space (`true`) or the primary mature space (`false`).
+    fn observer_tenure_to_dram(&mut self, written: bool) -> bool {
+        written
+    }
+
+    /// Whether full collections rescue written PCM mature objects back to
+    /// DRAM and move written large PCM objects to the DRAM large space.
+    fn rescue_written_objects(&self) -> bool {
+        self.topology().dram_mature
+    }
+
+    /// Whether a full collection may demote this unwritten DRAM mature
+    /// object to PCM. KG-A pins advised-hot sites in DRAM so quiet periods
+    /// do not churn the next rescue; KG-D deliberately lets them demote —
+    /// demotion is the signal that un-learns stale advice.
+    fn demote_unwritten_dram(&mut self, _site: SiteId) -> bool {
+        self.rescue_written_objects()
+    }
+
+    /// The monitoring mode of the write barrier.
+    fn barrier(&self) -> BarrierMode {
+        BarrierMode::None
+    }
+
+    /// Whether primitive (non-reference) writes reach the monitoring half
+    /// of the barrier (KG-W vs KG-W–PM).
+    fn monitor_primitive_writes(&self) -> bool {
+        true
+    }
+
+    /// Metadata Optimization: keep the mark state of PCM objects in DRAM
+    /// side tables.
+    fn metadata_marks_in_dram(&self) -> bool {
+        false
+    }
+
+    /// Large Object Optimization: give large objects a chance to die in the
+    /// nursery while the large-object allocation rate outpaces the nursery's.
+    fn large_object_optimization(&self) -> bool {
+        false
+    }
+
+    /// Whether the heap must maintain the address→site side table for this
+    /// policy (per-site policies only; the others skip the hot-path
+    /// bookkeeping).
+    fn needs_sites(&self) -> bool {
+        false
+    }
+
+    /// Write-barrier event notification: the mutator wrote a post-nursery
+    /// object of `site` residing on `kind` memory. Only delivered for
+    /// policies with [`PlacementPolicy::needs_sites`], and only for known
+    /// sites.
+    fn on_mature_write(&mut self, _site: SiteId, _kind: MemoryKind) {}
+
+    /// End-of-collection refresh point: called after every young and
+    /// full-heap collection with the run's cumulative statistics. Adaptive
+    /// policies re-derive per-site advice here from the rescue/demotion
+    /// counters ([`GcStats::site_rescues`], [`GcStats::site_demotions`]).
+    fn on_gc_feedback(&mut self, _stats: &GcStats) {}
+}
+
+/// Builds the built-in policy for `config.collector`. `CollectorKind`
+/// remains the thin constructor/CLI alias; everything behavioural lives in
+/// the returned policy.
+pub fn from_config(config: &HeapConfig) -> Box<dyn PlacementPolicy> {
+    match config.collector {
+        CollectorKind::GenImmix { memory } => Box::new(GenImmixPolicy::new(memory)),
+        CollectorKind::KingsguardNursery => Box::new(KgNurseryPolicy),
+        CollectorKind::KingsguardWriters => Box::new(KgWritersPolicy::new(config.kgw)),
+        CollectorKind::KgAdvice => Box::new(KgAdvicePolicy::new(
+            config
+                .advice
+                .clone()
+                .expect("CollectorKind::KgAdvice requires HeapConfig::advice"),
+        )),
+        CollectorKind::KgDynamic => Box::new(match config.advice.clone() {
+            Some(table) => KgDynamicPolicy::from_table(&table),
+            None => KgDynamicPolicy::new(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_policies_match_their_collector_kinds() {
+        for (config, name) in [
+            (HeapConfig::gen_immix_dram(), "DRAM-only"),
+            (HeapConfig::gen_immix_pcm(), "PCM-only"),
+            (HeapConfig::kg_n(), "KG-N"),
+            (HeapConfig::kg_w(), "KG-W"),
+            (HeapConfig::kg_a(advice::AdviceTable::all_cold()), "KG-A"),
+            (HeapConfig::kg_d(), "KG-D"),
+        ] {
+            let policy = from_config(&config);
+            assert_eq!(policy.name(), name);
+            let topo = policy.topology();
+            assert_eq!(topo.nursery, config.nursery_kind());
+            assert_eq!(topo.mature, config.mature_kind());
+            assert_eq!(topo.metadata, config.metadata_kind());
+            assert_eq!(topo.observer, config.has_observer());
+            assert_eq!(topo.dram_mature, config.has_dram_mature());
+        }
+    }
+
+    #[test]
+    fn barrier_modes_per_policy() {
+        assert_eq!(from_config(&HeapConfig::kg_n()).barrier(), BarrierMode::None);
+        assert_eq!(
+            from_config(&HeapConfig::gen_immix_dram()).barrier(),
+            BarrierMode::None
+        );
+        assert_eq!(
+            from_config(&HeapConfig::kg_w()).barrier(),
+            BarrierMode::SetWritten
+        );
+        assert_eq!(
+            from_config(&HeapConfig::kg_a(advice::AdviceTable::all_cold())).barrier(),
+            BarrierMode::FirstWriteOnly
+        );
+        assert_eq!(
+            from_config(&HeapConfig::kg_d()).barrier(),
+            BarrierMode::FirstWriteOnly
+        );
+    }
+
+    #[test]
+    fn kgw_option_toggles_flow_into_the_policy() {
+        let full = from_config(&HeapConfig::kg_w());
+        assert!(full.large_object_optimization());
+        assert!(full.metadata_marks_in_dram());
+        assert!(full.monitor_primitive_writes());
+        let stripped = from_config(&HeapConfig::kg_w_no_loo_no_mdo());
+        assert!(!stripped.large_object_optimization());
+        assert!(!stripped.metadata_marks_in_dram());
+        let no_pm = from_config(&HeapConfig::kg_w_no_primitive_monitoring());
+        assert!(!no_pm.monitor_primitive_writes());
+    }
+
+    #[test]
+    fn only_site_policies_track_sites() {
+        assert!(!from_config(&HeapConfig::kg_n()).needs_sites());
+        assert!(!from_config(&HeapConfig::kg_w()).needs_sites());
+        assert!(from_config(&HeapConfig::kg_a(advice::AdviceTable::all_cold())).needs_sites());
+        assert!(from_config(&HeapConfig::kg_d()).needs_sites());
+    }
+}

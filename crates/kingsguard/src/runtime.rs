@@ -5,7 +5,8 @@
 //! mutator interface used by the synthetic workloads (allocation, reference
 //! and primitive writes through the write barrier, root management) and
 //! gathers the statistics the evaluation needs. The collection algorithms
-//! themselves live in [`crate::collect`].
+//! themselves live in [`crate::collect`]; every placement decision is
+//! delegated to the heap's [`PlacementPolicy`].
 
 use advice::{SiteId, SiteProfile, SiteProfiler};
 use hybrid_mem::{Address, MemoryConfig, MemoryKind, MemorySystem, Phase};
@@ -14,7 +15,8 @@ use kingsguard_heap::{
     CopySpace, Handle, ImmixSpace, LargeObjectSpace, MetadataSpace, RememberedSet, RootTable, SpaceId,
 };
 
-use crate::config::{CollectorKind, HeapConfig};
+use crate::config::HeapConfig;
+use crate::policy::{self, BarrierMode, LargePlacement, PlacementPolicy};
 use crate::stats::{GcStats, WriteTarget};
 
 /// Where an address lives within the heap.
@@ -80,6 +82,8 @@ pub struct KingsguardHeap {
     pub(crate) nursery_alloc_since_gc: u64,
     /// Per-site profiler, present only during a profiling run.
     pub(crate) profiler: Option<SiteProfiler>,
+    /// The placement policy making every DRAM-vs-PCM decision.
+    pub(crate) policy: Box<dyn PlacementPolicy>,
 }
 
 /// End-of-run report: collector statistics plus the flushed memory-system
@@ -97,19 +101,33 @@ pub struct RunReport {
 
 impl KingsguardHeap {
     /// Creates a heap for `config` on a memory system built from
-    /// `memory_config`.
+    /// `memory_config`, governed by the built-in policy for
+    /// `config.collector`.
     pub fn new(config: HeapConfig, memory_config: MemoryConfig) -> Self {
+        let policy = policy::from_config(&config);
+        Self::with_policy(config, memory_config, policy)
+    }
+
+    /// Creates a heap governed by a custom [`PlacementPolicy`]. The policy's
+    /// [`policy::Topology`] decides which spaces exist and where they live;
+    /// `config.collector` is ignored (only the sizes are used).
+    pub fn with_policy(
+        config: HeapConfig,
+        memory_config: MemoryConfig,
+        policy: Box<dyn PlacementPolicy>,
+    ) -> Self {
+        let topology = policy.topology();
         let mut mem = MemorySystem::new(memory_config);
 
         let nursery_base = mem.reserve_extent("nursery", config.nursery_bytes);
         let nursery = CopySpace::new(
             SpaceId::NURSERY,
-            config.nursery_kind(),
+            topology.nursery,
             nursery_base,
             config.nursery_bytes,
         );
 
-        let observer = if config.has_observer() {
+        let observer = if topology.observer {
             let base = mem.reserve_extent("observer", config.observer_bytes);
             Some(CopySpace::new(
                 SpaceId::OBSERVER,
@@ -123,14 +141,10 @@ impl KingsguardHeap {
 
         let mature_extent = config.heap_budget_bytes * 4;
         let mature_base = mem.reserve_extent("mature-primary", mature_extent);
-        let mature_primary = ImmixSpace::new(
-            SpaceId::MATURE_PCM,
-            config.mature_kind(),
-            mature_base,
-            mature_extent,
-        );
+        let mature_primary =
+            ImmixSpace::new(SpaceId::MATURE_PCM, topology.mature, mature_base, mature_extent);
 
-        let mature_dram = if config.has_dram_mature() {
+        let mature_dram = if topology.dram_mature {
             let base = mem.reserve_extent("mature-dram", mature_extent);
             Some(ImmixSpace::new(
                 SpaceId::MATURE_DRAM,
@@ -145,12 +159,12 @@ impl KingsguardHeap {
         let los_base = mem.reserve_extent("los-primary", config.los_capacity_bytes);
         let los_primary = LargeObjectSpace::new(
             SpaceId::LARGE_PCM,
-            config.mature_kind(),
+            topology.mature,
             los_base,
             config.los_capacity_bytes,
         );
 
-        let los_dram = if config.has_dram_mature() {
+        let los_dram = if topology.dram_mature {
             let base = mem.reserve_extent("los-dram", config.los_capacity_bytes);
             Some(LargeObjectSpace::new(
                 SpaceId::LARGE_DRAM,
@@ -163,11 +177,7 @@ impl KingsguardHeap {
         };
 
         let metadata_base = mem.reserve_extent("metadata", config.metadata_capacity_bytes);
-        let metadata = MetadataSpace::new(
-            config.metadata_kind(),
-            metadata_base,
-            config.metadata_capacity_bytes,
-        );
+        let metadata = MetadataSpace::new(topology.metadata, metadata_base, config.metadata_capacity_bytes);
 
         KingsguardHeap {
             config,
@@ -188,7 +198,13 @@ impl KingsguardHeap {
             los_alloc_since_gc: 0,
             nursery_alloc_since_gc: 0,
             profiler: None,
+            policy,
         }
+    }
+
+    /// The placement policy governing this heap.
+    pub fn policy(&self) -> &dyn PlacementPolicy {
+        self.policy.as_ref()
     }
 
     /// Enables per-site profiling for this run. The gathered
@@ -286,10 +302,10 @@ impl KingsguardHeap {
     }
 
     /// Returns `true` if this heap maintains the address→site side table:
-    /// either a profiling run is recording per-site behaviour, or the KG-A
-    /// collector needs sites for placement.
+    /// either a profiling run is recording per-site behaviour, or the
+    /// policy needs sites for placement (KG-A, KG-D).
     pub(crate) fn tracks_sites(&self) -> bool {
-        self.profiler.is_some() || matches!(self.config.collector, CollectorKind::KgAdvice)
+        self.profiler.is_some() || self.policy.needs_sites()
     }
 
     fn alloc_small(&mut self, shape: ObjectShape, type_id: u16) -> ObjectRef {
@@ -304,8 +320,7 @@ impl KingsguardHeap {
 
     fn alloc_large(&mut self, shape: ObjectShape, type_id: u16, site: SiteId) -> ObjectRef {
         self.stats.large_bytes_allocated += shape.size() as u64;
-        let use_loo = matches!(self.config.collector, CollectorKind::KingsguardWriters)
-            && self.config.kgw.large_object_optimization
+        let use_loo = self.policy.large_object_optimization()
             && self.loo_active
             && shape.size() < self.nursery.free_bytes() / 2;
         if use_loo {
@@ -317,23 +332,31 @@ impl KingsguardHeap {
                 return obj;
             }
         }
-        // KG-A: a write-hot large site is allocated directly into the DRAM
-        // large space; everything else — including a DRAM-advised object
-        // that no longer fits there — lands in PCM, where the large-object
-        // rescue of the full collection remains the fallback.
-        if matches!(self.config.collector, CollectorKind::KgAdvice) {
-            if self.advice_pretenures_to_dram(site) {
+        // Per-site policies: a write-hot large site is allocated directly
+        // into the DRAM large space; everything else — including a
+        // DRAM-advised object that no longer fits there — lands in PCM,
+        // where the large-object rescue of the full collection remains the
+        // fallback.
+        match self.policy.large_placement(site) {
+            LargePlacement::Default => {}
+            LargePlacement::AdvisedDram => {
+                let mut placed = None;
                 if let Some(los_dram) = self.los_dram.as_mut() {
-                    if let Some(obj) = los_dram.alloc(&mut self.mem, shape, type_id, Phase::Mutator) {
-                        self.stats.advised_to_dram_objects += 1;
-                        self.stats.advised_to_dram_bytes += shape.size() as u64;
-                        return obj;
-                    }
+                    placed = los_dram.alloc(&mut self.mem, shape, type_id, Phase::Mutator);
                 }
+                if let Some(obj) = placed {
+                    self.stats.advised_to_dram_objects += 1;
+                    self.stats.advised_to_dram_bytes += shape.size() as u64;
+                    return obj;
+                }
+                // Placed in PCM by DRAM overflow.
+                self.stats.advised_to_pcm_objects += 1;
+                self.stats.advised_to_pcm_bytes += shape.size() as u64;
             }
-            // Placed in PCM, whether by cold advice or by DRAM overflow.
-            self.stats.advised_to_pcm_objects += 1;
-            self.stats.advised_to_pcm_bytes += shape.size() as u64;
+            LargePlacement::AdvisedPcm => {
+                self.stats.advised_to_pcm_objects += 1;
+                self.stats.advised_to_pcm_bytes += shape.size() as u64;
+            }
         }
         self.los_alloc_since_gc += shape.size() as u64;
         if let Some(obj) = self
@@ -419,7 +442,7 @@ impl KingsguardHeap {
 
         // Primitive writes only reach the monitoring half of the barrier
         // when primitive monitoring is enabled (KG-W vs KG-W–PM).
-        if self.config.kgw.monitor_primitives {
+        if self.policy.monitor_primitive_writes() {
             self.monitoring_barrier(src, false);
         }
         self.record_write_demographics(src);
@@ -485,13 +508,12 @@ impl KingsguardHeap {
         }
     }
 
-    /// The object-monitoring half of the barrier: lines 13–17 of Figure 4.
-    /// Kingsguard-writers monitors writes to steer observer-space placement;
-    /// Kingsguard-advice keeps the same barrier as its misprediction signal
-    /// (the rescue of written PCM objects). `is_reference` distinguishes
+    /// The object-monitoring half of the barrier: lines 13–17 of Figure 4,
+    /// in the mode the policy selects. `is_reference` distinguishes
     /// reference from primitive monitoring for the work model.
     fn monitoring_barrier(&mut self, src: ObjectRef, _is_reference: bool) {
-        if !self.config.uses_write_monitoring() {
+        let mode = self.policy.barrier();
+        if mode == BarrierMode::None {
             return;
         }
         if self.nursery.in_region(src.address()) {
@@ -503,19 +525,15 @@ impl KingsguardHeap {
         // paper's Figure 11 reports application writes as seen by the
         // barrier, and Figure 10 folds metadata stores into the runtime /
         // collector components).
-        if matches!(self.config.collector, CollectorKind::KgAdvice) {
-            // KG-A already knows each site's placement; its barrier only
-            // needs *first-write detection* to trigger the rescue fallback,
-            // so it checks before storing. An unconditional store would
-            // re-dirty the write word of every advised-cold PCM object on
-            // every write — exactly the per-write PCM tax the profile was
-            // collected to avoid.
-            if !src.is_written(&mut self.mem, Phase::Runtime) {
-                src.set_written(&mut self.mem, Phase::Runtime);
+        match mode {
+            BarrierMode::SetWritten => src.set_written(&mut self.mem, Phase::Runtime),
+            BarrierMode::FirstWriteOnly => {
+                if !src.is_written(&mut self.mem, Phase::Runtime) {
+                    src.set_written(&mut self.mem, Phase::Runtime);
+                }
             }
-            return;
+            BarrierMode::None => unreachable!("checked above"),
         }
-        src.set_written(&mut self.mem, Phase::Runtime);
     }
 
     fn record_write_demographics(&mut self, src: ObjectRef) {
@@ -524,26 +542,25 @@ impl KingsguardHeap {
         } else {
             WriteTarget::Mature
         };
-        if target == WriteTarget::Mature && self.profiler.is_some() {
-            let site = self.stats.site_of(src.address());
-            if !site.is_unknown() {
-                if let Some(profiler) = self.profiler.as_mut() {
-                    profiler.record_post_nursery_write(site);
+        if target == WriteTarget::Mature {
+            if self.profiler.is_some() {
+                let site = self.stats.site_of(src.address());
+                if !site.is_unknown() {
+                    if let Some(profiler) = self.profiler.as_mut() {
+                        profiler.record_post_nursery_write(site);
+                    }
+                }
+            }
+            // Write-barrier event notification for adaptive policies.
+            if self.policy.needs_sites() {
+                let site = self.stats.site_of(src.address());
+                if !site.is_unknown() {
+                    let kind = self.mem.kind_of(src.address());
+                    self.policy.on_mature_write(site, kind);
                 }
             }
         }
         self.stats.record_app_write(target, src.address());
-    }
-
-    /// Returns `true` if the advice table pretenures `site` into DRAM
-    /// (always `false` outside KG-A).
-    pub(crate) fn advice_pretenures_to_dram(&self, site: SiteId) -> bool {
-        matches!(self.config.collector, CollectorKind::KgAdvice)
-            && self
-                .config
-                .advice
-                .as_ref()
-                .is_some_and(|table| table.pretenure_to_dram(site))
     }
 
     // ------------------------------------------------------------------
@@ -850,6 +867,46 @@ mod tests {
             MemoryConfig::architecture_independent(),
         );
         assert!(kg_a.tracks_sites());
+    }
+
+    #[test]
+    fn custom_policies_plug_in_through_with_policy() {
+        use crate::policy::{BarrierMode, PlacementPolicy, Topology};
+        use crate::runtime::Location;
+
+        // The README's worked example: KG-N plus the rescue fallback, as a
+        // minimal custom policy.
+        #[derive(Debug)]
+        struct RescueOnly;
+        impl PlacementPolicy for RescueOnly {
+            fn name(&self) -> String {
+                "KG-N+rescue".into()
+            }
+            fn topology(&self) -> Topology {
+                Topology::hybrid_rationing()
+            }
+            fn barrier(&self) -> BarrierMode {
+                BarrierMode::FirstWriteOnly
+            }
+        }
+
+        let mut heap = KingsguardHeap::with_policy(
+            HeapConfig::kg_n(),
+            MemoryConfig::architecture_independent(),
+            Box::new(RescueOnly),
+        );
+        assert_eq!(heap.policy().name(), "KG-N+rescue");
+        let handle = heap.alloc(ObjectShape::new(0, 128), 1);
+        heap.collect_nursery();
+        assert_eq!(
+            heap.locate(heap.resolve(handle).address()),
+            Location::MaturePrimary
+        );
+        // Written in PCM: the custom policy's rescue saves it.
+        heap.write_prim(handle, 0, 8);
+        heap.collect_full();
+        assert_eq!(heap.locate(heap.resolve(handle).address()), Location::MatureDram);
+        assert_eq!(heap.stats().pcm_to_dram_rescues, 1);
     }
 
     #[test]

@@ -120,6 +120,14 @@ pub struct GcStats {
     /// [`crate::KingsguardHeap::alloc`] entry point have no entry.
     pub object_sites: HashMap<u64, u32>,
 
+    /// Rescued objects per allocation site (cumulative; only populated for
+    /// site-tracking policies). Adaptive policies consume this in
+    /// `PlacementPolicy::on_gc_feedback`.
+    pub site_rescues: HashMap<u32, u64>,
+    /// Demoted objects per allocation site (cumulative; only populated for
+    /// site-tracking policies).
+    pub site_demotions: HashMap<u32, u64>,
+
     /// Heap composition samples, one per collection (Figure 13).
     pub composition: Vec<CompositionSample>,
 
@@ -222,6 +230,20 @@ impl GcStats {
             .copied()
             .map(SiteId)
             .unwrap_or(SiteId::UNKNOWN)
+    }
+
+    /// Records a rescue of a known-site object (PCM → DRAM).
+    pub fn record_site_rescue(&mut self, site: SiteId) {
+        if !site.is_unknown() {
+            *self.site_rescues.entry(site.raw()).or_insert(0) += 1;
+        }
+    }
+
+    /// Records a demotion of a known-site object (DRAM → PCM).
+    pub fn record_site_demotion(&mut self, site: SiteId) {
+        if !site.is_unknown() {
+            *self.site_demotions.entry(site.raw()).or_insert(0) += 1;
+        }
     }
 
     /// Fraction of advised placements (by objects) that chose mature DRAM.
@@ -352,6 +374,20 @@ mod tests {
         // not inherit the dead object's site.
         stats.object_moved(Address::new(0x900), Address::new(0x500));
         assert_eq!(stats.site_of(Address::new(0x500)), SiteId::UNKNOWN);
+    }
+
+    #[test]
+    fn site_rescue_and_demotion_counters_skip_unknown_sites() {
+        let mut stats = GcStats::default();
+        stats.record_site_rescue(SiteId(3));
+        stats.record_site_rescue(SiteId(3));
+        stats.record_site_rescue(SiteId::UNKNOWN);
+        stats.record_site_demotion(SiteId(4));
+        stats.record_site_demotion(SiteId::UNKNOWN);
+        assert_eq!(stats.site_rescues.get(&3), Some(&2));
+        assert_eq!(stats.site_demotions.get(&4), Some(&1));
+        assert!(!stats.site_rescues.contains_key(&0));
+        assert!(!stats.site_demotions.contains_key(&0));
     }
 
     #[test]

@@ -28,3 +28,4 @@ pub mod sites;
 pub use mutator::{MutatorProgress, SyntheticMutator, WorkloadConfig};
 pub use profile::{BenchmarkProfile, Suite};
 pub use profiles::{all_benchmarks, benchmark, simulated_benchmarks};
+pub use sites::site_map_hash;

@@ -336,9 +336,7 @@ impl SyntheticMutator {
 }
 
 fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |hash, byte| {
-        (hash ^ byte as u64).wrapping_mul(0x100_0000_01b3)
-    })
+    crate::sites::fnv1a(name.bytes())
 }
 
 #[cfg(test)]

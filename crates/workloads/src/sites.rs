@@ -43,6 +43,38 @@ fn pick(rng: &mut SmallRng, range: std::ops::Range<u32>) -> SiteId {
     SiteId(rng.gen_range(range.start..range.end))
 }
 
+/// A stable hash of the synthetic site map: every behaviour range's name and
+/// bounds, FNV-folded. Profiling runs stamp it into the `.kgprof` header
+/// (`advice::SiteProfile::site_map_hash`); a later run whose hash differs —
+/// because these ranges were renumbered or resized between program versions
+/// — detects the drift and applies the stale advice per-site instead of
+/// rejecting it.
+pub fn site_map_hash() -> u64 {
+    let ranges: [(&str, &std::ops::Range<u32>); 7] = [
+        ("short", &SHORT_SITES),
+        ("observed", &OBSERVED_SITES),
+        ("mature-cold", &MATURE_COLD_SITES),
+        ("mature-hot", &MATURE_HOT_SITES),
+        ("mixed", &MIXED_SITES),
+        ("large-ephemeral", &LARGE_EPHEMERAL_SITES),
+        ("large-mature", &LARGE_MATURE_SITES),
+    ];
+    let bytes = ranges.into_iter().flat_map(|(name, range)| {
+        name.bytes()
+            .chain(range.start.to_le_bytes())
+            .chain(range.end.to_le_bytes())
+    });
+    fnv1a(bytes)
+}
+
+/// The crate's shared FNV-1a fold (also hashes benchmark names into the
+/// mutator's RNG seed).
+pub(crate) fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    bytes.into_iter().fold(0xcbf2_9ce4_8422_2325u64, |hash, byte| {
+        (hash ^ byte as u64).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
 /// Behaviour class of one allocation, decided before the object is born
 /// (sites must be chosen at allocation time, like a real `new` statement).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -172,6 +204,12 @@ mod tests {
             );
             assert!(MATURE_COLD_SITES.contains(&cold.raw()) || MIXED_SITES.contains(&cold.raw()));
         }
+    }
+
+    #[test]
+    fn site_map_hash_is_stable_and_nonzero() {
+        assert_eq!(site_map_hash(), site_map_hash());
+        assert_ne!(site_map_hash(), 0);
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Regenerates the golden numbers pinned in `tests/policy_conformance.rs`.
+//!
+//! Run with `cargo run --release --example golden_capture` and paste the
+//! output into the `GOLDEN` table **only** when the simulator or the
+//! workloads legitimately change behaviour; a placement-policy change that
+//! shifts these numbers is a conformance regression, not a reason to
+//! regenerate.
+
+use experiments::runner::{run_benchmark, ExperimentConfig};
+use hybrid_mem::MemoryKind;
+use kingsguard::HeapConfig;
+use workloads::benchmark;
+
+fn main() {
+    for (name, config) in [
+        ("lusearch", ExperimentConfig::quick()),
+        ("lusearch", ExperimentConfig::quick().with_scale(512)),
+        ("pmd", ExperimentConfig::quick()),
+    ] {
+        let profile = benchmark(name).unwrap();
+        for heap_config in [
+            HeapConfig::gen_immix_dram(),
+            HeapConfig::gen_immix_pcm(),
+            HeapConfig::kg_n(),
+            HeapConfig::kg_w(),
+            HeapConfig::kg_w_no_loo_no_mdo(),
+            HeapConfig::kg_w_no_primitive_monitoring(),
+            HeapConfig::kg_a(advice::AdviceTable::all_cold()),
+        ] {
+            let r = run_benchmark(&profile, heap_config, &config);
+            println!(
+                "(\"{}\", {}, \"{}\", {}, {}, {}, {}),",
+                name,
+                config.scale,
+                r.collector,
+                r.memory.writes(MemoryKind::Pcm),
+                r.memory.writes(MemoryKind::Dram),
+                r.gc.pcm_to_dram_rescues,
+                r.gc.dram_to_pcm_demotions,
+            );
+        }
+    }
+}

@@ -223,6 +223,34 @@ fn kg_a_advice_transfers_across_seeds() {
 }
 
 #[test]
+fn adaptive_kg_d_converges_without_a_profiling_run() {
+    // KG-D starts blind (all-PCM placement) and must learn the hot sites
+    // online: by the end of the run it has pretenured objects into DRAM,
+    // pays no observer-space tax, and its PCM write rate sits at or below
+    // KG-N's — the acceptance bound of the adaptive design.
+    let profile = benchmark("lusearch").unwrap();
+    let config = quick();
+    let kg_n = run_benchmark(&profile, HeapConfig::kg_n(), &config);
+    let kg_w = run_benchmark(&profile, HeapConfig::kg_w(), &config);
+    let kg_d = run_benchmark(&profile, HeapConfig::kg_d(), &config);
+    assert_eq!(kg_d.collector, "KG-D");
+    assert_eq!(kg_d.gc.observer.collections, 0, "KG-D pays no observer-space tax");
+    assert!(
+        kg_d.gc.advised_to_dram_objects > 0,
+        "KG-D must learn hot sites during the run"
+    );
+    assert!(
+        kg_d.pcm_write_rate_32core() <= kg_n.pcm_write_rate_32core(),
+        "KG-D rate {} must not exceed KG-N {}",
+        kg_d.pcm_write_rate_32core(),
+        kg_n.pcm_write_rate_32core()
+    );
+    // Sanity: the adaptive collector lands between the static bounds.
+    assert!(kg_d.pcm_writes() < kg_n.pcm_writes());
+    assert!(kg_w.pcm_writes() > 0);
+}
+
+#[test]
 fn mutator_data_survives_collections_intact() {
     // Write a recognisable pattern into a long-lived object, force it
     // through nursery, observer and major collections, and check the bytes.

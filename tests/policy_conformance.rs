@@ -1,0 +1,129 @@
+//! Policy-conformance suite: the `PlacementPolicy`-based collectors must
+//! reproduce the behaviour of the pre-refactor `CollectorKind`-dispatched
+//! implementations exactly, and the online-adaptive KG-D must respect its
+//! write-rate bound.
+//!
+//! The golden numbers below were captured from the enum-dispatched
+//! implementation immediately before the trait refactor (the workloads are
+//! deterministic for a given seed, so equality is exact). Regenerate them
+//! with `cargo run --release --example golden_capture` if the simulator
+//! itself legitimately changes.
+
+use advice::AdviceTable;
+use experiments::runner::{run_benchmark, ExperimentConfig};
+use hybrid_mem::MemoryKind;
+use kingsguard::HeapConfig;
+use workloads::benchmark;
+
+/// (benchmark, scale, collector, PCM writes, DRAM writes, rescues,
+/// demotions) captured from the pre-refactor implementation.
+const GOLDEN: &[(&str, u64, &str, u64, u64, u64, u64)] = &[
+    ("lusearch", 2048, "DRAM-only", 0, 262571, 0, 0),
+    ("lusearch", 2048, "PCM-only", 262571, 0, 0, 0),
+    ("lusearch", 2048, "KG-N", 101376, 161195, 0, 0),
+    ("lusearch", 2048, "KG-W", 19166, 319749, 0, 0),
+    ("lusearch", 2048, "KG-W-LOO-MDO", 19166, 319749, 0, 0),
+    ("lusearch", 2048, "KG-W-PM", 12661, 249738, 0, 0),
+    ("lusearch", 2048, "KG-A", 101162, 161725, 0, 0),
+    ("lusearch", 512, "DRAM-only", 0, 1059933, 0, 0),
+    ("lusearch", 512, "PCM-only", 1059933, 0, 0, 0),
+    ("lusearch", 512, "KG-N", 476898, 583035, 0, 0),
+    ("lusearch", 512, "KG-W", 63686, 1368283, 0, 0),
+    ("lusearch", 512, "KG-W-LOO-MDO", 63686, 1368283, 0, 0),
+    ("lusearch", 512, "KG-W-PM", 136194, 956328, 0, 0),
+    ("lusearch", 512, "KG-A", 414489, 650826, 692, 0),
+    ("pmd", 2048, "DRAM-only", 0, 111260, 0, 0),
+    ("pmd", 2048, "PCM-only", 111260, 0, 0, 0),
+    ("pmd", 2048, "KG-N", 19026, 92234, 0, 0),
+    ("pmd", 2048, "KG-W", 2497, 117747, 0, 0),
+    ("pmd", 2048, "KG-W-LOO-MDO", 2497, 117747, 0, 0),
+    ("pmd", 2048, "KG-W-PM", 1933, 111556, 0, 0),
+    ("pmd", 2048, "KG-A", 19469, 92730, 0, 0),
+];
+
+fn config_for(label: &str) -> HeapConfig {
+    match label {
+        "DRAM-only" => HeapConfig::gen_immix_dram(),
+        "PCM-only" => HeapConfig::gen_immix_pcm(),
+        "KG-N" => HeapConfig::kg_n(),
+        "KG-W" => HeapConfig::kg_w(),
+        "KG-W-LOO-MDO" => HeapConfig::kg_w_no_loo_no_mdo(),
+        "KG-W-PM" => HeapConfig::kg_w_no_primitive_monitoring(),
+        "KG-A" => HeapConfig::kg_a(AdviceTable::all_cold()),
+        other => panic!("unknown collector label {other}"),
+    }
+}
+
+#[test]
+fn trait_based_collectors_reproduce_the_pre_refactor_stats_exactly() {
+    for &(name, scale, label, pcm, dram, rescues, demotions) in GOLDEN {
+        let profile = benchmark(name).unwrap();
+        let config = ExperimentConfig::quick().with_scale(scale);
+        let result = run_benchmark(&profile, config_for(label), &config);
+        assert_eq!(result.collector, label);
+        assert_eq!(
+            (
+                result.memory.writes(MemoryKind::Pcm),
+                result.memory.writes(MemoryKind::Dram),
+                result.gc.pcm_to_dram_rescues,
+                result.gc.dram_to_pcm_demotions,
+            ),
+            (pcm, dram, rescues, demotions),
+            "{name} @ scale {scale} under {label} diverged from the pre-refactor implementation"
+        );
+    }
+}
+
+/// The KG-D bound: on a stationary workload, the adaptive collector's PCM
+/// write rate never exceeds KG-N's once it has converged — checked over
+/// multiple seeds and benchmarks, with no prior profiling run and no advice
+/// seed. (The rescue fallback alone guarantees the bound; adaptation only
+/// widens it.)
+#[test]
+fn kg_d_never_exceeds_kg_n_pcm_write_rate_on_stationary_workloads() {
+    for name in ["lusearch", "pmd", "xalan"] {
+        let profile = benchmark(name).unwrap();
+        for seed in [7u64, 0xC0FFEE, 0xD1FF_5EED] {
+            let config = ExperimentConfig {
+                seed,
+                ..ExperimentConfig::quick()
+            };
+            let kg_n = run_benchmark(&profile, HeapConfig::kg_n(), &config);
+            let kg_d = run_benchmark(&profile, HeapConfig::kg_d(), &config);
+            assert!(
+                kg_d.pcm_write_rate_32core() <= kg_n.pcm_write_rate_32core(),
+                "{name} seed {seed:#x}: KG-D rate {} exceeds KG-N {}",
+                kg_d.pcm_write_rate_32core(),
+                kg_n.pcm_write_rate_32core()
+            );
+            assert_eq!(kg_d.gc.observer.collections, 0, "KG-D has no observer space");
+        }
+    }
+}
+
+/// KG-D seeded from a stale profile must still respect the KG-N bound and
+/// keep adapting (the stale table is a starting point, not a contract).
+#[test]
+fn kg_d_with_a_stale_seed_still_respects_the_kg_n_bound() {
+    use experiments::advise::{advice_from_disk, profile_workload};
+    let dir = std::env::temp_dir().join(format!("kingsguard-kgd-stale-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let profile = benchmark("lusearch").unwrap();
+    let (_, path) = profile_workload(&profile, &ExperimentConfig::quick(), &dir);
+    let (_, table) = advice_from_disk(&path);
+    // "Stale": a different seed changes which concrete objects each site
+    // produces, as a new program version would.
+    let production = ExperimentConfig {
+        seed: 0xBEEF,
+        ..ExperimentConfig::quick()
+    };
+    let kg_n = run_benchmark(&profile, HeapConfig::kg_n(), &production);
+    let kg_d = run_benchmark(&profile, HeapConfig::kg_d_with(table), &production);
+    assert!(
+        kg_d.pcm_write_rate_32core() <= kg_n.pcm_write_rate_32core(),
+        "stale-seeded KG-D rate {} exceeds KG-N {}",
+        kg_d.pcm_write_rate_32core(),
+        kg_n.pcm_write_rate_32core()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -82,6 +82,7 @@ fn heap_configs() -> Vec<HeapConfig> {
         HeapConfig::kg_w_no_loo_no_mdo(),
         HeapConfig::kg_w_no_primitive_monitoring(),
         HeapConfig::kg_a(AdviceTable::all_cold()),
+        HeapConfig::kg_d(),
     ]
 }
 
@@ -169,7 +170,7 @@ fn run_program(config: HeapConfig, steps: &[Step]) {
 
 /// Reachable objects keep their identity and shape across arbitrary
 /// interleavings of mutation and collection, for every collector (including
-/// the profile-guided KG-A).
+/// the profile-guided KG-A and the online-adaptive KG-D).
 #[test]
 fn live_objects_survive_any_program() {
     check_property("live_objects_survive_any_program", 24, |rng| {
@@ -281,6 +282,64 @@ fn kg_w_never_greatly_exceeds_kg_n_pcm_application_writes() {
             // KG-W may add a handful of PCM writes through extra copying-related
             // reference updates, but application writes must not blow up.
             assert!(kg_w <= kg_n + 64, "KG-W app PCM writes {} vs KG-N {}", kg_w, kg_n);
+        },
+    );
+}
+
+/// The adaptive analogue of the KG-W bound: for the same program, the
+/// online-adaptive KG-D never sends meaningfully more application writes to
+/// PCM than KG-N does — whatever it learns, the rescue fallback and DRAM
+/// pretenuring only remove PCM write targets.
+#[test]
+fn kg_d_never_greatly_exceeds_kg_n_pcm_application_writes() {
+    check_property(
+        "kg_d_never_greatly_exceeds_kg_n_pcm_application_writes",
+        16,
+        |rng| {
+            let steps = arbitrary_program(rng, 20, 150);
+            let run = |config: HeapConfig| {
+                let mut heap = KingsguardHeap::new(config, MemoryConfig::architecture_independent());
+                let mut handles: Vec<(Handle, u16, u32)> = Vec::new();
+                let mut site: u32 = 1;
+                for step in &steps {
+                    match step {
+                        Step::Alloc { ref_slots, payload } => {
+                            let handle =
+                                heap.alloc_site(ObjectShape::new(*ref_slots, *payload), 1, SiteId(site));
+                            handles.push((handle, *ref_slots, *payload));
+                            site = (site % 16) + 1;
+                        }
+                        Step::AllocLarge { payload } => {
+                            handles.push((heap.alloc(ObjectShape::primitive(*payload), 1), 0, *payload))
+                        }
+                        Step::WritePrim { victim, offset } if !handles.is_empty() => {
+                            let (handle, _, payload) = handles[victim % handles.len()];
+                            if payload > 0 {
+                                heap.write_prim(handle, offset % payload as usize, 8);
+                            }
+                        }
+                        Step::WriteRef { src, slot, target } if !handles.is_empty() => {
+                            let (src_handle, ref_slots, _) = handles[src % handles.len()];
+                            let (target_handle, ..) = handles[target % handles.len()];
+                            if ref_slots > 0 {
+                                heap.write_ref(src_handle, slot % ref_slots as usize, Some(target_handle));
+                            }
+                        }
+                        Step::Release { victim } if !handles.is_empty() => {
+                            let (handle, ..) = handles.swap_remove(victim % handles.len());
+                            heap.release(handle);
+                        }
+                        Step::CollectNursery => heap.collect_young(),
+                        Step::CollectFull => heap.collect_full(),
+                        _ => {}
+                    }
+                }
+                let report = heap.finish();
+                report.memory.phase_writes(MemoryKind::Pcm).get(Phase::Mutator)
+            };
+            let kg_n = run(HeapConfig::kg_n());
+            let kg_d = run(HeapConfig::kg_d());
+            assert!(kg_d <= kg_n + 64, "KG-D app PCM writes {} vs KG-N {}", kg_d, kg_n);
         },
     );
 }
