@@ -18,8 +18,8 @@
 //!   nursery survival and post-nursery write counts during a profiling run,
 //! * [`SiteProfile`] / [`profile_to_string`] / [`parse_profile`] — the
 //!   versioned on-disk profile format (round-trippable, forward-refusing),
-//! * [`SiteClass`] / [`classify`] — homogeneity classification of a site as
-//!   write-hot, write-cold or mixed,
+//! * [`SiteClass`] / [`classify()`](classify::classify) — homogeneity
+//!   classification of a site as write-hot, write-cold or mixed,
 //! * [`AdviceTable`] — the per-site placement decisions consumed by the
 //!   KG-A collector (`CollectorKind::KgAdvice` in the `kingsguard` crate).
 //!

@@ -283,7 +283,7 @@ pub(crate) fn run_profiled_waves(
 }
 
 /// [`profile_then_advise`] with the (benchmark, collector) pairs fanned out
-/// over up to `jobs` worker threads (see [`run_profiled_waves`]).
+/// over up to `jobs` worker threads (see `run_profiled_waves`).
 pub fn profile_then_advise_jobs(
     config: &ExperimentConfig,
     benchmarks: &[&str],

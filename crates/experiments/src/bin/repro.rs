@@ -3,18 +3,27 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment> [--scale N] [--quick] [--jobs N] [--profile-dir DIR]
+//! repro <experiment> [--scale N] [--quick] [--jobs N] [--mutators K] [--profile-dir DIR]
 //!
 //! experiments: fig1 fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!              table1 table2 table3 table4 headline advise adaptive all
+//!              table1 table2 table3 table4 headline advise adaptive mutators all
 //! ```
 //!
 //! `--scale N` divides the paper's allocation volumes and heap sizes by `N`
 //! (default 256). `--quick` uses the small smoke-test configuration.
-//! `--jobs N` fans the embarrassingly parallel (benchmark, collector) pairs
-//! of the advise/adaptive experiments over `N` worker threads (results and
-//! output ordering are identical to a sequential run). Build with
+//! `--jobs N` fans the embarrassingly parallel per-benchmark runs of every
+//! figure/table experiment — and the (benchmark, collector) pairs of the
+//! advise/adaptive/mutators comparisons — over `N` worker threads (results
+//! and output ordering are identical to a sequential run). Build with
 //! `--release`; full-scale runs of `all` take a few minutes.
+//!
+//! The `mutators` experiment runs the simulation subset through the
+//! multi-mutator `MutatorContext` API with `--mutators K` (default 4)
+//! interleaved mutator threads and verifies that aggregate PCM/DRAM write
+//! counts match the K=1 run exactly (sharded counters and batched write
+//! barriers lose no events), that KG-D holds its KG-N bound under K
+//! mutators, and that KG-D un-learns the GraphChi-style streaming
+//! workload's mid-run phase change.
 //!
 //! The `advise` experiment (also reachable as `--profile-then-advise`) runs
 //! the two-phase pipeline: a KG-N profiling run per benchmark persists a
@@ -33,10 +42,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use experiments::runner::ExperimentConfig;
-use experiments::{adaptive, advise, composition, energy_time, lifetime, tables, writes};
+use experiments::{adaptive, advise, composition, energy_time, lifetime, mutators, tables, writes};
 
 fn usage() -> &'static str {
-    "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table1|table2|table3|table4|headline|advise|adaptive|all> [--scale N] [--quick] [--jobs N] [--profile-dir DIR]\n       repro --profile-then-advise [--scale N] [--quick] [--jobs N] [--profile-dir DIR]\n       repro --adaptive [--scale N] [--quick] [--jobs N] [--profile-dir DIR]"
+    "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table1|table2|table3|table4|headline|advise|adaptive|mutators|all> [--scale N] [--quick] [--jobs N] [--mutators K] [--profile-dir DIR]\n       repro --profile-then-advise [--scale N] [--quick] [--jobs N] [--profile-dir DIR]\n       repro --adaptive [--scale N] [--quick] [--jobs N] [--profile-dir DIR]"
 }
 
 fn main() -> ExitCode {
@@ -50,11 +59,32 @@ fn main() -> ExitCode {
     let mut hw = ExperimentConfig::architecture_independent();
     let mut profile_dir = PathBuf::from("target/site-profiles");
     let mut jobs = 1usize;
+    let mut mutator_threads = 4usize;
+    // `--mutators K` defaults the experiment to `mutators` only when the
+    // whole command line names no other experiment (resolved after the
+    // loop), so the flag composes with any experiment in any position.
+    let mut mutators_flag_seen = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--profile-then-advise" if experiment.is_empty() => experiment = "advise".to_string(),
             "--adaptive" if experiment.is_empty() => experiment = "adaptive".to_string(),
+            "--mutators" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--mutators requires a value");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<usize>() {
+                    Ok(k) if k > 0 => {
+                        mutator_threads = k;
+                        mutators_flag_seen = true;
+                    }
+                    _ => {
+                        eprintln!("invalid --mutators value: {value}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--jobs" => {
                 let Some(value) = iter.next() else {
                     eprintln!("--jobs requires a value");
@@ -106,9 +136,15 @@ fn main() -> ExitCode {
         }
     }
     if experiment.is_empty() {
-        eprintln!("{}", usage());
-        return ExitCode::FAILURE;
+        if mutators_flag_seen {
+            experiment = "mutators".to_string();
+        } else {
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
     }
+    sim = sim.with_jobs(jobs);
+    hw = hw.with_jobs(jobs);
 
     let run_one = |name: &str| -> Option<String> {
         match name {
@@ -134,6 +170,10 @@ fn main() -> ExitCode {
             "adaptive" => {
                 let benchmarks = adaptive::default_benchmarks();
                 Some(adaptive::adaptive_comparison(&hw, &benchmarks, &profile_dir, jobs).report())
+            }
+            "mutators" => {
+                let benchmarks = mutators::default_benchmarks();
+                Some(mutators::mutator_scaling(&hw, &benchmarks, mutator_threads).report())
             }
             "headline" => {
                 let life = lifetime::run(&sim);
@@ -167,7 +207,7 @@ fn main() -> ExitCode {
     let experiments: Vec<&str> = if experiment == "all" {
         vec![
             "table1", "table2", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "fig13", "table3", "table4", "advise", "adaptive", "headline",
+            "fig12", "fig13", "table3", "table4", "advise", "adaptive", "mutators", "headline",
         ]
     } else {
         vec![experiment.as_str()]

@@ -75,14 +75,13 @@ pub fn figure13(config: &ExperimentConfig) -> CompositionResults {
 
 /// Heap composition over time for an arbitrary set of benchmarks.
 pub fn figure13_for(config: &ExperimentConfig, names: &[&str]) -> CompositionResults {
-    let mut series = Vec::new();
-    for name in names {
+    let series = crate::runner::run_jobs(names, config.jobs, |name| {
         let profile = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
         let result = run_benchmark(&profile, HeapConfig::kg_w(), config);
-        series.push(CompositionSeries {
+        CompositionSeries {
             benchmark: profile.name.to_string(),
             samples: result.gc.composition.clone(),
-        });
-    }
+        }
+    });
     CompositionResults { series }
 }

@@ -6,7 +6,7 @@ use kingsguard::HeapConfig;
 use workloads::{all_benchmarks, simulated_benchmarks};
 
 use crate::report::{mean, ratio, TextTable};
-use crate::runner::{run_benchmark, ExperimentConfig, ExperimentResult};
+use crate::runner::{run_benchmark, run_jobs, ExperimentConfig, ExperimentResult};
 
 // ---------------------------------------------------------------------------
 // Figure 8: energy-delay product
@@ -78,20 +78,20 @@ impl EdpResults {
 /// Figure 8: EDP of PCM-only, KG-N and KG-W relative to DRAM-only on the
 /// simulation subset.
 pub fn figure8(config: &ExperimentConfig) -> EdpResults {
-    let mut rows = Vec::new();
-    for profile in simulated_benchmarks() {
-        let dram = run_benchmark(&profile, HeapConfig::gen_immix_dram(), config);
-        let pcm = run_benchmark(&profile, HeapConfig::gen_immix_pcm(), config);
-        let kg_n = run_benchmark(&profile, HeapConfig::kg_n(), config);
-        let kg_w = run_benchmark(&profile, HeapConfig::kg_w(), config);
+    let benchmarks = simulated_benchmarks();
+    let rows = run_jobs(&benchmarks, config.jobs, |profile| {
+        let dram = run_benchmark(profile, HeapConfig::gen_immix_dram(), config);
+        let pcm = run_benchmark(profile, HeapConfig::gen_immix_pcm(), config);
+        let kg_n = run_benchmark(profile, HeapConfig::kg_n(), config);
+        let kg_w = run_benchmark(profile, HeapConfig::kg_w(), config);
         let base = dram.edp.max(f64::MIN_POSITIVE);
-        rows.push(EdpRow {
+        EdpRow {
             benchmark: profile.name.to_string(),
             pcm_only: pcm.edp / base,
             kg_n: kg_n.edp / base,
             kg_w: kg_w.edp / base,
-        });
-    }
+        }
+    });
     EdpResults { rows }
 }
 
@@ -175,10 +175,10 @@ impl OverheadResults {
 /// Figure 9: decomposes KG-W's overhead over DRAM-only into PCM latency,
 /// remembered sets, collection work, write monitoring and other.
 pub fn figure9(config: &ExperimentConfig) -> OverheadResults {
-    let mut rows = Vec::new();
-    for profile in simulated_benchmarks() {
-        let dram = run_benchmark(&profile, HeapConfig::gen_immix_dram(), config);
-        let kg_w = run_benchmark(&profile, HeapConfig::kg_w(), config);
+    let benchmarks = simulated_benchmarks();
+    let rows = run_jobs(&benchmarks, config.jobs, |profile| {
+        let dram = run_benchmark(profile, HeapConfig::gen_immix_dram(), config);
+        let kg_w = run_benchmark(profile, HeapConfig::kg_w(), config);
         let base = dram.execution_time_s().max(f64::MIN_POSITIVE);
         let total_pct = (kg_w.execution_time_s() - dram.execution_time_s()) / base * 100.0;
         let pcm_pct = kg_w.time.pcm_s / base * 100.0;
@@ -186,15 +186,15 @@ pub fn figure9(config: &ExperimentConfig) -> OverheadResults {
         let gc_pct = (kg_w.time.gc_s - dram.time.gc_s).max(0.0) / base * 100.0;
         let monitoring_pct = kg_w.time.monitoring_s / base * 100.0;
         let other_pct = (total_pct - pcm_pct - remsets_pct - gc_pct - monitoring_pct).max(0.0);
-        rows.push(OverheadRow {
+        OverheadRow {
             benchmark: profile.name.to_string(),
             pcm_pct,
             remsets_pct,
             gc_pct,
             monitoring_pct,
             other_pct,
-        });
-    }
+        }
+    });
     OverheadResults { rows }
 }
 
@@ -264,9 +264,9 @@ pub fn figure12(config: &ExperimentConfig) -> PerformanceResults {
         mode: crate::MeasurementMode::ArchitectureIndependent,
         ..*config
     };
-    let mut rows = Vec::new();
-    for profile in all_benchmarks() {
-        let kg_n = run_benchmark(&profile, HeapConfig::kg_n(), &config);
+    let benchmarks = all_benchmarks();
+    let rows = run_jobs(&benchmarks, config.jobs, |profile| {
+        let kg_n = run_benchmark(profile, HeapConfig::kg_n(), &config);
         let base = dram_hardware_time(&kg_n).max(f64::MIN_POSITIVE);
         let configs = [
             HeapConfig::kg_w(),
@@ -276,13 +276,13 @@ pub fn figure12(config: &ExperimentConfig) -> PerformanceResults {
         ];
         let mut relative = [0.0f64; 4];
         for (i, heap_config) in configs.into_iter().enumerate() {
-            let result = run_benchmark(&profile, heap_config, &config);
+            let result = run_benchmark(profile, heap_config, &config);
             relative[i] = dram_hardware_time(&result) / base;
         }
-        rows.push(PerformanceRow {
+        PerformanceRow {
             benchmark: profile.name.to_string(),
             relative,
-        });
-    }
+        }
+    });
     PerformanceResults { rows }
 }

@@ -36,6 +36,7 @@ pub mod advise;
 pub mod composition;
 pub mod energy_time;
 pub mod lifetime;
+pub mod mutators;
 pub mod report;
 pub mod runner;
 pub mod tables;
@@ -43,4 +44,5 @@ pub mod writes;
 
 pub use adaptive::{adaptive_comparison, AdaptiveResults};
 pub use advise::{profile_then_advise, profile_then_advise_jobs, AdviseResults};
+pub use mutators::{mutator_scaling, MutatorResults};
 pub use runner::{run_jobs, ExperimentConfig, ExperimentResult, MeasurementMode};

@@ -5,7 +5,7 @@ use kingsguard::HeapConfig;
 use workloads::simulated_benchmarks;
 
 use crate::report::{mean, TextTable};
-use crate::runner::{run_benchmark, ExperimentConfig, ExperimentResult};
+use crate::runner::{run_benchmark, run_jobs, ExperimentConfig, ExperimentResult};
 
 /// One benchmark's lifetime results under the three collectors.
 #[derive(Clone, Debug)]
@@ -107,20 +107,25 @@ impl LifetimeResults {
 /// Runs the lifetime experiments (Figures 1 and 5) over the simulation
 /// subset.
 pub fn run(config: &ExperimentConfig) -> LifetimeResults {
-    let mut rows = Vec::new();
-    let mut raw = Vec::new();
-    for profile in simulated_benchmarks() {
-        let pcm_only = run_benchmark(&profile, HeapConfig::gen_immix_pcm(), config);
-        let kg_n = run_benchmark(&profile, HeapConfig::kg_n(), config);
-        let kg_w = run_benchmark(&profile, HeapConfig::kg_w(), config);
+    let benchmarks = simulated_benchmarks();
+    let per_benchmark = run_jobs(&benchmarks, config.jobs, |profile| {
+        let pcm_only = run_benchmark(profile, HeapConfig::gen_immix_pcm(), config);
+        let kg_n = run_benchmark(profile, HeapConfig::kg_n(), config);
+        let kg_w = run_benchmark(profile, HeapConfig::kg_w(), config);
         let endurance = Endurance::Mid30M.writes_per_cell();
-        rows.push(LifetimeRow {
+        let row = LifetimeRow {
             benchmark: profile.name.to_string(),
             pcm_only_years: pcm_only.pcm_lifetime_years(endurance),
             kg_n_years: kg_n.pcm_lifetime_years(endurance),
             kg_w_years: kg_w.pcm_lifetime_years(endurance),
-        });
-        raw.extend([pcm_only, kg_n, kg_w]);
+        };
+        (row, [pcm_only, kg_n, kg_w])
+    });
+    let mut rows = Vec::new();
+    let mut raw = Vec::new();
+    for (row, results) in per_benchmark {
+        rows.push(row);
+        raw.extend(results);
     }
     LifetimeResults { rows, raw }
 }

@@ -34,6 +34,10 @@ pub struct ExperimentConfig {
     pub cache_scale: usize,
     /// Measurement mode.
     pub mode: MeasurementMode,
+    /// Worker threads for fanning the embarrassingly parallel per-benchmark
+    /// runs of an experiment over [`run_jobs`] (`1` runs inline; results and
+    /// output ordering are identical either way).
+    pub jobs: usize,
 }
 
 impl ExperimentConfig {
@@ -44,6 +48,7 @@ impl ExperimentConfig {
             seed: 0xC0FFEE,
             cache_scale: 16,
             mode: MeasurementMode::Simulation,
+            jobs: 1,
         }
     }
 
@@ -62,12 +67,19 @@ impl ExperimentConfig {
             seed: 7,
             cache_scale: 64,
             mode: MeasurementMode::ArchitectureIndependent,
+            jobs: 1,
         }
     }
 
     /// Same configuration with a different scale.
     pub fn with_scale(mut self, scale: u64) -> Self {
         self.scale = scale;
+        self
+    }
+
+    /// Same configuration with a different worker-thread count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
         self
     }
 
@@ -168,6 +180,21 @@ impl ExperimentResult {
     }
 }
 
+/// Estimated 32-core PCM write rate of a raw [`kingsguard::RunReport`] in
+/// bytes/s: the same derivation `finalize` bakes into
+/// [`ExperimentResult::pcm_write_rate_32core`] (default execution model,
+/// PCM bytes over modeled time, times the published scaling factor), for
+/// callers holding a report instead of a finalized result.
+pub fn report_pcm_write_rate_32core(report: &kingsguard::RunReport, scaling_factor: f64) -> f64 {
+    let time = ExecutionModel::default()
+        .breakdown(&report.gc.work, &report.memory)
+        .total_s();
+    if time <= 0.0 {
+        return 0.0;
+    }
+    report.memory.bytes_written(MemoryKind::Pcm) as f64 / time * scaling_factor
+}
+
 fn heap_config_for(
     profile: &BenchmarkProfile,
     mut base: HeapConfig,
@@ -262,7 +289,7 @@ pub fn run_benchmark_with_wp(profile: &BenchmarkProfile, config: &ExperimentConf
     let mut wp = WritePartitioning::new(WritePartitioningConfig::default());
     let mutator = SyntheticMutator::new(profile.clone(), config.workload());
     mutator.run_with(&mut heap, |heap, progress| {
-        wp.advance(heap.memory_mut(), progress.elapsed_ms);
+        heap.with_synced_memory(|mem| wp.advance(mem, progress.elapsed_ms));
     });
     finalize(profile, "WP".to_string(), heap, Some(wp.stats()), 1.0 / 32.0, 1.0)
 }
@@ -387,6 +414,20 @@ mod tests {
             run_benchmark(&profile, c.clone(), &config).pcm_writes()
         });
         assert_eq!(sequential, threaded);
+    }
+
+    #[test]
+    fn figure_experiments_are_jobs_invariant() {
+        // The figure/table experiments fan per-benchmark rows over
+        // `config.jobs`; results and ordering must be identical to a
+        // sequential run.
+        let sequential = crate::writes::figure6(&ExperimentConfig::quick());
+        let threaded = crate::writes::figure6(&ExperimentConfig::quick().with_jobs(3));
+        assert_eq!(sequential.rows.len(), threaded.rows.len());
+        for (a, b) in sequential.rows.iter().zip(&threaded.rows) {
+            assert_eq!(a.benchmark, b.benchmark);
+            assert_eq!(a.relative, b.relative);
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@ use kingsguard::HeapConfig;
 use workloads::{all_benchmarks, simulated_benchmarks};
 
 use crate::report::{mean, percent, TextTable};
-use crate::runner::{run_benchmark, run_benchmark_with_wp, ExperimentConfig};
+use crate::runner::{run_benchmark, run_benchmark_with_wp, run_jobs, ExperimentConfig};
 
 /// Table 1: collector configurations (a static description).
 pub fn table1() -> String {
@@ -153,19 +153,19 @@ impl WriteRateResults {
 
 /// Table 3: write-rate estimation for the simulation subset.
 pub fn table3(config: &ExperimentConfig) -> WriteRateResults {
-    let mut rows = Vec::new();
-    for profile in simulated_benchmarks() {
-        let result = run_benchmark(&profile, HeapConfig::gen_immix_pcm(), config);
+    let benchmarks = simulated_benchmarks();
+    let rows = run_jobs(&benchmarks, config.jobs, |profile| {
+        let result = run_benchmark(profile, HeapConfig::gen_immix_pcm(), config);
         let four_core = result.pcm_write_rate_4core() / 1e9;
         let scaling = profile.scaling_factor.unwrap_or(1.0);
-        rows.push(WriteRateRow {
+        WriteRateRow {
             benchmark: profile.name.to_string(),
             scaling_factor: scaling,
             simulated_4core_gbps: four_core,
             estimated_32core_gbps: four_core * scaling,
             paper_gbps: profile.paper_write_rate_gbps.unwrap_or(0.0),
-        });
-    }
+        }
+    });
     WriteRateResults { rows }
 }
 
@@ -296,12 +296,12 @@ pub fn table4(config: &ExperimentConfig, include_wp: bool) -> Table4Results {
         ..*config
     };
     let to_mb = |bytes: u64| bytes as f64 / (1 << 20) as f64;
-    let mut rows = Vec::new();
-    for profile in all_benchmarks() {
-        let kg_n = run_benchmark(&profile, HeapConfig::kg_n(), &config);
-        let kg_w = run_benchmark(&profile, HeapConfig::kg_w(), &config);
+    let benchmarks = all_benchmarks();
+    let rows = run_jobs(&benchmarks, config.jobs, |profile| {
+        let kg_n = run_benchmark(profile, HeapConfig::kg_n(), &config);
+        let kg_w = run_benchmark(profile, HeapConfig::kg_w(), &config);
         let wp_dram_mb = if include_wp && profile.simulated {
-            let wp = run_benchmark_with_wp(&profile, &config);
+            let wp = run_benchmark_with_wp(profile, &config);
             wp.wp
                 .map(|s| to_mb((s.peak_dram_pages * hybrid_mem::PAGE_SIZE) as u64))
                 .unwrap_or(0.0)
@@ -309,7 +309,7 @@ pub fn table4(config: &ExperimentConfig, include_wp: bool) -> Table4Results {
             0.0
         };
         let heap_bytes = kg_w.gc.peak_pcm_mapped + kg_w.gc.peak_dram_mapped;
-        rows.push(DemographicsRow {
+        DemographicsRow {
             benchmark: profile.name.to_string(),
             allocation_mb: to_mb(kg_w.gc.bytes_allocated) * config.scale as f64,
             heap_mb: profile.heap_mb as f64,
@@ -328,8 +328,8 @@ pub fn table4(config: &ExperimentConfig, include_wp: bool) -> Table4Results {
             observer_survival: kg_w.gc.observer_survival(),
             held_in_dram_bytes: kg_w.gc.observer_dram_fraction(),
             held_in_dram_objects: kg_w.gc.observer_dram_object_fraction(),
-        });
-    }
+        }
+    });
     Table4Results {
         rows,
         scale: config.scale,

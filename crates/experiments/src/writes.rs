@@ -5,7 +5,7 @@ use kingsguard::HeapConfig;
 use workloads::{all_benchmarks, simulated_benchmarks};
 
 use crate::report::{mean, percent, ratio, TextTable};
-use crate::runner::{run_benchmark, run_benchmark_with_wp, ExperimentConfig, ExperimentResult};
+use crate::runner::{run_benchmark, run_benchmark_with_wp, run_jobs, ExperimentConfig, ExperimentResult};
 
 // ---------------------------------------------------------------------------
 // Figure 2: write demographics
@@ -88,16 +88,16 @@ pub fn figure2(config: &ExperimentConfig) -> DemographicsResults {
         mode: crate::MeasurementMode::ArchitectureIndependent,
         ..*config
     };
-    let mut rows = Vec::new();
-    for profile in all_benchmarks() {
-        let result = run_benchmark(&profile, HeapConfig::gen_immix_dram(), &config);
-        rows.push(DemographicsRow {
+    let benchmarks = all_benchmarks();
+    let rows = run_jobs(&benchmarks, config.jobs, |profile| {
+        let result = run_benchmark(profile, HeapConfig::gen_immix_dram(), &config);
+        DemographicsRow {
             benchmark: profile.name.to_string(),
             nursery_fraction: result.gc.nursery_write_fraction(),
             top10_share: result.gc.top_mature_writer_share(0.10),
             top2_share: result.gc.top_mature_writer_share(0.02),
-        });
-    }
+        }
+    });
     DemographicsResults { rows }
 }
 
@@ -152,9 +152,9 @@ impl WriteReductionResults {
 /// Figure 6: PCM writes of the four Kingsguard configurations relative to
 /// PCM-only, on the simulation subset.
 pub fn figure6(config: &ExperimentConfig) -> WriteReductionResults {
-    let mut rows = Vec::new();
-    for profile in simulated_benchmarks() {
-        let baseline = run_benchmark(&profile, HeapConfig::gen_immix_pcm(), config);
+    let benchmarks = simulated_benchmarks();
+    let rows = run_jobs(&benchmarks, config.jobs, |profile| {
+        let baseline = run_benchmark(profile, HeapConfig::gen_immix_pcm(), config);
         let base_writes = baseline.pcm_writes().max(1) as f64;
         let configs = [
             HeapConfig::kg_n(),
@@ -164,14 +164,14 @@ pub fn figure6(config: &ExperimentConfig) -> WriteReductionResults {
         ];
         let mut relative = [0.0f64; 4];
         for (i, heap_config) in configs.into_iter().enumerate() {
-            let result = run_benchmark(&profile, heap_config, config);
+            let result = run_benchmark(profile, heap_config, config);
             relative[i] = result.pcm_writes() as f64 / base_writes;
         }
-        rows.push(WriteReductionRow {
+        WriteReductionRow {
             benchmark: profile.name.to_string(),
             relative,
-        });
-    }
+        }
+    });
     WriteReductionResults { rows }
 }
 
@@ -263,14 +263,14 @@ impl WpComparisonResults {
 /// Figure 7: KG-N, KG-W and OS Write Partitioning PCM writes relative to
 /// PCM-only on the simulation subset.
 pub fn figure7(config: &ExperimentConfig) -> WpComparisonResults {
-    let mut rows = Vec::new();
-    for profile in simulated_benchmarks() {
-        let baseline = run_benchmark(&profile, HeapConfig::gen_immix_pcm(), config);
+    let benchmarks = simulated_benchmarks();
+    let rows = run_jobs(&benchmarks, config.jobs, |profile| {
+        let baseline = run_benchmark(profile, HeapConfig::gen_immix_pcm(), config);
         let base_writes = baseline.pcm_writes().max(1) as f64;
-        let kg_n = run_benchmark(&profile, HeapConfig::kg_n(), config);
-        let kg_w = run_benchmark(&profile, HeapConfig::kg_w(), config);
-        let wp = run_benchmark_with_wp(&profile, config);
-        rows.push(WpComparisonRow {
+        let kg_n = run_benchmark(profile, HeapConfig::kg_n(), config);
+        let kg_w = run_benchmark(profile, HeapConfig::kg_w(), config);
+        let wp = run_benchmark_with_wp(profile, config);
+        WpComparisonRow {
             benchmark: profile.name.to_string(),
             kg_n: kg_n.pcm_writes() as f64 / base_writes,
             kg_w: kg_w.pcm_writes() as f64 / base_writes,
@@ -280,8 +280,8 @@ pub fn figure7(config: &ExperimentConfig) -> WpComparisonResults {
                 .wp
                 .map(|s| (s.peak_dram_pages * hybrid_mem::PAGE_SIZE) as u64)
                 .unwrap_or(0),
-        });
-    }
+        }
+    });
     WpComparisonResults { rows }
 }
 
@@ -363,14 +363,16 @@ fn origin_row(result: &ExperimentResult, normaliser: f64) -> WriteOriginRow {
 /// Figure 10: attributes PCM writes to the phase that last wrote each cache
 /// line, for KG-N and KG-W on the simulation subset.
 pub fn figure10(config: &ExperimentConfig) -> WriteOriginResults {
-    let mut rows = Vec::new();
-    for profile in simulated_benchmarks() {
-        let kg_n = run_benchmark(&profile, HeapConfig::kg_n(), config);
-        let kg_w = run_benchmark(&profile, HeapConfig::kg_w(), config);
+    let benchmarks = simulated_benchmarks();
+    let rows = run_jobs(&benchmarks, config.jobs, |profile| {
+        let kg_n = run_benchmark(profile, HeapConfig::kg_n(), config);
+        let kg_w = run_benchmark(profile, HeapConfig::kg_w(), config);
         let normaliser = kg_n.pcm_writes().max(1) as f64;
-        rows.push(origin_row(&kg_n, normaliser));
-        rows.push(origin_row(&kg_w, normaliser));
-    }
+        [origin_row(&kg_n, normaliser), origin_row(&kg_w, normaliser)]
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     WriteOriginResults { rows }
 }
 
@@ -446,19 +448,19 @@ pub fn figure11(config: &ExperimentConfig) -> HardwareWritesResults {
         mode: crate::MeasurementMode::ArchitectureIndependent,
         ..*config
     };
-    let mut rows = Vec::new();
-    for profile in all_benchmarks() {
-        let kg_n = run_benchmark(&profile, HeapConfig::kg_n(), &config);
+    let benchmarks = all_benchmarks();
+    let rows = run_jobs(&benchmarks, config.jobs, |profile| {
+        let kg_n = run_benchmark(profile, HeapConfig::kg_n(), &config);
         let baseline = kg_n.pcm_app_writes().max(1) as f64;
-        let kg_n_12 = run_benchmark(&profile, HeapConfig::kg_n_large_nursery(), &config);
-        let kg_w = run_benchmark(&profile, HeapConfig::kg_w(), &config);
-        let kg_w_pm = run_benchmark(&profile, HeapConfig::kg_w_no_primitive_monitoring(), &config);
-        rows.push(HardwareWritesRow {
+        let kg_n_12 = run_benchmark(profile, HeapConfig::kg_n_large_nursery(), &config);
+        let kg_w = run_benchmark(profile, HeapConfig::kg_w(), &config);
+        let kg_w_pm = run_benchmark(profile, HeapConfig::kg_w_no_primitive_monitoring(), &config);
+        HardwareWritesRow {
             benchmark: profile.name.to_string(),
             kg_n_12: kg_n_12.pcm_app_writes() as f64 / baseline,
             kg_w: kg_w.pcm_app_writes() as f64 / baseline,
             kg_w_pm: kg_w_pm.pcm_app_writes() as f64 / baseline,
-        });
-    }
+        }
+    });
     HardwareWritesResults { rows }
 }

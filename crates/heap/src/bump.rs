@@ -98,6 +98,34 @@ impl BumpAllocator {
         Some(start)
     }
 
+    /// Carves a thread-local allocation window of at least `min_size` bytes
+    /// (8-byte aligned) and at most `max(chunk_size, min_size)` bytes,
+    /// demand-mapping its pages like [`BumpAllocator::alloc`]. A
+    /// `chunk_size` of zero carves exactly `min_size` (the exact mode of
+    /// [`crate::tlab`]: addresses identical to direct bump allocation).
+    /// Returns `None` when even `min_size` no longer fits — the caller's
+    /// signal to trigger a collection.
+    pub fn carve(
+        &mut self,
+        mem: &mut MemorySystem,
+        min_size: usize,
+        chunk_size: usize,
+        kind: MemoryKind,
+        space: SpaceId,
+    ) -> Option<crate::tlab::Tlab> {
+        let min = (min_size + 7) & !7;
+        if self.remaining_bytes() < min {
+            return None;
+        }
+        let want = if chunk_size == 0 {
+            min
+        } else {
+            ((chunk_size + 7) & !7).max(min).min(self.remaining_bytes())
+        };
+        let start = self.alloc(mem, want, kind, space)?;
+        Some(crate::tlab::Tlab::new(start, want))
+    }
+
     /// Resets the cursor to the base, releasing the logical contents. Mapped
     /// pages are kept mapped (the VM reuses nursery pages across collections).
     pub fn reset(&mut self) {

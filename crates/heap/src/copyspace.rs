@@ -93,22 +93,52 @@ impl CopySpace {
         type_id: u16,
         phase: Phase,
     ) -> Option<ObjectRef> {
+        let addr = self.bump.alloc(mem, shape.size(), self.kind, self.id)?;
+        Some(self.init_object(mem, addr, shape, type_id, phase))
+    }
+
+    /// Zero-fills and initialises a freshly allocated object at `addr` and
+    /// counts it against this space's cumulative totals. This is the second
+    /// half of [`CopySpace::alloc`], exposed so the TLAB fast path (bump
+    /// inside a window carved with [`CopySpace::carve_tlab`]) performs the
+    /// identical initialisation sequence: memory is zeroed first (the "Why
+    /// Nothing Matters" zeroing writes), then the header is initialised.
+    pub fn init_object(
+        &mut self,
+        mem: &mut MemorySystem,
+        addr: hybrid_mem::Address,
+        shape: ObjectShape,
+        type_id: u16,
+        phase: Phase,
+    ) -> ObjectRef {
         let size = shape.size();
-        let addr = self.bump.alloc(mem, size, self.kind, self.id)?;
-        // Freshly allocated memory is zeroed (the "Why Nothing Matters"
-        // zeroing writes), then the header is initialised.
         mem.zero(addr, size, phase);
         let obj = ObjectRef::from_address(addr);
         obj.initialize(mem, shape, type_id, phase);
         self.objects_allocated += 1;
         self.bytes_allocated += size as u64;
-        Some(obj)
+        obj
     }
 
     /// Allocates raw room for a copied object of `size` bytes without
     /// zeroing (the collector copies the full object bytes over it).
     pub fn alloc_for_copy(&mut self, mem: &mut MemorySystem, size: usize) -> Option<hybrid_mem::Address> {
         self.bump.alloc(mem, size, self.kind, self.id)
+    }
+
+    /// Carves a thread-local allocation window for a mutator context: at
+    /// least `min_size` bytes, at most `max(chunk_size, min_size)`
+    /// (`chunk_size == 0` carves exactly `min_size` — see [`crate::tlab`]).
+    /// Objects bump-allocated inside the window are initialised and counted
+    /// through [`CopySpace::init_object`]. Returns `None` when the space
+    /// cannot fit `min_size` — the mutator's cue to request a collection.
+    pub fn carve_tlab(
+        &mut self,
+        mem: &mut MemorySystem,
+        min_size: usize,
+        chunk_size: usize,
+    ) -> Option<crate::tlab::Tlab> {
+        self.bump.carve(mem, min_size, chunk_size, self.kind, self.id)
     }
 
     /// Resets the space after its survivors have been evacuated.
@@ -222,6 +252,44 @@ mod tests {
         let addr = space.alloc_for_copy(&mut mem, 128).unwrap();
         assert_eq!(space.total_objects_allocated(), 0);
         assert!(space.contains(addr));
+    }
+
+    #[test]
+    fn exact_tlab_carving_matches_direct_bump_addresses() {
+        let (mut mem, mut space) = setup(64 * 1024);
+        let (mut mem2, mut space2) = setup(64 * 1024);
+        for size in [24usize, 40, 64, 13] {
+            let direct = space.alloc_for_copy(&mut mem, size).unwrap();
+            let mut tlab = space2.carve_tlab(&mut mem2, size, 0).unwrap();
+            let carved = tlab.alloc(size).unwrap();
+            assert_eq!(direct, carved, "exact mode must mirror direct bumping");
+            assert_eq!(tlab.remaining_bytes(), 0, "exact windows are single-object");
+            space2.init_object(
+                &mut mem2,
+                carved,
+                ObjectShape::primitive(size as u32),
+                1,
+                Phase::Mutator,
+            );
+        }
+        assert_eq!(space.used_bytes(), space2.used_bytes());
+        assert_eq!(space2.total_objects_allocated(), 4);
+    }
+
+    #[test]
+    fn chunked_tlab_carving_serves_many_objects_per_window() {
+        let (mut mem, mut space) = setup(64 * 1024);
+        let mut tlab = space.carve_tlab(&mut mem, 32, 1024).unwrap();
+        let mut served = 0;
+        while tlab.alloc(32).is_some() {
+            served += 1;
+        }
+        assert_eq!(served, 1024 / 32);
+        assert_eq!(space.used_bytes(), 1024, "the whole window is carved up front");
+        // Exhausted space refuses to carve: the collection trigger.
+        let (mut mem3, mut space3) = setup(4096);
+        assert!(space3.carve_tlab(&mut mem3, 4096, 0).is_some());
+        assert!(space3.carve_tlab(&mut mem3, 8, 1024).is_none());
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod object;
 pub mod remset;
 pub mod roots;
 pub mod space;
+pub mod tlab;
 
 pub use copyspace::CopySpace;
 pub use immix::ImmixSpace;
@@ -40,3 +41,4 @@ pub use object::{ObjectRef, ObjectShape, HEADER_BYTES, LARGE_OBJECT_THRESHOLD, R
 pub use remset::RememberedSet;
 pub use roots::{Handle, RootTable};
 pub use space::{SpaceId, SpaceUsage};
+pub use tlab::Tlab;

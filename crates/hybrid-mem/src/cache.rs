@@ -237,6 +237,12 @@ impl CacheLevel {
 pub struct CacheHierarchy {
     levels: Vec<CacheLevel>,
     enabled: bool,
+    /// Per-shard tallies of accesses that hit in some level / missed all the
+    /// way to memory (index = shard). Sharded alongside the controller's
+    /// counters so multi-mutator runs get per-mutator locality for free.
+    shard_hits: Vec<u64>,
+    shard_misses: Vec<u64>,
+    active_shard: usize,
 }
 
 impl CacheHierarchy {
@@ -245,6 +251,9 @@ impl CacheHierarchy {
         CacheHierarchy {
             levels: config.levels.iter().map(|&c| CacheLevel::new(c)).collect(),
             enabled: !config.levels.is_empty(),
+            shard_hits: vec![0],
+            shard_misses: vec![0],
+            active_shard: 0,
         }
     }
 
@@ -254,12 +263,41 @@ impl CacheHierarchy {
         CacheHierarchy {
             levels: Vec::new(),
             enabled: false,
+            shard_hits: vec![0],
+            shard_misses: vec![0],
+            active_shard: 0,
         }
     }
 
     /// Returns `true` if caching is active.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Ensures per-shard tallies exist for shard indices `0..=shard`.
+    pub fn ensure_shard(&mut self, shard: usize) {
+        if shard >= self.shard_hits.len() {
+            self.shard_hits.resize(shard + 1, 0);
+            self.shard_misses.resize(shard + 1, 0);
+        }
+    }
+
+    /// Selects the shard whose hit/miss tallies subsequent accesses update.
+    pub fn set_active_shard(&mut self, shard: usize) {
+        self.ensure_shard(shard);
+        self.active_shard = shard;
+    }
+
+    /// Accesses of `shard` that hit in some cache level (0 with caching
+    /// disabled).
+    pub fn shard_hits(&self, shard: usize) -> u64 {
+        self.shard_hits.get(shard).copied().unwrap_or(0)
+    }
+
+    /// Accesses of `shard` that missed every level and reached memory (0
+    /// with caching disabled).
+    pub fn shard_misses(&self, shard: usize) -> u64 {
+        self.shard_misses.get(shard).copied().unwrap_or(0)
     }
 
     /// Accesses cache line `line`. Returns the memory-side events caused by
@@ -276,6 +314,11 @@ impl CacheHierarchy {
                 hit_level = Some(i);
                 break;
             }
+        }
+        if hit_level.is_some() {
+            self.shard_hits[self.active_shard] += 1;
+        } else {
+            self.shard_misses[self.active_shard] += 1;
         }
         match hit_level {
             Some(0) => {}
@@ -471,6 +514,21 @@ mod tests {
         let n = events.len();
         cache.flush_all(&mut events);
         assert_eq!(events.len(), n);
+    }
+
+    #[test]
+    fn shard_tallies_follow_the_active_shard() {
+        let mut cache = CacheHierarchy::new(&tiny_config());
+        let mut events = Vec::new();
+        cache.access(1, false, Phase::Mutator, &mut events); // miss, shard 0
+        cache.set_active_shard(2);
+        cache.access(1, false, Phase::Mutator, &mut events); // hit, shard 2
+        cache.access(9, false, Phase::Mutator, &mut events); // miss, shard 2
+        assert_eq!(cache.shard_misses(0), 1);
+        assert_eq!(cache.shard_hits(0), 0);
+        assert_eq!(cache.shard_hits(2), 1);
+        assert_eq!(cache.shard_misses(2), 1);
+        assert_eq!(cache.shard_hits(7), 0, "unknown shards read as zero");
     }
 
     #[test]

@@ -8,7 +8,20 @@
 //!   (Figure 10),
 //! * per-page write counts (consumed by the OS Write Partitioning baseline
 //!   and by the wear statistics),
+//! * writes per cache line (wear-distribution statistics, optional),
 //! * migration writes performed by the OS (Figure 7).
+//!
+//! # Counter shards
+//!
+//! The hot counters are *sharded*: every counter lives in one
+//! `CounterShard`-shaped block per registered shard, and each device event
+//! is recorded into the currently active shard ([`ShardId::BASE`] unless a
+//! mutator context is executing). Shards exist so that multi-mutator
+//! workloads can account their traffic without contending on one global
+//! block; they never lose events because every aggregate accessor folds
+//! across all shards on read, and [`MemoryController::merge_shard`] compacts
+//! a shard into the base block at mutator drain points. The per-shard
+//! accessors double as per-mutator traffic attribution.
 
 use std::collections::HashMap;
 
@@ -16,9 +29,27 @@ use crate::address::{PageId, CACHE_LINE_SIZE, PAGE_SIZE};
 use crate::stats::PhaseWrites;
 use crate::system::{MemoryKind, Phase};
 
-/// Device-side access counters.
-#[derive(Debug, Default)]
-pub struct MemoryController {
+/// Identifier of one counter shard. Shard 0 ([`ShardId::BASE`]) always
+/// exists and receives collector/runtime traffic; further shards are
+/// registered per mutator context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShardId(pub(crate) usize);
+
+impl ShardId {
+    /// The always-present base shard (collector, runtime and any traffic not
+    /// attributed to a mutator context).
+    pub const BASE: ShardId = ShardId(0);
+
+    /// Raw shard index (diagnostic only).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One block of device counters. Every counter of the controller exists once
+/// per shard; aggregates fold across shards.
+#[derive(Clone, Debug, Default)]
+struct CounterShard {
     reads: [u64; 2],
     writes: [u64; 2],
     phase_writes: [PhaseWrites; 2],
@@ -26,7 +57,47 @@ pub struct MemoryController {
     page_writes: HashMap<u64, u64>,
     line_writes: HashMap<u64, u64>,
     migration_writes: [u64; 2],
+}
+
+impl CounterShard {
+    fn absorb(&mut self, other: &mut CounterShard) {
+        for kind in 0..2 {
+            self.reads[kind] += other.reads[kind];
+            self.writes[kind] += other.writes[kind];
+            self.migration_writes[kind] += other.migration_writes[kind];
+            for (phase, n) in other.phase_writes[kind].iter() {
+                self.phase_writes[kind].add(phase, n);
+            }
+            for (phase, n) in other.phase_reads[kind].iter() {
+                self.phase_reads[kind].add(phase, n);
+            }
+        }
+        for (page, n) in other.page_writes.drain() {
+            *self.page_writes.entry(page).or_insert(0) += n;
+        }
+        for (line, n) in other.line_writes.drain() {
+            *self.line_writes.entry(line).or_insert(0) += n;
+        }
+        other.reads = [0; 2];
+        other.writes = [0; 2];
+        other.migration_writes = [0; 2];
+        other.phase_writes = [PhaseWrites::default(); 2];
+        other.phase_reads = [PhaseWrites::default(); 2];
+    }
+}
+
+/// Device-side access counters (sharded; see the module docs).
+#[derive(Debug)]
+pub struct MemoryController {
+    shards: Vec<CounterShard>,
+    active: usize,
     track_lines: bool,
+}
+
+impl Default for MemoryController {
+    fn default() -> Self {
+        Self::new(false)
+    }
 }
 
 impl MemoryController {
@@ -35,25 +106,68 @@ impl MemoryController {
     /// tracking is always on because the WP baseline requires it).
     pub fn new(track_lines: bool) -> Self {
         MemoryController {
+            shards: vec![CounterShard::default()],
+            active: 0,
             track_lines,
-            ..Default::default()
         }
+    }
+
+    /// Registers a new counter shard (one per mutator context) and returns
+    /// its id.
+    pub fn register_shard(&mut self) -> ShardId {
+        self.shards.push(CounterShard::default());
+        ShardId(self.shards.len() - 1)
+    }
+
+    /// Number of shards, including the base shard.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Selects the shard subsequent events are recorded into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard was never registered.
+    pub fn set_active_shard(&mut self, shard: ShardId) {
+        assert!(shard.0 < self.shards.len(), "unregistered shard {shard:?}");
+        self.active = shard.0;
+    }
+
+    /// The shard currently receiving events.
+    pub fn active_shard(&self) -> ShardId {
+        ShardId(self.active)
+    }
+
+    /// Folds `shard`'s counters into the base shard and clears it. Aggregate
+    /// accessors are exact whether or not shards have been merged (they fold
+    /// on read); merging bounds per-shard map growth and is called from the
+    /// mutator drain path.
+    pub fn merge_shard(&mut self, shard: ShardId) {
+        if shard.0 == 0 || shard.0 >= self.shards.len() {
+            return;
+        }
+        let mut detached = std::mem::take(&mut self.shards[shard.0]);
+        self.shards[0].absorb(&mut detached);
+        self.shards[shard.0] = detached;
     }
 
     /// Records a device read of one cache line.
     pub fn record_read(&mut self, kind: MemoryKind, phase: Phase) {
-        self.reads[kind as usize] += 1;
-        self.phase_reads[kind as usize].add(phase, 1);
+        let shard = &mut self.shards[self.active];
+        shard.reads[kind as usize] += 1;
+        shard.phase_reads[kind as usize].add(phase, 1);
     }
 
     /// Records a device write of one cache line belonging to `page`.
     pub fn record_write(&mut self, kind: MemoryKind, phase: Phase, line: u64) {
-        self.writes[kind as usize] += 1;
-        self.phase_writes[kind as usize].add(phase, 1);
+        let shard = &mut self.shards[self.active];
+        shard.writes[kind as usize] += 1;
+        shard.phase_writes[kind as usize].add(phase, 1);
         let page = line * CACHE_LINE_SIZE as u64 / PAGE_SIZE as u64;
-        *self.page_writes.entry(page).or_insert(0) += 1;
+        *shard.page_writes.entry(page).or_insert(0) += 1;
         if self.track_lines {
-            *self.line_writes.entry(line).or_insert(0) += 1;
+            *shard.line_writes.entry(line).or_insert(0) += 1;
         }
     }
 
@@ -63,62 +177,115 @@ impl MemoryController {
     /// Figure 7 can distinguish write-backs from migrations.
     pub fn record_page_migration(&mut self, from: MemoryKind, to: MemoryKind) {
         let lines = (PAGE_SIZE / CACHE_LINE_SIZE) as u64;
-        self.reads[from as usize] += lines;
-        self.writes[to as usize] += lines;
-        self.migration_writes[to as usize] += lines;
-        self.phase_writes[to as usize].add(Phase::Runtime, lines);
+        let shard = &mut self.shards[self.active];
+        shard.reads[from as usize] += lines;
+        shard.writes[to as usize] += lines;
+        shard.migration_writes[to as usize] += lines;
+        shard.phase_writes[to as usize].add(Phase::Runtime, lines);
     }
 
-    /// Total device reads to `kind` (in cache lines).
+    /// Total device reads to `kind` (in cache lines), folded across shards.
     pub fn reads(&self, kind: MemoryKind) -> u64 {
-        self.reads[kind as usize]
+        self.shards.iter().map(|s| s.reads[kind as usize]).sum()
     }
 
-    /// Total device writes to `kind` (in cache lines), including migrations.
+    /// Total device writes to `kind` (in cache lines), including migrations,
+    /// folded across shards.
     pub fn writes(&self, kind: MemoryKind) -> u64 {
-        self.writes[kind as usize]
+        self.shards.iter().map(|s| s.writes[kind as usize]).sum()
     }
 
     /// Device writes to `kind` caused by OS page migration.
     pub fn migration_writes(&self, kind: MemoryKind) -> u64 {
-        self.migration_writes[kind as usize]
+        self.shards
+            .iter()
+            .map(|s| s.migration_writes[kind as usize])
+            .sum()
     }
 
     /// Device writes to `kind` excluding migration traffic ("write-backs" in
     /// Figure 7).
     pub fn writeback_writes(&self, kind: MemoryKind) -> u64 {
-        self.writes[kind as usize] - self.migration_writes[kind as usize]
+        self.writes(kind) - self.migration_writes(kind)
     }
 
-    /// Per-phase write breakdown for `kind`.
+    /// Per-phase write breakdown for `kind`, folded across shards.
     pub fn phase_writes(&self, kind: MemoryKind) -> PhaseWrites {
-        self.phase_writes[kind as usize]
+        let mut total = PhaseWrites::default();
+        for shard in &self.shards {
+            for (phase, n) in shard.phase_writes[kind as usize].iter() {
+                total.add(phase, n);
+            }
+        }
+        total
     }
 
-    /// Per-phase read breakdown for `kind`.
+    /// Per-phase read breakdown for `kind`, folded across shards.
     pub fn phase_reads(&self, kind: MemoryKind) -> PhaseWrites {
-        self.phase_reads[kind as usize]
+        let mut total = PhaseWrites::default();
+        for shard in &self.shards {
+            for (phase, n) in shard.phase_reads[kind as usize].iter() {
+                total.add(phase, n);
+            }
+        }
+        total
     }
 
-    /// Write count of a specific page (0 if never written).
+    /// Device reads to `kind` recorded into `shard` and not yet merged (the
+    /// per-mutator attribution view).
+    pub fn shard_reads(&self, shard: ShardId, kind: MemoryKind) -> u64 {
+        self.shards.get(shard.0).map_or(0, |s| s.reads[kind as usize])
+    }
+
+    /// Device writes to `kind` recorded into `shard` and not yet merged.
+    pub fn shard_writes(&self, shard: ShardId, kind: MemoryKind) -> u64 {
+        self.shards.get(shard.0).map_or(0, |s| s.writes[kind as usize])
+    }
+
+    /// Write count of a specific page (0 if never written), folded across
+    /// shards.
     pub fn page_write_count(&self, page: PageId) -> u64 {
-        self.page_writes.get(&page.0).copied().unwrap_or(0)
+        self.shards
+            .iter()
+            .map(|s| s.page_writes.get(&page.0).copied().unwrap_or(0))
+            .sum()
     }
 
-    /// Iterates over `(page, writes)` pairs for all written pages.
+    /// Iterates over `(page, writes)` pairs for all written pages, folded
+    /// across shards.
     pub fn page_writes(&self) -> impl Iterator<Item = (PageId, u64)> + '_ {
-        self.page_writes.iter().map(|(&p, &w)| (PageId(p), w))
+        let mut merged: HashMap<u64, u64> = HashMap::new();
+        for shard in &self.shards {
+            for (&p, &w) in &shard.page_writes {
+                *merged.entry(p).or_insert(0) += w;
+            }
+        }
+        merged.into_iter().map(|(p, w)| (PageId(p), w))
     }
 
-    /// Iterates over `(cache line, writes)` pairs if line tracking is on.
+    /// Iterates over `(cache line, writes)` pairs if line tracking is on,
+    /// folded across shards.
     pub fn line_writes(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.line_writes.iter().map(|(&l, &w)| (l, w))
+        let mut merged: HashMap<u64, u64> = HashMap::new();
+        for shard in &self.shards {
+            for (&l, &w) in &shard.line_writes {
+                *merged.entry(l).or_insert(0) += w;
+            }
+        }
+        merged.into_iter()
     }
 
-    /// Resets the per-page write counters (the WP baseline consumes and
-    /// clears them each OS quantum).
+    /// Resets the per-page write counters across every shard (the WP
+    /// baseline consumes and clears them each OS quantum), returning the
+    /// folded counts.
     pub fn take_page_writes(&mut self) -> HashMap<u64, u64> {
-        std::mem::take(&mut self.page_writes)
+        let mut merged: HashMap<u64, u64> = HashMap::new();
+        for shard in &mut self.shards {
+            for (p, w) in shard.page_writes.drain() {
+                *merged.entry(p).or_insert(0) += w;
+            }
+        }
+        merged
     }
 
     /// Total bytes written to `kind` (cache-line granularity).
@@ -193,5 +360,53 @@ mod tests {
         let taken = mc.take_page_writes();
         assert_eq!(taken.len(), 1);
         assert_eq!(mc.page_write_count(PageId(0)), 0);
+    }
+
+    #[test]
+    fn sharded_events_fold_into_every_aggregate_accessor() {
+        let mut mc = MemoryController::new(true);
+        let shard = mc.register_shard();
+        mc.record_write(MemoryKind::Pcm, Phase::Mutator, 1);
+        mc.set_active_shard(shard);
+        mc.record_write(MemoryKind::Pcm, Phase::Mutator, 1);
+        mc.record_write(MemoryKind::Pcm, Phase::Runtime, 2);
+        mc.record_read(MemoryKind::Dram, Phase::Mutator);
+        mc.set_active_shard(ShardId::BASE);
+        // Aggregates fold across shards without a merge.
+        assert_eq!(mc.writes(MemoryKind::Pcm), 3);
+        assert_eq!(mc.reads(MemoryKind::Dram), 1);
+        assert_eq!(mc.phase_writes(MemoryKind::Pcm).get(Phase::Mutator), 2);
+        assert_eq!(mc.page_write_count(PageId(0)), 3);
+        assert_eq!(mc.line_writes().count(), 2);
+        // Per-shard attribution before the merge.
+        assert_eq!(mc.shard_writes(shard, MemoryKind::Pcm), 2);
+        assert_eq!(mc.shard_writes(ShardId::BASE, MemoryKind::Pcm), 1);
+        // Merging moves the shard's counts into the base without changing
+        // any aggregate.
+        mc.merge_shard(shard);
+        assert_eq!(mc.shard_writes(shard, MemoryKind::Pcm), 0);
+        assert_eq!(mc.shard_writes(ShardId::BASE, MemoryKind::Pcm), 3);
+        assert_eq!(mc.writes(MemoryKind::Pcm), 3);
+        assert_eq!(mc.page_write_count(PageId(0)), 3);
+        assert_eq!(mc.line_writes().collect::<HashMap<_, _>>().get(&1), Some(&2));
+    }
+
+    #[test]
+    fn take_page_writes_drains_unmerged_shards() {
+        let mut mc = MemoryController::new(false);
+        let shard = mc.register_shard();
+        mc.record_write(MemoryKind::Pcm, Phase::Mutator, 0);
+        mc.set_active_shard(shard);
+        mc.record_write(MemoryKind::Pcm, Phase::Mutator, 0);
+        let taken = mc.take_page_writes();
+        assert_eq!(taken.get(&0), Some(&2), "sharded page counts must not be lost");
+        assert_eq!(mc.page_write_count(PageId(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered shard")]
+    fn activating_an_unregistered_shard_panics() {
+        let mut mc = MemoryController::new(false);
+        mc.set_active_shard(ShardId(3));
     }
 }

@@ -62,7 +62,7 @@ impl DramParams {
     }
 }
 
-/// PCM parameters (Table 2, derived from Lee et al. [26]).
+/// PCM parameters (Table 2, derived from Lee et al. \[26\]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PcmParams;
 

@@ -55,12 +55,12 @@ pub mod wear;
 
 pub use address::{Address, PageId, BLOCK_SIZE, CACHE_LINE_SIZE, LINE_SIZE, PAGE_SIZE};
 pub use cache::{CacheConfig, CacheHierarchy};
-pub use controller::MemoryController;
+pub use controller::{MemoryController, ShardId};
 pub use devices::{DeviceParams, DramParams, PcmParams};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use lifetime::{lifetime_years, Endurance, LifetimeModel};
 pub use page_map::PageMap;
-pub use stats::{MemoryStats, PhaseWrites};
+pub use stats::{MemoryStats, PhaseWrites, ShardStats};
 pub use system::{AccessKind, MemoryConfig, MemoryKind, MemorySystem, Phase};
 pub use timing::{ExecutionModel, TimeBreakdown};
 pub use wear::WearTracker;

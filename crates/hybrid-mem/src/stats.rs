@@ -103,6 +103,32 @@ impl MemoryStats {
     }
 }
 
+/// Per-shard traffic attribution: what one mutator context's accesses did
+/// to the devices and caches since the shard's last merge.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Device reads per kind (cache lines), indexed by `MemoryKind as usize`.
+    pub reads: [u64; 2],
+    /// Device writes per kind (cache lines).
+    pub writes: [u64; 2],
+    /// Accesses that hit in some cache level (0 with caching disabled).
+    pub cache_hits: u64,
+    /// Accesses that missed every cache level (0 with caching disabled).
+    pub cache_misses: u64,
+}
+
+impl ShardStats {
+    /// Device reads to `kind` in cache lines.
+    pub fn reads(&self, kind: MemoryKind) -> u64 {
+        self.reads[kind as usize]
+    }
+
+    /// Device writes to `kind` in cache lines.
+    pub fn writes(&self, kind: MemoryKind) -> u64 {
+        self.writes[kind as usize]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

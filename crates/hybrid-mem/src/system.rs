@@ -10,9 +10,9 @@
 use crate::address::{align_up_usize, Address, PageId, CACHE_LINE_SIZE, PAGE_SIZE};
 use crate::backing::ChunkedMemory;
 use crate::cache::{CacheConfig, CacheHierarchy, MemEvent};
-use crate::controller::MemoryController;
+use crate::controller::{MemoryController, ShardId};
 use crate::page_map::{PageInfo, PageMap};
-use crate::stats::MemoryStats;
+use crate::stats::{MemoryStats, ShardStats};
 
 /// Memory technology backing a page.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -259,6 +259,58 @@ impl MemorySystem {
     /// consume per-page write counters).
     pub fn controller_mut(&mut self) -> &mut MemoryController {
         &mut self.controller
+    }
+
+    // ------------------------------------------------------------------
+    // Counter shards (multi-mutator accounting)
+    // ------------------------------------------------------------------
+
+    /// Registers a per-mutator counter shard: subsequent accesses recorded
+    /// while the shard is active ([`Self::set_active_shard`]) accumulate into
+    /// its block instead of the base counters. Aggregate statistics fold
+    /// across shards on read, so no event is ever lost; [`Self::merge_shard`]
+    /// compacts a shard at mutator drain points.
+    pub fn register_mutator_shard(&mut self) -> ShardId {
+        let shard = self.controller.register_shard();
+        self.cache.ensure_shard(shard.index());
+        shard
+    }
+
+    /// Selects the counter shard subsequent accesses are attributed to.
+    /// Collector and runtime phases run on [`ShardId::BASE`].
+    pub fn set_active_shard(&mut self, shard: ShardId) {
+        self.controller.set_active_shard(shard);
+        self.cache.set_active_shard(shard.index());
+    }
+
+    /// The shard currently receiving accesses.
+    pub fn active_shard(&self) -> ShardId {
+        self.controller.active_shard()
+    }
+
+    /// Folds `shard`'s device counters into the base shard (exactness does
+    /// not depend on this — aggregates fold on read — but merging bounds
+    /// per-shard map growth; the heap calls it from the mutator drain path).
+    pub fn merge_shard(&mut self, shard: ShardId) {
+        self.controller.merge_shard(shard);
+    }
+
+    /// Per-shard traffic attribution: device reads/writes recorded into
+    /// `shard` since its last merge, plus its cache hit/miss tallies (which
+    /// survive merges).
+    pub fn shard_stats(&self, shard: ShardId) -> ShardStats {
+        ShardStats {
+            reads: [
+                self.controller.shard_reads(shard, MemoryKind::Dram),
+                self.controller.shard_reads(shard, MemoryKind::Pcm),
+            ],
+            writes: [
+                self.controller.shard_writes(shard, MemoryKind::Dram),
+                self.controller.shard_writes(shard, MemoryKind::Pcm),
+            ],
+            cache_hits: self.cache.shard_hits(shard.index()),
+            cache_misses: self.cache.shard_misses(shard.index()),
+        }
     }
 
     fn touch(&mut self, addr: Address, len: usize, kind: AccessKind, phase: Phase) {
@@ -522,6 +574,23 @@ mod tests {
         mem.map_pages(base, 1, MemoryKind::Dram, 0);
         mem.zero(base, 512, Phase::NurseryGc);
         assert_eq!(mem.stats().writes(MemoryKind::Dram), 512 / 64);
+    }
+
+    #[test]
+    fn shard_attribution_folds_into_aggregate_stats() {
+        let mut mem = small_system();
+        let base = mem.reserve_extent("sharded", 1 << 20);
+        mem.map_pages(base, 4, MemoryKind::Pcm, 0);
+        let shard = mem.register_mutator_shard();
+        mem.write_u64(base, 1, Phase::Mutator);
+        mem.set_active_shard(shard);
+        mem.write_u64(base.add(64), 2, Phase::Mutator);
+        mem.set_active_shard(ShardId::BASE);
+        assert_eq!(mem.stats().writes(MemoryKind::Pcm), 2, "aggregates fold shards");
+        assert_eq!(mem.shard_stats(shard).writes(MemoryKind::Pcm), 1);
+        mem.merge_shard(shard);
+        assert_eq!(mem.shard_stats(shard).writes(MemoryKind::Pcm), 0);
+        assert_eq!(mem.stats().writes(MemoryKind::Pcm), 2);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Wear-leveling statistics.
 //!
 //! The paper assumes the fine-grained line wear-leveling hardware of Qureshi
-//! et al. [42] and therefore models lifetime from the aggregate write rate
+//! et al. \[42\] and therefore models lifetime from the aggregate write rate
 //! alone. This module provides the supporting analysis: given per-line write
 //! counts it reports how uniform the write distribution actually is, what
 //! lifetime ideal wear-leveling achieves, and what lifetime would result with

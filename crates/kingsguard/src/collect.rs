@@ -60,6 +60,7 @@ impl KingsguardHeap {
     /// collectors it is always a nursery collection. A full-heap collection
     /// follows if the mature spaces exceed the heap budget.
     pub fn collect_young(&mut self) {
+        self.safepoint();
         if let Some(observer) = self.observer.as_ref() {
             let needed = self.nursery.used_bytes();
             let available = observer.free_bytes();
@@ -82,6 +83,7 @@ impl KingsguardHeap {
 
     /// Collects the nursery only.
     pub fn collect_nursery(&mut self) {
+        self.safepoint();
         let phase = Phase::NurseryGc;
         self.stats.nursery.collections += 1;
         let collected = self.nursery.used_bytes() as u64;
@@ -145,6 +147,7 @@ impl KingsguardHeap {
     ///
     /// Panics if called on a configuration without an observer space.
     pub fn collect_observer(&mut self) {
+        self.safepoint();
         assert!(
             self.observer.is_some(),
             "observer collection requires an observer-space policy (KG-W)"
@@ -525,6 +528,7 @@ impl KingsguardHeap {
 
     /// Full-heap collection.
     pub fn collect_full(&mut self) {
+        self.safepoint();
         let phase = Phase::MajorGc;
         self.stats.major.collections += 1;
 

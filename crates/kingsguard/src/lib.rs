@@ -46,11 +46,13 @@
 
 pub mod collect;
 pub mod config;
+pub mod mutator;
 pub mod policy;
 pub mod runtime;
 pub mod stats;
 
 pub use config::{CollectorKind, HeapConfig, KgwOptions};
+pub use mutator::{MutatorConfig, MutatorContext};
 pub use policy::{
     BarrierMode, GenImmixPolicy, KgAdvicePolicy, KgDynamicParams, KgDynamicPolicy, KgNurseryPolicy,
     KgWritersPolicy, LargePlacement, PlacementPolicy, SurvivorPlacement, Topology,

@@ -164,6 +164,10 @@ impl PlacementPolicy for KgDynamicPolicy {
         true
     }
 
+    fn adaptation_counters(&self) -> Option<(u64, u64)> {
+        Some((self.promotions, self.reversions))
+    }
+
     fn on_mature_write(&mut self, site: SiteId, kind: MemoryKind) {
         if kind != MemoryKind::Pcm {
             return;

@@ -225,7 +225,18 @@ pub trait PlacementPolicy: std::fmt::Debug + Send {
     /// full-heap collection with the run's cumulative statistics. Adaptive
     /// policies re-derive per-site advice here from the rescue/demotion
     /// counters ([`GcStats::site_rescues`], [`GcStats::site_demotions`]).
+    /// The runtime drains every mutator context's store buffer before each
+    /// collection, so the counters seen here include every barrier event
+    /// regardless of batching or mutator count.
     fn on_gc_feedback(&mut self, _stats: &GcStats) {}
+
+    /// Online-adaptation counters of the policy, when it has any:
+    /// `(promotions, reversions)` of learned per-site advice. Lets drivers
+    /// and experiments observe adaptation (e.g. un-learning after a workload
+    /// phase change) through the trait object without downcasting.
+    fn adaptation_counters(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// Builds the built-in policy for `config.collector`. `CollectorKind`

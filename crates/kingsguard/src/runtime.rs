@@ -7,15 +7,25 @@
 //! gathers the statistics the evaluation needs. The collection algorithms
 //! themselves live in [`crate::collect`]; every placement decision is
 //! delegated to the heap's [`PlacementPolicy`].
+//!
+//! The mutator interface comes in two forms. Multi-mutator workloads spawn
+//! per-thread [`crate::mutator::MutatorContext`] handles
+//! ([`KingsguardHeap::spawn_mutator`]) whose allocations go through private
+//! TLABs and whose barrier bookkeeping batches in per-context store buffers
+//! drained at safepoints. The legacy `&mut self` methods on the heap remain
+//! as thin wrappers over a built-in default context configured to drain
+//! every event immediately, which pins the single-mutator behaviour
+//! bit-exactly.
 
 use advice::{SiteId, SiteProfile, SiteProfiler};
-use hybrid_mem::{Address, MemoryConfig, MemoryKind, MemorySystem, Phase};
+use hybrid_mem::{Address, MemoryConfig, MemoryKind, MemorySystem, Phase, ShardId};
 use kingsguard_heap::object::{ObjectRef, ObjectShape};
 use kingsguard_heap::{
     CopySpace, Handle, ImmixSpace, LargeObjectSpace, MetadataSpace, RememberedSet, RootTable, SpaceId,
 };
 
 use crate::config::HeapConfig;
+use crate::mutator::{MutatorConfig, MutatorContext, MutatorState, WriteEvent};
 use crate::policy::{self, BarrierMode, LargePlacement, PlacementPolicy};
 use crate::stats::{GcStats, WriteTarget};
 
@@ -84,6 +94,9 @@ pub struct KingsguardHeap {
     pub(crate) profiler: Option<SiteProfiler>,
     /// The placement policy making every DRAM-vs-PCM decision.
     pub(crate) policy: Box<dyn PlacementPolicy>,
+    /// Per-context mutator state (TLAB, store buffer, counter shard); slot 0
+    /// is the built-in default context backing the legacy heap methods.
+    pub(crate) mutators: Vec<MutatorState>,
 }
 
 /// End-of-run report: collector statistics plus the flushed memory-system
@@ -179,6 +192,11 @@ impl KingsguardHeap {
         let metadata_base = mem.reserve_extent("metadata", config.metadata_capacity_bytes);
         let metadata = MetadataSpace::new(topology.metadata, metadata_base, config.metadata_capacity_bytes);
 
+        // The default mutator context behind the legacy `&mut self` methods:
+        // exact TLABs and immediate drains pin the pre-redesign behaviour.
+        let default_shard = mem.register_mutator_shard();
+        let mutators = vec![MutatorState::new(MutatorConfig::eager(), default_shard, (0, 0))];
+
         KingsguardHeap {
             config,
             mem,
@@ -199,6 +217,7 @@ impl KingsguardHeap {
             nursery_alloc_since_gc: 0,
             profiler: None,
             policy,
+            mutators,
         }
     }
 
@@ -235,10 +254,16 @@ impl KingsguardHeap {
         &self.mem
     }
 
-    /// Mutable access to the underlying memory system (used by the OS Write
-    /// Partitioning baseline driver).
-    pub fn memory_mut(&mut self) -> &mut MemorySystem {
-        &mut self.mem
+    /// Runs `f` on the memory system after draining every mutator context's
+    /// store buffer and merging the counter shards, so `f` observes complete
+    /// and exact statistics. This is the only mutable access to the memory
+    /// system — it replaces the old `memory_mut` escape hatch, which let
+    /// callers read (or reset) counters while events were still buffered in
+    /// mutator shards. The OS Write Partitioning baseline runs its quanta
+    /// through this, and tests use it for accounted object reads.
+    pub fn with_synced_memory<R>(&mut self, f: impl FnOnce(&mut MemorySystem) -> R) -> R {
+        self.drain_all_mutators();
+        f(&mut self.mem)
     }
 
     /// Number of live roots currently registered.
@@ -247,7 +272,150 @@ impl KingsguardHeap {
     }
 
     // ------------------------------------------------------------------
-    // Mutator interface
+    // Mutator contexts and safepoints
+    // ------------------------------------------------------------------
+
+    /// Spawns a mutator context with the default [`MutatorConfig`] (exact
+    /// TLABs, 256-event store buffer). See [`crate::mutator`] for the
+    /// lifecycle.
+    pub fn spawn_mutator(&mut self) -> MutatorContext {
+        self.spawn_mutator_with(MutatorConfig::default())
+    }
+
+    /// Spawns a mutator context with an explicit configuration, reusing the
+    /// slot and counter shard of a previously retired context when one
+    /// exists (so spawn/retire churn does not grow the mutator table).
+    pub fn spawn_mutator_with(&mut self, config: MutatorConfig) -> MutatorContext {
+        if let Some(index) = self.mutators.iter().position(|state| state.retired) {
+            let shard = self.mutators[index].shard;
+            let stats = self.mem.shard_stats(shard);
+            self.mutators[index] = MutatorState::new(config, shard, (stats.cache_hits, stats.cache_misses));
+            return MutatorContext { index };
+        }
+        let shard = self.mem.register_mutator_shard();
+        self.mutators.push(MutatorState::new(config, shard, (0, 0)));
+        MutatorContext {
+            index: self.mutators.len() - 1,
+        }
+    }
+
+    /// Retires a context (see [`MutatorContext::retire`]): drains its store
+    /// buffer, merges its counter shard, drops its TLAB and marks its slot
+    /// for reuse. Safepoints skip retired slots.
+    pub fn retire_mutator(&mut self, ctx: MutatorContext) {
+        self.drain_mutator(ctx.index);
+        self.mutators[ctx.index].tlab = None;
+        self.mutators[ctx.index].retired = true;
+    }
+
+    /// Number of live mutator contexts, including the built-in default
+    /// context (retired contexts are not counted).
+    pub fn mutator_count(&self) -> usize {
+        self.mutators.iter().filter(|state| !state.retired).count()
+    }
+
+    /// A GC safepoint: drains every context's store buffer, merges every
+    /// counter shard and retires every TLAB. Every collection entry point
+    /// runs this first, so collections always see complete remembered sets
+    /// and write bits; call it manually before reading mid-run statistics
+    /// that must include batched contexts' buffered events.
+    pub fn safepoint(&mut self) {
+        self.drain_all_mutators();
+        for state in &mut self.mutators {
+            state.tlab = None;
+        }
+    }
+
+    /// Drains every live context's store buffer and merges the counter
+    /// shards without retiring TLABs (the policy-decision sync of the
+    /// safepoint protocol; see [`crate::mutator`]).
+    pub(crate) fn drain_all_mutators(&mut self) {
+        for m in 0..self.mutators.len() {
+            if !self.mutators[m].retired {
+                self.drain_mutator(m);
+            }
+        }
+        self.mem.set_active_shard(ShardId::BASE);
+    }
+
+    /// Drains one context's store buffer and merges its counter shard.
+    pub(crate) fn drain_mutator(&mut self, m: usize) {
+        self.drain_mutator_events(m);
+        let shard = self.mutators[m].shard;
+        let stats = self.mem.shard_stats(shard);
+        for kind in 0..2 {
+            self.mutators[m].merged.reads[kind] += stats.reads[kind];
+            self.mutators[m].merged.writes[kind] += stats.writes[kind];
+        }
+        self.mem.merge_shard(shard);
+        self.mem.set_active_shard(ShardId::BASE);
+    }
+
+    /// Replays and clears one context's buffered write-barrier events.
+    fn drain_mutator_events(&mut self, m: usize) {
+        if self.mutators[m].ssb.is_empty() {
+            return;
+        }
+        self.mem.set_active_shard(self.mutators[m].shard);
+        let events = std::mem::take(&mut self.mutators[m].ssb);
+        for event in &events {
+            match *event {
+                WriteEvent::Ref {
+                    src,
+                    slot_addr,
+                    target,
+                } => {
+                    self.generational_barrier(slot_addr, target);
+                    self.monitoring_barrier(src, true);
+                    self.record_write_demographics(src);
+                }
+                WriteEvent::Prim { src } => {
+                    if self.policy.monitor_primitive_writes() {
+                        self.monitoring_barrier(src, false);
+                    }
+                    self.record_write_demographics(src);
+                }
+            }
+        }
+        // Hand the (now empty) buffer back so its capacity is reused.
+        let mut buffer = events;
+        buffer.clear();
+        self.mutators[m].ssb = buffer;
+    }
+
+    /// Buffers one barrier event, draining once the context holds its full
+    /// capacity (capacity 0 drains every event immediately — the legacy
+    /// behaviour).
+    fn push_event(&mut self, m: usize, event: WriteEvent) {
+        self.mutators[m].ssb.push(event);
+        if self.mutators[m].ssb.len() >= self.mutators[m].config.ssb_capacity.max(1) {
+            self.drain_mutator_events(m);
+        }
+    }
+
+    pub(crate) fn mutator_pending_events(&self, m: usize) -> usize {
+        self.mutators[m].ssb.len()
+    }
+
+    pub(crate) fn mutator_traffic(&self, m: usize) -> hybrid_mem::ShardStats {
+        let state = &self.mutators[m];
+        let live = self.mem.shard_stats(state.shard);
+        hybrid_mem::ShardStats {
+            reads: [
+                state.merged.reads[0] + live.reads[0],
+                state.merged.reads[1] + live.reads[1],
+            ],
+            writes: [
+                state.merged.writes[0] + live.writes[0],
+                state.merged.writes[1] + live.writes[1],
+            ],
+            cache_hits: live.cache_hits - state.cache_base.0,
+            cache_misses: live.cache_misses - state.cache_base.1,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Mutator interface (legacy wrappers over the default context)
     // ------------------------------------------------------------------
 
     /// Allocates an object of `shape` and returns a rooted handle to it.
@@ -261,7 +429,7 @@ impl KingsguardHeap {
     /// Panics if the object cannot be accommodated even after a full-heap
     /// collection (heap budget and large-object capacity exhausted).
     pub fn alloc(&mut self, shape: ObjectShape, type_id: u16) -> Handle {
-        self.alloc_site(shape, type_id, SiteId::UNKNOWN)
+        self.mutator_alloc_site(0, shape, type_id, SiteId::UNKNOWN)
     }
 
     /// Allocates an object of `shape` tagged with its allocation `site`
@@ -280,6 +448,17 @@ impl KingsguardHeap {
     /// Panics if the object cannot be accommodated even after a full-heap
     /// collection (heap budget and large-object capacity exhausted).
     pub fn alloc_site(&mut self, shape: ObjectShape, type_id: u16, site: SiteId) -> Handle {
+        self.mutator_alloc_site(0, shape, type_id, site)
+    }
+
+    pub(crate) fn mutator_alloc_site(
+        &mut self,
+        m: usize,
+        shape: ObjectShape,
+        type_id: u16,
+        site: SiteId,
+    ) -> Handle {
+        self.mem.set_active_shard(self.mutators[m].shard);
         let size = shape.size();
         self.stats.objects_allocated += 1;
         self.stats.bytes_allocated += size as u64;
@@ -291,9 +470,9 @@ impl KingsguardHeap {
         }
 
         let obj = if shape.is_large() {
-            self.alloc_large(shape, type_id, site)
+            self.alloc_large(m, shape, type_id, site)
         } else {
-            self.alloc_small(shape, type_id)
+            self.alloc_small(m, shape, type_id)
         };
         if self.tracks_sites() {
             self.stats.record_site(obj.address(), site);
@@ -308,17 +487,29 @@ impl KingsguardHeap {
         self.profiler.is_some() || self.policy.needs_sites()
     }
 
-    fn alloc_small(&mut self, shape: ObjectShape, type_id: u16) -> ObjectRef {
-        self.nursery_alloc_since_gc += shape.size() as u64;
+    /// The TLAB allocation fast path: bump the context's private window;
+    /// carve a fresh window from the nursery when it is exhausted; collect
+    /// when the nursery itself cannot fit the object.
+    fn alloc_small(&mut self, m: usize, shape: ObjectShape, type_id: u16) -> ObjectRef {
+        let size = shape.size();
+        self.nursery_alloc_since_gc += size as u64;
         loop {
-            if let Some(obj) = self.nursery.alloc(&mut self.mem, shape, type_id, Phase::Mutator) {
-                return obj;
+            self.mem.set_active_shard(self.mutators[m].shard);
+            if let Some(addr) = self.mutators[m].tlab.as_mut().and_then(|tlab| tlab.alloc(size)) {
+                return self
+                    .nursery
+                    .init_object(&mut self.mem, addr, shape, type_id, Phase::Mutator);
+            }
+            let chunk = self.mutators[m].config.tlab_bytes;
+            if let Some(tlab) = self.nursery.carve_tlab(&mut self.mem, size, chunk) {
+                self.mutators[m].tlab = Some(tlab);
+                continue;
             }
             self.collect_young();
         }
     }
 
-    fn alloc_large(&mut self, shape: ObjectShape, type_id: u16, site: SiteId) -> ObjectRef {
+    fn alloc_large(&mut self, m: usize, shape: ObjectShape, type_id: u16, site: SiteId) -> ObjectRef {
         self.stats.large_bytes_allocated += shape.size() as u64;
         let use_loo = self.policy.large_object_optimization()
             && self.loo_active
@@ -336,7 +527,17 @@ impl KingsguardHeap {
         // into the DRAM large space; everything else — including a
         // DRAM-advised object that no longer fits there — lands in PCM,
         // where the large-object rescue of the full collection remains the
-        // fallback.
+        // fallback. Large placement is the one policy decision taken outside
+        // a collection, so the safepoint protocol drains all store buffers
+        // first: adaptive policies must see the same barrier-event totals at
+        // every decision point regardless of SSB capacities. Only
+        // site-tracking policies can observe barrier events at all
+        // (`on_mature_write` is gated on `needs_sites`), so the drain is
+        // skipped on the static policies' hot path.
+        if self.policy.needs_sites() {
+            self.drain_all_mutators();
+            self.mem.set_active_shard(self.mutators[m].shard);
+        }
         match self.policy.large_placement(site) {
             LargePlacement::Default => {}
             LargePlacement::AdvisedDram => {
@@ -366,6 +567,7 @@ impl KingsguardHeap {
             return obj;
         }
         self.collect_full();
+        self.mem.set_active_shard(self.mutators[m].shard);
         if let Some(obj) = self
             .los_primary
             .alloc(&mut self.mem, shape, type_id, Phase::Mutator)
@@ -394,12 +596,17 @@ impl KingsguardHeap {
     ///
     /// Panics if `slot` is out of bounds for the source object's shape.
     pub fn write_ref(&mut self, src: Handle, slot: usize, target: Option<Handle>) {
-        let src_obj = self.roots.get(src);
-        let target_obj = target.map(|t| self.roots.get(t)).unwrap_or(ObjectRef::NULL);
-        self.reference_write(src_obj, slot, target_obj);
+        self.mutator_write_ref(0, src, slot, target);
     }
 
-    pub(crate) fn reference_write(&mut self, src: ObjectRef, slot: usize, target: ObjectRef) {
+    pub(crate) fn mutator_write_ref(&mut self, m: usize, src: Handle, slot: usize, target: Option<Handle>) {
+        let src_obj = self.roots.get(src);
+        let target_obj = target.map(|t| self.roots.get(t)).unwrap_or(ObjectRef::NULL);
+        self.reference_write(m, src_obj, slot, target_obj);
+    }
+
+    pub(crate) fn reference_write(&mut self, m: usize, src: ObjectRef, slot: usize, target: ObjectRef) {
+        self.mem.set_active_shard(self.mutators[m].shard);
         let shape = src.shape(&mut self.mem, Phase::Mutator);
         assert!(
             slot < shape.ref_slots as usize,
@@ -409,23 +616,35 @@ impl KingsguardHeap {
         self.stats.reference_writes += 1;
         self.stats.work.mutator_ops += 1;
 
+        // Both barrier halves (Figure 4 lines 7–17) are buffered in the
+        // context's store buffer; an eager context drains them here and now.
         let slot_addr = src.ref_slot(slot);
-        self.generational_barrier(slot_addr, target);
-        self.monitoring_barrier(src, true);
+        self.push_event(
+            m,
+            WriteEvent::Ref {
+                src,
+                slot_addr,
+                target,
+            },
+        );
 
         // The actual store (Figure 4 line 18).
         src.write_ref_raw(&mut self.mem, slot, target, Phase::Mutator);
-        self.record_write_demographics(src);
     }
 
     /// Performs a primitive store of `len` bytes at `offset` within the
     /// source object's primitive payload.
     pub fn write_prim(&mut self, src: Handle, offset: usize, len: usize) {
-        let src_obj = self.roots.get(src);
-        self.primitive_write(src_obj, offset, len);
+        self.mutator_write_prim(0, src, offset, len);
     }
 
-    pub(crate) fn primitive_write(&mut self, src: ObjectRef, offset: usize, len: usize) {
+    pub(crate) fn mutator_write_prim(&mut self, m: usize, src: Handle, offset: usize, len: usize) {
+        let src_obj = self.roots.get(src);
+        self.primitive_write(m, src_obj, offset, len);
+    }
+
+    pub(crate) fn primitive_write(&mut self, m: usize, src: ObjectRef, offset: usize, len: usize) {
+        self.mem.set_active_shard(self.mutators[m].shard);
         let shape = src.shape(&mut self.mem, Phase::Mutator);
         let payload = shape.payload_bytes as usize;
         if payload == 0 {
@@ -440,16 +659,21 @@ impl KingsguardHeap {
         let data = vec![0xA5u8; len];
         self.mem.write_bytes(addr, &data, Phase::Mutator);
 
-        // Primitive writes only reach the monitoring half of the barrier
-        // when primitive monitoring is enabled (KG-W vs KG-W–PM).
-        if self.policy.monitor_primitive_writes() {
-            self.monitoring_barrier(src, false);
-        }
-        self.record_write_demographics(src);
+        // The monitoring barrier (gated on the policy's primitive-monitoring
+        // toggle at drain time) and write demographics are buffered after
+        // the store, matching the legacy access order exactly for an eager
+        // context (store, then monitor) so cached-mode runs through the
+        // legacy API reproduce the pre-redesign access sequence.
+        self.push_event(m, WriteEvent::Prim { src });
     }
 
     /// Reads reference slot `slot` of the object behind `src`.
     pub fn read_ref(&mut self, src: Handle, slot: usize) -> Option<ObjectRef> {
+        self.mutator_read_ref(0, src, slot)
+    }
+
+    pub(crate) fn mutator_read_ref(&mut self, m: usize, src: Handle, slot: usize) -> Option<ObjectRef> {
+        self.mem.set_active_shard(self.mutators[m].shard);
         let src_obj = self.roots.get(src);
         self.stats.work.mutator_ops += 1;
         let target = src_obj.read_ref(&mut self.mem, slot, Phase::Mutator);
@@ -463,6 +687,11 @@ impl KingsguardHeap {
     /// Reads `len` bytes of primitive payload at `offset` (the value itself
     /// is irrelevant to the simulation; the access traffic matters).
     pub fn read_prim(&mut self, src: Handle, offset: usize, len: usize) {
+        self.mutator_read_prim(0, src, offset, len);
+    }
+
+    pub(crate) fn mutator_read_prim(&mut self, m: usize, src: Handle, offset: usize, len: usize) {
+        self.mem.set_active_shard(self.mutators[m].shard);
         let src_obj = self.roots.get(src);
         let shape = src_obj.shape(&mut self.mem, Phase::Mutator);
         let payload = shape.payload_bytes as usize;
@@ -664,8 +893,11 @@ impl KingsguardHeap {
     // Run finalisation
     // ------------------------------------------------------------------
 
-    /// Flushes the cache hierarchy and returns the end-of-run report.
+    /// Flushes the cache hierarchy and returns the end-of-run report. All
+    /// mutator contexts reach a final safepoint first, so every buffered
+    /// barrier event and counter shard is folded into the report.
     pub fn finish(mut self) -> RunReport {
+        self.safepoint();
         self.update_peaks();
         self.mem.flush_caches();
         let site_profile = self.profiler.take().map(SiteProfiler::finish);
@@ -907,6 +1139,127 @@ mod tests {
         heap.collect_full();
         assert_eq!(heap.locate(heap.resolve(handle).address()), Location::MatureDram);
         assert_eq!(heap.stats().pcm_to_dram_rescues, 1);
+    }
+
+    #[test]
+    fn spawned_contexts_batch_barrier_events_until_a_safepoint() {
+        let mut h = heap(HeapConfig::kg_n());
+        let mut ctx = h.spawn_mutator();
+        // An old object pointing at a young one: the remset insertion sits
+        // in the store buffer until the safepoint, and the collection that
+        // follows still sees it (safepoints precede tracing).
+        let old = ctx.alloc(&mut h, ObjectShape::new(1, 8), 1);
+        h.collect_young();
+        let young = ctx.alloc(&mut h, ObjectShape::new(0, 8), 2);
+        ctx.write_ref(&mut h, old, 0, Some(young));
+        assert_eq!(ctx.pending_events(&h), 1, "the event is buffered, not drained");
+        assert_eq!(h.stats().remset_insertions, 0);
+        h.collect_young();
+        assert_eq!(ctx.pending_events(&h), 0);
+        assert_eq!(h.stats().remset_insertions, 1);
+        h.release(young);
+        h.collect_young();
+        // The child reached the mature space through the remembered parent.
+        let old_obj = h.resolve(old);
+        let child = h.with_synced_memory(|mem| old_obj.read_ref(mem, 0, Phase::Mutator));
+        assert!(!child.is_null(), "buffered remset event must not lose the child");
+    }
+
+    #[test]
+    fn eager_and_batched_contexts_produce_identical_totals() {
+        let run = |config: crate::mutator::MutatorConfig| {
+            let mut h = heap(HeapConfig::kg_w());
+            let mut ctx = h.spawn_mutator_with(config);
+            let mut handles = Vec::new();
+            for i in 0..400u32 {
+                let handle = ctx.alloc(&mut h, ObjectShape::new(1, 40 + (i % 64)), 1);
+                ctx.write_prim(&mut h, handle, 0, 8);
+                if i % 3 == 0 {
+                    ctx.write_ref(&mut h, handle, 0, handles.last().copied());
+                }
+                if i % 2 == 0 {
+                    ctx.release(&mut h, handle);
+                } else {
+                    handles.push(handle);
+                }
+            }
+            let report = h.finish();
+            (
+                report.memory.writes(MemoryKind::Pcm),
+                report.memory.writes(MemoryKind::Dram),
+                report.gc.remset_insertions,
+                report.gc.writes_to_mature_objects,
+            )
+        };
+        let eager = run(crate::mutator::MutatorConfig::eager());
+        for capacity in [1, 16, 4096] {
+            let batched = run(crate::mutator::MutatorConfig::default().with_ssb_capacity(capacity));
+            assert_eq!(eager, batched, "ssb capacity {capacity} changed run totals");
+        }
+    }
+
+    #[test]
+    fn retired_contexts_free_their_slot_for_reuse() {
+        let mut h = heap(HeapConfig::kg_n());
+        let mut a = h.spawn_mutator();
+        let handle = a.alloc(&mut h, ObjectShape::new(0, 64), 1);
+        a.write_prim(&mut h, handle, 0, 8);
+        let index = a.index();
+        assert_eq!(h.mutator_count(), 2);
+        a.retire(&mut h); // drains the buffered event on the way out
+        assert_eq!(h.stats().primitive_writes, 1);
+        assert_eq!(h.mutator_count(), 1, "retired contexts are not counted");
+        // The next spawn reuses the retired slot and shard, with fresh
+        // attribution.
+        let b = h.spawn_mutator();
+        assert_eq!(b.index(), index, "retired slot is reused");
+        assert_eq!(h.mutator_count(), 2);
+        assert_eq!(b.traffic(&h).writes(MemoryKind::Dram), 0);
+    }
+
+    #[test]
+    fn context_traffic_attribution_sums_to_the_aggregate_mutator_view() {
+        let mut h = heap(HeapConfig::kg_n());
+        let mut a = h.spawn_mutator();
+        let mut b = h.spawn_mutator();
+        for i in 0..50u32 {
+            let ctx = if i % 2 == 0 { &mut a } else { &mut b };
+            let handle = ctx.alloc(&mut h, ObjectShape::new(0, 64), 1);
+            ctx.write_prim(&mut h, handle, 0, 8);
+            ctx.release(&mut h, handle);
+        }
+        h.safepoint();
+        let a_writes = a.traffic(&h).writes(MemoryKind::Dram);
+        let b_writes = b.traffic(&h).writes(MemoryKind::Dram);
+        assert!(a_writes > 0 && b_writes > 0, "both contexts wrote the nursery");
+        // The default context idled; collector traffic lands on the base
+        // shard. Context attribution survives the safepoint merge.
+        let total = h.memory().stats().writes(MemoryKind::Dram);
+        assert!(
+            a_writes + b_writes <= total,
+            "attributed traffic ({}) cannot exceed the aggregate ({total})",
+            a_writes + b_writes
+        );
+        assert_eq!(h.mutator_count(), 3, "default context plus two spawned");
+    }
+
+    #[test]
+    fn chunked_tlabs_serve_allocations_from_private_windows() {
+        let mut h = heap(HeapConfig::kg_n());
+        let mut ctx = h.spawn_mutator_with(crate::mutator::MutatorConfig::chunked(8 * 1024));
+        let mut handles = Vec::new();
+        for _ in 0..200 {
+            handles.push(ctx.alloc(&mut h, ObjectShape::new(0, 48), 1));
+        }
+        // All objects landed in the nursery and survive a collection.
+        for &handle in &handles {
+            assert_eq!(h.locate(h.resolve(handle).address()), Location::Nursery);
+        }
+        h.collect_young();
+        for &handle in &handles {
+            assert_eq!(h.locate(h.resolve(handle).address()), Location::MaturePrimary);
+        }
+        assert_eq!(h.stats().objects_allocated, 200);
     }
 
     #[test]

@@ -24,8 +24,10 @@ pub mod mutator;
 pub mod profile;
 pub mod profiles;
 pub mod sites;
+pub mod streaming;
 
 pub use mutator::{MutatorProgress, SyntheticMutator, WorkloadConfig};
 pub use profile::{BenchmarkProfile, Suite};
 pub use profiles::{all_benchmarks, benchmark, simulated_benchmarks};
 pub use sites::site_map_hash;
+pub use streaming::{StreamingConfig, StreamingOutcome, StreamingWorkload};

@@ -13,11 +13,106 @@ use std::collections::VecDeque;
 
 use sim_rng::{Rng, SeedableRng, SmallRng};
 
-use kingsguard::KingsguardHeap;
+use advice::SiteId;
+use kingsguard::{KingsguardHeap, MutatorConfig, MutatorContext};
 use kingsguard_heap::{Handle, ObjectShape};
 
 use crate::profile::BenchmarkProfile;
 use crate::sites::{site_for, AllocClass};
+
+/// How a workload issues heap operations: through the legacy single-mutator
+/// methods, or round-robin over K spawned [`MutatorContext`]s. The op
+/// *stream* is identical either way (one RNG, one global order), so the two
+/// drivers — and every K — produce identical aggregate statistics; only the
+/// context performing each operation changes.
+pub(crate) trait HeapOps {
+    /// Called once per workload iteration; multi-mutator drivers advance
+    /// their round-robin turn here.
+    fn next_turn(&mut self);
+    /// Site-tagged allocation.
+    fn alloc_site(
+        &mut self,
+        heap: &mut KingsguardHeap,
+        shape: ObjectShape,
+        type_id: u16,
+        site: SiteId,
+    ) -> Handle;
+    /// Reference store through the barrier.
+    fn write_ref(&mut self, heap: &mut KingsguardHeap, src: Handle, slot: usize, target: Option<Handle>);
+    /// Primitive store through the barrier.
+    fn write_prim(&mut self, heap: &mut KingsguardHeap, src: Handle, offset: usize, len: usize);
+}
+
+/// The legacy driver: every op goes through the heap's default context.
+pub(crate) struct LegacyOps;
+
+impl HeapOps for LegacyOps {
+    fn next_turn(&mut self) {}
+
+    fn alloc_site(
+        &mut self,
+        heap: &mut KingsguardHeap,
+        shape: ObjectShape,
+        type_id: u16,
+        site: SiteId,
+    ) -> Handle {
+        heap.alloc_site(shape, type_id, site)
+    }
+
+    fn write_ref(&mut self, heap: &mut KingsguardHeap, src: Handle, slot: usize, target: Option<Handle>) {
+        heap.write_ref(src, slot, target)
+    }
+
+    fn write_prim(&mut self, heap: &mut KingsguardHeap, src: Handle, offset: usize, len: usize) {
+        heap.write_prim(src, offset, len)
+    }
+}
+
+/// The multi-mutator driver: K interleaved mutator threads sharing one
+/// object graph, each iteration of the workload executing on the next
+/// context in round-robin order (a deterministic schedule, as the simulator
+/// requires).
+pub(crate) struct RoundRobinOps {
+    contexts: Vec<MutatorContext>,
+    turn: usize,
+}
+
+impl RoundRobinOps {
+    pub(crate) fn spawn(heap: &mut KingsguardHeap, mutators: usize, config: MutatorConfig) -> Self {
+        let contexts = (0..mutators.max(1))
+            .map(|_| heap.spawn_mutator_with(config))
+            .collect();
+        RoundRobinOps { contexts, turn: 0 }
+    }
+
+    fn current(&mut self) -> &mut MutatorContext {
+        &mut self.contexts[self.turn]
+    }
+}
+
+impl HeapOps for RoundRobinOps {
+    fn next_turn(&mut self) {
+        self.turn = (self.turn + 1) % self.contexts.len();
+    }
+
+    fn alloc_site(
+        &mut self,
+        heap: &mut KingsguardHeap,
+        shape: ObjectShape,
+        type_id: u16,
+        site: SiteId,
+    ) -> Handle {
+        self.current().alloc_site(heap, shape, type_id, site)
+    }
+
+    fn write_ref(&mut self, heap: &mut KingsguardHeap, src: Handle, slot: usize, target: Option<Handle>) {
+        self.current().write_ref(heap, src, slot, target)
+    }
+
+    fn write_prim(&mut self, heap: &mut KingsguardHeap, src: Handle, offset: usize, len: usize) {
+        self.current().write_prim(heap, src, offset, len)
+    }
+}
 
 /// Configuration of a synthetic workload run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,6 +194,56 @@ impl SyntheticMutator {
     pub fn run_with(
         &self,
         heap: &mut KingsguardHeap,
+        hook: impl FnMut(&mut KingsguardHeap, MutatorProgress),
+    ) {
+        self.drive(heap, &mut LegacyOps, hook);
+    }
+
+    /// Runs the workload over `mutators` interleaved mutator threads, each
+    /// with its own [`MutatorContext`] (TLAB, store buffer, counter shard),
+    /// sharing one object graph. The op stream and its global order are
+    /// identical to [`SyntheticMutator::run`], so in architecture-
+    /// independent mode (no cache hierarchy) aggregate statistics are
+    /// exactly independent of `mutators` — the conformance suite pins this.
+    /// With caches enabled, batching reorders the modeled metadata accesses
+    /// and totals may differ slightly between mutator counts.
+    pub fn run_multi(&self, heap: &mut KingsguardHeap, mutators: usize) {
+        self.run_multi_with(heap, mutators, |_, _| {});
+    }
+
+    /// [`SyntheticMutator::run_multi`] with the progress hook of
+    /// [`SyntheticMutator::run_with`]. Contexts use the default
+    /// [`MutatorConfig`] (exact TLABs, batched store buffers).
+    pub fn run_multi_with(
+        &self,
+        heap: &mut KingsguardHeap,
+        mutators: usize,
+        hook: impl FnMut(&mut KingsguardHeap, MutatorProgress),
+    ) {
+        self.run_multi_configured(heap, mutators, MutatorConfig::default(), hook);
+    }
+
+    /// [`SyntheticMutator::run_multi_with`] with an explicit per-context
+    /// configuration (store-buffer capacity, TLAB chunking). A final
+    /// safepoint drains every context before returning; the returned vector
+    /// holds each context's attributed device traffic, in spawn order.
+    pub fn run_multi_configured(
+        &self,
+        heap: &mut KingsguardHeap,
+        mutators: usize,
+        config: MutatorConfig,
+        hook: impl FnMut(&mut KingsguardHeap, MutatorProgress),
+    ) -> Vec<hybrid_mem::ShardStats> {
+        let mut ops = RoundRobinOps::spawn(heap, mutators, config);
+        self.drive(heap, &mut ops, hook);
+        heap.safepoint();
+        ops.contexts.iter().map(|ctx| ctx.traffic(heap)).collect()
+    }
+
+    fn drive(
+        &self,
+        heap: &mut KingsguardHeap,
+        ops: &mut impl HeapOps,
         mut hook: impl FnMut(&mut KingsguardHeap, MutatorProgress),
     ) {
         let mut rng = SmallRng::seed_from_u64(self.config.seed ^ hash_name(self.profile.name));
@@ -155,7 +300,7 @@ impl SyntheticMutator {
             };
             let size = shape.size() as u64;
             let type_id = if want_large { 200 } else { rng.gen_range(1u16..100) };
-            let handle = heap.alloc_site(shape, type_id, site);
+            let handle = ops.alloc_site(heap, shape, type_id, site);
             allocated += size;
             if want_large {
                 large_allocated += size;
@@ -205,7 +350,8 @@ impl SyntheticMutator {
             // the profile's nursery survival rate.
             if shape.ref_slots > 0 && rng.gen_bool(0.2) {
                 if let Some(donor) = young.back() {
-                    heap.write_ref(
+                    ops.write_ref(
+                        heap,
                         handle,
                         rng.gen_range(0..shape.ref_slots) as usize,
                         Some(donor.handle),
@@ -216,7 +362,8 @@ impl SyntheticMutator {
                 let idx = rng.gen_range(0..mature.len());
                 let parent = mature[idx];
                 if parent.ref_slots > 0 {
-                    heap.write_ref(
+                    ops.write_ref(
+                        heap,
                         parent.handle,
                         rng.gen_range(0..parent.ref_slots) as usize,
                         Some(handle),
@@ -254,7 +401,7 @@ impl SyntheticMutator {
             write_debt += size as f64 / 1024.0 * profile.writes_per_kb;
             while write_debt >= 1.0 {
                 write_debt -= 1.0;
-                self.issue_write(heap, &mut rng, &young, &mature, &hot, &large_mature);
+                self.issue_write(heap, ops, &mut rng, &young, &mature, &hot, &large_mature);
             }
 
             // ---- periodic hook -------------------------------------------
@@ -269,6 +416,9 @@ impl SyntheticMutator {
                     },
                 );
             }
+
+            // ---- hand the next iteration to the next mutator thread ------
+            ops.next_turn();
         }
 
         // Final hook so observers see the end-of-run state.
@@ -283,9 +433,11 @@ impl SyntheticMutator {
     }
 
     /// Issues one application write according to the profile's demographics.
+    #[allow(clippy::too_many_arguments)]
     fn issue_write(
         &self,
         heap: &mut KingsguardHeap,
+        ops: &mut impl HeapOps,
         rng: &mut SmallRng,
         young: &VecDeque<LiveObject>,
         mature: &VecDeque<LiveObject>,
@@ -318,7 +470,7 @@ impl SyntheticMutator {
                 return;
             }
             let offset = rng.gen_range(0..target.payload_bytes as usize);
-            heap.write_prim(target.handle, offset, 8);
+            ops.write_prim(heap, target.handle, offset, 8);
         } else {
             // Reference writes install pointers to the most recent young
             // object or to another mature object.
@@ -330,7 +482,7 @@ impl SyntheticMutator {
             } else {
                 hot.first().map(|o| o.handle)
             };
-            heap.write_ref(target.handle, slot, pointee);
+            ops.write_ref(heap, target.handle, slot, pointee);
         }
     }
 }
@@ -507,6 +659,54 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn multi_mutator_runs_reproduce_single_mutator_totals_exactly() {
+        let profile = benchmark("lusearch").unwrap();
+        let config = quick_config();
+        let fingerprint = |report: &kingsguard::RunReport| {
+            (
+                report.memory.writes(hybrid_mem::MemoryKind::Pcm),
+                report.memory.writes(hybrid_mem::MemoryKind::Dram),
+                report.gc.remset_insertions,
+                report.gc.reference_writes,
+                report.gc.primitive_writes,
+                report.gc.nursery.collections,
+                report.gc.major.collections,
+            )
+        };
+        let legacy = {
+            let heap_config = HeapConfig::kg_n()
+                .with_heap_budget(profile.scaled_heap_bytes(config.scale).max(2 << 20) as usize);
+            let mut heap = KingsguardHeap::new(heap_config, MemoryConfig::architecture_independent());
+            SyntheticMutator::new(profile.clone(), config).run(&mut heap);
+            heap.finish()
+        };
+        for mutators in [1usize, 2, 4] {
+            let heap_config = HeapConfig::kg_n()
+                .with_heap_budget(profile.scaled_heap_bytes(config.scale).max(2 << 20) as usize);
+            let mut heap = KingsguardHeap::new(heap_config, MemoryConfig::architecture_independent());
+            SyntheticMutator::new(profile.clone(), config).run_multi(&mut heap, mutators);
+            let report = heap.finish();
+            assert_eq!(
+                fingerprint(&report),
+                fingerprint(&legacy),
+                "K={mutators} diverged from the single-mutator run"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_mutator_contexts_all_carry_traffic() {
+        let profile = benchmark("pmd").unwrap();
+        let heap_config =
+            HeapConfig::kg_n().with_heap_budget(profile.scaled_heap_bytes(2048).max(2 << 20) as usize);
+        let mut heap = KingsguardHeap::new(heap_config, MemoryConfig::architecture_independent());
+        SyntheticMutator::new(profile, quick_config()).run_multi(&mut heap, 3);
+        assert_eq!(heap.mutator_count(), 4, "default context plus three spawned");
+        let report = heap.finish();
+        assert!(report.gc.bytes_allocated > 0);
     }
 
     #[test]

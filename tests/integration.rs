@@ -258,13 +258,16 @@ fn mutator_data_survives_collections_intact() {
     let keeper = heap.alloc(ObjectShape::new(0, 64), 7);
     heap.write_prim(keeper, 0, 16);
     let addr = heap.resolve(keeper);
-    let shape_before = addr.shape(heap.memory_mut(), Phase::Mutator);
+    let shape_before = heap.with_synced_memory(|mem| addr.shape(mem, Phase::Mutator));
     heap.collect_nursery();
     heap.collect_observer();
     heap.collect_full();
     let moved = heap.resolve(keeper);
     assert_ne!(addr, moved, "the object must have moved at least once");
-    let shape_after = moved.shape(heap.memory_mut(), Phase::Mutator);
+    let shape_after = heap.with_synced_memory(|mem| moved.shape(mem, Phase::Mutator));
     assert_eq!(shape_before, shape_after, "object shape must survive copying");
-    assert_eq!(moved.type_id(heap.memory_mut(), Phase::Mutator), 7);
+    assert_eq!(
+        heap.with_synced_memory(|mem| moved.type_id(mem, Phase::Mutator)),
+        7
+    );
 }

@@ -74,6 +74,50 @@ fn trait_based_collectors_reproduce_the_pre_refactor_stats_exactly() {
     }
 }
 
+/// The multi-mutator redesign's exactness guarantee, pinned against the
+/// same goldens: a K=1 run through the `MutatorContext` API (TLABs, batched
+/// store buffers, sharded counters) is bit-identical to the legacy
+/// `&mut self` API, and the aggregates of K∈{2,4} runs are identical to
+/// K=1 — the sharded merge loses no event and the batched barrier defers
+/// but never drops work.
+#[test]
+fn mutator_context_runs_reproduce_the_goldens_for_any_mutator_count() {
+    use hybrid_mem::MemoryConfig;
+    use kingsguard::KingsguardHeap;
+    use workloads::{SyntheticMutator, WorkloadConfig};
+
+    for &(name, scale, label, pcm, dram, rescues, demotions) in GOLDEN {
+        // The slower scale-512 rows only check K=1; the scale-2048 rows
+        // sweep the mutator count.
+        let mutator_counts: &[usize] = if scale == 2048 { &[1, 2, 4] } else { &[1] };
+        for &mutators in mutator_counts {
+            let profile = benchmark(name).unwrap();
+            let heap_config =
+                config_for(label).with_heap_budget(profile.scaled_heap_bytes(scale).max(2 << 20) as usize);
+            let mut heap = KingsguardHeap::new(heap_config, MemoryConfig::architecture_independent());
+            let workload = SyntheticMutator::new(
+                profile,
+                WorkloadConfig {
+                    scale,
+                    seed: ExperimentConfig::quick().seed,
+                },
+            );
+            workload.run_multi(&mut heap, mutators);
+            let report = heap.finish();
+            assert_eq!(
+                (
+                    report.memory.writes(MemoryKind::Pcm),
+                    report.memory.writes(MemoryKind::Dram),
+                    report.gc.pcm_to_dram_rescues,
+                    report.gc.dram_to_pcm_demotions,
+                ),
+                (pcm, dram, rescues, demotions),
+                "{name} @ scale {scale} under {label} with {mutators} mutators diverged from the goldens"
+            );
+        }
+    }
+}
+
 /// The KG-D bound: on a stationary workload, the adaptive collector's PCM
 /// write rate never exceeds KG-N's once it has converged — checked over
 /// multiple seeds and benchmarks, with no prior profiling run and no advice

@@ -142,17 +142,14 @@ fn run_program(config: HeapConfig, steps: &[Step]) {
         // exact shape and type it was created with.
         for &(handle, ref_slots, payload, type_id) in &live {
             let obj = heap.resolve(handle);
-            let shape = obj.shape(heap.memory_mut(), Phase::Mutator);
+            let (shape, observed_type) = heap
+                .with_synced_memory(|mem| (obj.shape(mem, Phase::Mutator), obj.type_id(mem, Phase::Mutator)));
             assert_eq!(
                 shape,
                 ObjectShape::new(ref_slots, payload),
                 "shape corrupted for {handle:?}"
             );
-            assert_eq!(
-                obj.type_id(heap.memory_mut(), Phase::Mutator),
-                type_id,
-                "type corrupted for {handle:?}"
-            );
+            assert_eq!(observed_type, type_id, "type corrupted for {handle:?}");
         }
     }
 
@@ -166,6 +163,62 @@ fn run_program(config: HeapConfig, steps: &[Step]) {
         report.gc.reference_writes + report.gc.primitive_writes,
         "every barrier-observed write targets exactly one generation"
     );
+}
+
+/// Barrier bookkeeping is commutative between safepoints, so end-of-run
+/// totals — device writes per kind, remembered-set work, barrier-observed
+/// writes — are **exactly** independent of the number of mutator contexts
+/// and of where the store-buffer drain boundaries fall (capacity 0 drains
+/// every event eagerly; a huge capacity drains only at safepoints).
+#[test]
+fn totals_are_invariant_to_mutator_count_and_ssb_drain_timing() {
+    use kingsguard::MutatorConfig;
+    use workloads::{benchmark, SyntheticMutator, WorkloadConfig};
+
+    let profile = benchmark("lusearch").unwrap();
+    let workload_config = WorkloadConfig {
+        scale: 2048,
+        seed: 99,
+    };
+    for heap_config in [HeapConfig::kg_n(), HeapConfig::kg_w(), HeapConfig::kg_d()] {
+        let mut baseline = None;
+        for mutators in [1usize, 4] {
+            for ssb_capacity in [0usize, 7, 4096] {
+                let budget = profile.scaled_heap_bytes(workload_config.scale).max(2 << 20) as usize;
+                let mut heap = KingsguardHeap::new(
+                    heap_config.clone().with_heap_budget(budget),
+                    MemoryConfig::architecture_independent(),
+                );
+                let mutator_config = MutatorConfig {
+                    tlab_bytes: 0,
+                    ssb_capacity,
+                };
+                SyntheticMutator::new(profile.clone(), workload_config).run_multi_configured(
+                    &mut heap,
+                    mutators,
+                    mutator_config,
+                    |_, _| {},
+                );
+                let report = heap.finish();
+                let fingerprint = (
+                    report.memory.writes(MemoryKind::Pcm),
+                    report.memory.writes(MemoryKind::Dram),
+                    report.gc.remset_insertions,
+                    report.gc.writes_to_nursery_objects,
+                    report.gc.writes_to_mature_objects,
+                    report.gc.pcm_to_dram_rescues,
+                    report.gc.dram_to_pcm_demotions,
+                );
+                match &baseline {
+                    None => baseline = Some(fingerprint),
+                    Some(expected) => assert_eq!(
+                        &fingerprint, expected,
+                        "K={mutators}, ssb_capacity={ssb_capacity} changed the totals"
+                    ),
+                }
+            }
+        }
+    }
 }
 
 /// Reachable objects keep their identity and shape across arbitrary
