@@ -1,0 +1,105 @@
+//! Live-vs-replay wall-clock benchmark of the heap-event trace subsystem.
+//!
+//! Records one `.kgtrace` per simulated benchmark, replays each under every
+//! comparison collector with live verification, and emits
+//! `BENCH_trace.json` at the workspace root so the record-once-replay-many
+//! speedup is tracked across future PRs. Run with
+//! `cargo bench -p kingsguard-bench --bench trace`.
+
+use std::path::{Path, PathBuf};
+
+use experiments::runner::ExperimentConfig;
+use experiments::traces::{self, RecordResults, ReplayResults};
+
+fn json_escape(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn emit_json(path: &Path, config: &ExperimentConfig, recorded: &RecordResults, replayed: &ReplayResults) {
+    let total_record_ms: u64 = recorded.rows.iter().map(|r| r.record_ms).sum();
+    let total_live_ms = replayed.total_live_ms();
+    let total_replay_ms = replayed.total_replay_ms();
+    let mut benchmarks = String::new();
+    for record in &recorded.rows {
+        let live_ms: u64 = replayed
+            .rows
+            .iter()
+            .filter(|r| r.benchmark == record.benchmark)
+            .filter_map(|r| r.live_ms)
+            .sum();
+        let replay_ms: u64 = replayed
+            .rows
+            .iter()
+            .filter(|r| r.benchmark == record.benchmark)
+            .map(|r| r.replay_ms)
+            .sum();
+        if !benchmarks.is_empty() {
+            benchmarks.push_str(",\n");
+        }
+        benchmarks.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events\": {}, \"trace_kb\": {:.1}, \"record_ms\": {}, \
+             \"live_ms\": {live_ms}, \"replay_ms\": {replay_ms}}}",
+            json_escape(&record.benchmark),
+            record.events,
+            record.bytes as f64 / 1024.0,
+            record.record_ms,
+        ));
+    }
+    let speedup = if total_replay_ms > 0 {
+        total_live_ms as f64 / total_replay_ms as f64
+    } else {
+        0.0
+    };
+    let amortized = if total_replay_ms + total_record_ms > 0 {
+        total_live_ms as f64 / (total_replay_ms + total_record_ms) as f64
+    } else {
+        0.0
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"trace\",\n  \"scale\": {},\n  \"collectors\": {},\n  \
+         \"replays_exact\": {},\n  \"benchmarks\": [\n{benchmarks}\n  ],\n  \
+         \"total_record_ms\": {total_record_ms},\n  \"total_live_ms\": {total_live_ms},\n  \
+         \"total_replay_ms\": {total_replay_ms},\n  \"speedup_replay_vs_live\": {speedup:.3},\n  \
+         \"speedup_including_record\": {amortized:.3}\n}}\n",
+        config.scale,
+        traces::REPLAY_COLLECTORS.len(),
+        replayed.mismatches() == 0,
+    );
+    std::fs::write(path, &json).unwrap_or_else(|err| panic!("cannot write {}: {err}", path.display()));
+    println!("{json}");
+}
+
+fn main() {
+    // Architecture-independent mode (the exact-count mode the acceptance
+    // bar is stated in) at a scale small enough for CI but large enough
+    // that workload generation dominates noise.
+    let config = ExperimentConfig::quick().with_scale(1024);
+    let benchmarks = traces::default_benchmarks();
+    let dir = std::env::temp_dir().join(format!("kgtrace-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create trace dir");
+
+    println!(
+        "recording {} traces (scale {})...",
+        benchmarks.len(),
+        config.scale
+    );
+    let recorded = traces::record_traces(&config, &benchmarks, &dir, 1, 1);
+    println!("{}", recorded.report());
+    println!(
+        "replaying {} benchmarks x {} collectors with live verification...",
+        benchmarks.len(),
+        traces::REPLAY_COLLECTORS.len()
+    );
+    let replayed = traces::replay_traces(&config, &benchmarks, &dir, 1, 1, true);
+    println!("{}", replayed.report());
+    assert_eq!(
+        replayed.mismatches(),
+        0,
+        "replays must be bit-identical to live runs"
+    );
+
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_trace.json");
+    emit_json(&out, &config, &recorded, &replayed);
+    println!("wrote {}", out.display());
+    std::fs::remove_dir_all(&dir).ok();
+}

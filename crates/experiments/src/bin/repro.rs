@@ -1,150 +1,100 @@
 //! `repro` — regenerates the paper's tables and figures.
 //!
-//! Usage:
+//! Run `repro --help` for the full experiment list and flags. Highlights:
 //!
-//! ```text
-//! repro <experiment> [--scale N] [--quick] [--jobs N] [--mutators K] [--profile-dir DIR]
+//! * `repro <fig*|table*|headline|advise|adaptive|mutators|all>` regenerates
+//!   one (or every) figure/table; `--scale N` shrinks the workloads,
+//!   `--quick` is the smoke-test configuration, `--jobs N` fans the
+//!   embarrassingly parallel per-benchmark runs over worker threads with
+//!   identical results and ordering.
+//! * `repro trace record|replay|diff` exposes the heap-event trace
+//!   subsystem: record one `.kgtrace` per benchmark, replay recorded traces
+//!   under every collector (`--verify` checks each replay bit-identical to
+//!   its live run and reports the live-vs-replay wall-clock), and diff two
+//!   traces on aggregate PCM writes *and* wear uniformity.
+//! * Passing `--trace-dir DIR` to any figure/table experiment makes its
+//!   runs trace-backed: the first run of each benchmark records its heap-
+//!   event stream, every later run — any collector, both measurement modes,
+//!   any `--jobs` fan-out — replays it instead of re-running workload
+//!   generation.
 //!
-//! experiments: fig1 fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!              table1 table2 table3 table4 headline advise adaptive mutators all
-//! ```
-//!
-//! `--scale N` divides the paper's allocation volumes and heap sizes by `N`
-//! (default 256). `--quick` uses the small smoke-test configuration.
-//! `--jobs N` fans the embarrassingly parallel per-benchmark runs of every
-//! figure/table experiment — and the (benchmark, collector) pairs of the
-//! advise/adaptive/mutators comparisons — over `N` worker threads (results
-//! and output ordering are identical to a sequential run). Build with
-//! `--release`; full-scale runs of `all` take a few minutes.
-//!
-//! The `mutators` experiment runs the simulation subset through the
-//! multi-mutator `MutatorContext` API with `--mutators K` (default 4)
-//! interleaved mutator threads and verifies that aggregate PCM/DRAM write
-//! counts match the K=1 run exactly (sharded counters and batched write
-//! barriers lose no events), that KG-D holds its KG-N bound under K
-//! mutators, and that KG-D un-learns the GraphChi-style streaming
-//! workload's mid-run phase change.
-//!
-//! The `advise` experiment (also reachable as `--profile-then-advise`) runs
-//! the two-phase pipeline: a KG-N profiling run per benchmark persists a
-//! per-site write profile under `--profile-dir` (default
-//! `target/site-profiles`), the profile is reloaded from disk, and the
-//! profile-guided KG-A collector replays it, compared against GenImmix
-//! (PCM-only), KG-N and KG-W.
-//!
-//! The `adaptive` experiment (also reachable as `--adaptive`) compares the
-//! online-adaptive KG-D collector — per-site advice learned *during* the
-//! run, with no prior profiling run and no observer space — against
-//! PCM-only, KG-N, KG-W and KG-A.
+//! Build with `--release`; full-scale runs of `all` take a few minutes.
 
 use std::env;
-use std::path::PathBuf;
+use std::path::Path;
 use std::process::ExitCode;
 
+use experiments::cli::{self, ParsedArgs};
 use experiments::runner::ExperimentConfig;
-use experiments::{adaptive, advise, composition, energy_time, lifetime, mutators, tables, writes};
-
-fn usage() -> &'static str {
-    "usage: repro <fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table1|table2|table3|table4|headline|advise|adaptive|mutators|all> [--scale N] [--quick] [--jobs N] [--mutators K] [--profile-dir DIR]\n       repro --profile-then-advise [--scale N] [--quick] [--jobs N] [--profile-dir DIR]\n       repro --adaptive [--scale N] [--quick] [--jobs N] [--profile-dir DIR]"
-}
+use experiments::{adaptive, advise, composition, energy_time, lifetime, mutators, tables, traces, writes};
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
-    if args.is_empty() {
-        eprintln!("{}", usage());
-        return ExitCode::FAILURE;
-    }
-    let mut experiment = String::new();
-    let mut sim = ExperimentConfig::simulation();
-    let mut hw = ExperimentConfig::architecture_independent();
-    let mut profile_dir = PathBuf::from("target/site-profiles");
-    let mut jobs = 1usize;
-    let mut mutator_threads = 4usize;
-    // `--mutators K` defaults the experiment to `mutators` only when the
-    // whole command line names no other experiment (resolved after the
-    // loop), so the flag composes with any experiment in any position.
-    let mut mutators_flag_seen = false;
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--profile-then-advise" if experiment.is_empty() => experiment = "advise".to_string(),
-            "--adaptive" if experiment.is_empty() => experiment = "adaptive".to_string(),
-            "--mutators" => {
-                let Some(value) = iter.next() else {
-                    eprintln!("--mutators requires a value");
-                    return ExitCode::FAILURE;
-                };
-                match value.parse::<usize>() {
-                    Ok(k) if k > 0 => {
-                        mutator_threads = k;
-                        mutators_flag_seen = true;
-                    }
-                    _ => {
-                        eprintln!("invalid --mutators value: {value}");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            "--jobs" => {
-                let Some(value) = iter.next() else {
-                    eprintln!("--jobs requires a value");
-                    return ExitCode::FAILURE;
-                };
-                match value.parse::<usize>() {
-                    Ok(n) if n > 0 => jobs = n,
-                    _ => {
-                        eprintln!("invalid --jobs value: {value}");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            "--profile-dir" => {
-                let Some(value) = iter.next() else {
-                    eprintln!("--profile-dir requires a value");
-                    return ExitCode::FAILURE;
-                };
-                profile_dir = PathBuf::from(value);
-            }
-            "--quick" => {
-                sim = ExperimentConfig {
-                    mode: experiments::MeasurementMode::Simulation,
-                    ..ExperimentConfig::quick()
-                };
-                hw = ExperimentConfig::quick();
-            }
-            "--scale" => {
-                let Some(value) = iter.next() else {
-                    eprintln!("--scale requires a value");
-                    return ExitCode::FAILURE;
-                };
-                match value.parse::<u64>() {
-                    Ok(scale) if scale > 0 => {
-                        sim = sim.with_scale(scale);
-                        hw = hw.with_scale(scale);
-                    }
-                    _ => {
-                        eprintln!("invalid --scale value: {value}");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            name if experiment.is_empty() && !name.starts_with('-') => experiment = name.to_string(),
-            other => {
-                eprintln!("unknown argument: {other}\n{}", usage());
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    if experiment.is_empty() {
-        if mutators_flag_seen {
-            experiment = "mutators".to_string();
-        } else {
-            eprintln!("{}", usage());
+    let parsed = match cli::parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            eprintln!("error: {err}\n\n{}", cli::help_text());
             return ExitCode::FAILURE;
         }
+    };
+    if parsed.help {
+        println!("{}", cli::help_text());
+        return ExitCode::SUCCESS;
     }
-    sim = sim.with_jobs(jobs);
-    hw = hw.with_jobs(jobs);
+    let Some(experiment) = parsed.experiment.clone() else {
+        // `--mutators K` alone keeps its historical meaning of running the
+        // mutators experiment.
+        if parsed.mutators.is_some() {
+            return run(&parsed, "mutators");
+        }
+        eprintln!("{}", cli::help_text());
+        return ExitCode::FAILURE;
+    };
+    if experiment != "trace" && !parsed.positional.is_empty() {
+        eprintln!(
+            "error: unexpected argument {:?} after experiment {experiment:?}\n\n{}",
+            parsed.positional[0],
+            cli::help_text()
+        );
+        return ExitCode::FAILURE;
+    }
+    run(&parsed, &experiment)
+}
+
+/// Builds the simulation- and architecture-independent-mode configurations
+/// from the parsed flags.
+fn configs(parsed: &ParsedArgs) -> (ExperimentConfig, ExperimentConfig) {
+    let mut sim = ExperimentConfig::simulation();
+    let mut hw = ExperimentConfig::architecture_independent();
+    if parsed.quick {
+        sim = ExperimentConfig {
+            mode: experiments::MeasurementMode::Simulation,
+            ..ExperimentConfig::quick()
+        };
+        hw = ExperimentConfig::quick();
+    }
+    if let Some(scale) = parsed.scale {
+        sim = sim.with_scale(scale);
+        hw = hw.with_scale(scale);
+    }
+    sim = sim.with_jobs(parsed.jobs);
+    hw = hw.with_jobs(parsed.jobs);
+    if parsed.trace_dir_set {
+        sim = sim.with_trace_dir(&parsed.trace_dir);
+        hw = hw.with_trace_dir(&parsed.trace_dir);
+    }
+    (sim, hw)
+}
+
+fn run(parsed: &ParsedArgs, experiment: &str) -> ExitCode {
+    let (sim, hw) = configs(parsed);
+    let profile_dir = parsed.profile_dir.clone();
+    let jobs = parsed.jobs;
+    let mutator_threads = parsed.mutators.unwrap_or(4);
+
+    if experiment == "trace" {
+        return run_trace(parsed, &hw);
+    }
 
     let run_one = |name: &str| -> Option<String> {
         match name {
@@ -205,24 +155,117 @@ fn main() -> ExitCode {
     };
 
     let experiments: Vec<&str> = if experiment == "all" {
-        vec![
-            "table1", "table2", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "fig13", "table3", "table4", "advise", "adaptive", "mutators", "headline",
-        ]
+        cli::EXPERIMENTS
+            .iter()
+            .map(|(name, _)| *name)
+            .filter(|name| !matches!(*name, "all" | "trace"))
+            .collect()
     } else {
-        vec![experiment.as_str()]
+        vec![experiment]
     };
 
     for name in experiments {
         match run_one(name) {
-            Some(report) => {
-                println!("{report}");
-            }
+            Some(report) => println!("{report}"),
             None => {
-                eprintln!("unknown experiment: {name}\n{}", usage());
+                eprintln!("unknown experiment: {name}\n\n{}", cli::help_text());
                 return ExitCode::FAILURE;
             }
         }
     }
     ExitCode::SUCCESS
+}
+
+fn run_trace(parsed: &ParsedArgs, hw: &ExperimentConfig) -> ExitCode {
+    // Trace record/replay work on the architecture-independent configuration
+    // (the mode behind the paper's exact write counts); the trace directory
+    // flag only selects where files live, so strip it from the config to
+    // avoid recursive trace-backing.
+    let config = ExperimentConfig {
+        trace_dir: None,
+        ..hw.clone()
+    };
+    let dir = parsed.trace_dir.clone();
+    let mutators = parsed.mutators.unwrap_or(1).max(1);
+    let benchmarks = traces::default_benchmarks();
+    let mode = parsed.positional.first().map(String::as_str);
+    match mode {
+        Some("record") => {
+            let results = traces::record_traces(&config, &benchmarks, &dir, mutators, parsed.jobs);
+            println!("{}", results.report());
+            ExitCode::SUCCESS
+        }
+        Some("replay") => {
+            let collectors: Vec<&str> = match parsed.collector.as_deref() {
+                None => traces::REPLAY_COLLECTORS.to_vec(),
+                Some(one) => match traces::REPLAY_COLLECTORS.iter().find(|label| **label == one) {
+                    Some(label) => vec![*label],
+                    None => {
+                        eprintln!(
+                            "error: unknown collector {one:?} (expected one of {})",
+                            traces::REPLAY_COLLECTORS.join(", ")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            let results = traces::replay_traces_filtered(
+                &config,
+                &benchmarks,
+                &dir,
+                mutators,
+                parsed.jobs,
+                parsed.verify,
+                &collectors,
+            );
+            println!("{}", results.report());
+            if results.mismatches() > 0 {
+                eprintln!(
+                    "error: {} replays diverged from their live runs",
+                    results.mismatches()
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Some("diff") => {
+            let (Some(path_a), Some(path_b)) = (parsed.positional.get(1), parsed.positional.get(2)) else {
+                eprintln!("usage: repro trace diff <a.kgtrace> <b.kgtrace> [--collector NAME]");
+                return ExitCode::FAILURE;
+            };
+            if parsed.positional.len() > 3 {
+                eprintln!("error: unexpected argument {:?}", parsed.positional[3]);
+                return ExitCode::FAILURE;
+            }
+            let collector = parsed.collector.as_deref().unwrap_or("KG-N");
+            if !traces::REPLAY_COLLECTORS.contains(&collector) {
+                eprintln!(
+                    "error: unknown collector {collector:?} (expected one of {})",
+                    traces::REPLAY_COLLECTORS.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+            match traces::diff_traces(&config, Path::new(path_a), Path::new(path_b), collector) {
+                Ok(diff) => {
+                    println!("{}", diff.report());
+                    ExitCode::SUCCESS
+                }
+                Err(err) => {
+                    eprintln!("error: {err}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown trace mode: {other}\n\n{}", cli::help_text());
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!(
+                "usage: repro trace <record|replay|diff> [flags]\n\n{}",
+                cli::help_text()
+            );
+            ExitCode::FAILURE
+        }
+    }
 }

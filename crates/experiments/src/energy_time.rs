@@ -262,7 +262,7 @@ fn dram_hardware_time(result: &ExperimentResult) -> f64 {
 pub fn figure12(config: &ExperimentConfig) -> PerformanceResults {
     let config = ExperimentConfig {
         mode: crate::MeasurementMode::ArchitectureIndependent,
-        ..*config
+        ..config.clone()
     };
     let benchmarks = all_benchmarks();
     let rows = run_jobs(&benchmarks, config.jobs, |profile| {

@@ -30,9 +30,19 @@
 //! run, no observer space) against the paper's collectors. Both fan their
 //! embarrassingly parallel (benchmark, collector) pairs over worker threads
 //! via [`runner::run_jobs`] (`repro --jobs N`).
+//!
+//! The [`traces`] module exposes the heap-event trace subsystem
+//! (`repro trace record|replay|diff`): record each benchmark's mutator
+//! stream once as a `.kgtrace`, replay it bit-identically under every
+//! collector, and diff two traces on aggregate PCM writes and wear
+//! uniformity. Setting [`ExperimentConfig::trace_dir`] (`repro --trace-dir`)
+//! makes every figure/table experiment trace-backed: record on first use,
+//! replay afterwards. [`cli`] is the shared `repro` argument parser
+//! (`repro --help` lists every experiment).
 
 pub mod adaptive;
 pub mod advise;
+pub mod cli;
 pub mod composition;
 pub mod energy_time;
 pub mod lifetime;
@@ -40,9 +50,11 @@ pub mod mutators;
 pub mod report;
 pub mod runner;
 pub mod tables;
+pub mod traces;
 pub mod writes;
 
 pub use adaptive::{adaptive_comparison, AdaptiveResults};
 pub use advise::{profile_then_advise, profile_then_advise_jobs, AdviseResults};
 pub use mutators::{mutator_scaling, MutatorResults};
 pub use runner::{run_jobs, ExperimentConfig, ExperimentResult, MeasurementMode};
+pub use traces::{diff_traces, record_traces, replay_traces};

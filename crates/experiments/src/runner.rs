@@ -1,5 +1,17 @@
 //! Experiment runner: executes one (benchmark, collector) pair and derives
 //! every metric the paper reports from the run.
+//!
+//! When [`ExperimentConfig::trace_dir`] is set, runs are **trace-backed**:
+//! the first run of a (benchmark, scale, seed, space-sizing) combination
+//! records its heap-event stream to a `.kgtrace` file in that directory
+//! (recording is passive, so its results equal a live run), and every
+//! subsequent run of the same combination — under *any* collector,
+//! including hook-driven baselines like OS Write Partitioning — replays the
+//! stream instead of re-running workload generation. Replay is bit-identical
+//! to a live run and measurably faster, so an N-collector comparison pays
+//! the workload-generation cost once instead of N times.
+
+use std::path::{Path, PathBuf};
 
 use advice::SiteProfile;
 use hybrid_mem::energy::{EnergyBreakdown, EnergyModel};
@@ -8,6 +20,7 @@ use hybrid_mem::timing::{ExecutionModel, TimeBreakdown};
 use hybrid_mem::{MemoryConfig, MemoryKind, MemoryStats, Phase};
 use kingsguard::{GcStats, HeapConfig, KingsguardHeap};
 use oswp::{WritePartitioning, WritePartitioningConfig, WritePartitioningStats};
+use trace::TraceReplayer;
 use workloads::{BenchmarkProfile, SyntheticMutator, WorkloadConfig};
 
 /// How the memory system is measured.
@@ -23,7 +36,7 @@ pub enum MeasurementMode {
 }
 
 /// Configuration shared by all experiments.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExperimentConfig {
     /// Divisor applied to the paper's allocation volumes and heap sizes.
     pub scale: u64,
@@ -38,6 +51,10 @@ pub struct ExperimentConfig {
     /// runs of an experiment over [`run_jobs`] (`1` runs inline; results and
     /// output ordering are identical either way).
     pub jobs: usize,
+    /// Directory of recorded `.kgtrace` heap-event streams. When set, every
+    /// benchmark run records its trace on first use and replays it on every
+    /// later use (see the module docs); when `None`, runs are always live.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl ExperimentConfig {
@@ -49,6 +66,7 @@ impl ExperimentConfig {
             cache_scale: 16,
             mode: MeasurementMode::Simulation,
             jobs: 1,
+            trace_dir: None,
         }
     }
 
@@ -68,6 +86,7 @@ impl ExperimentConfig {
             cache_scale: 64,
             mode: MeasurementMode::ArchitectureIndependent,
             jobs: 1,
+            trace_dir: None,
         }
     }
 
@@ -83,14 +102,21 @@ impl ExperimentConfig {
         self
     }
 
-    fn memory_config(&self) -> MemoryConfig {
+    /// Same configuration with trace-backed runs recording to / replaying
+    /// from `dir`.
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+
+    pub(crate) fn memory_config(&self) -> MemoryConfig {
         match self.mode {
             MeasurementMode::Simulation => MemoryConfig::hybrid_scaled(self.cache_scale),
             MeasurementMode::ArchitectureIndependent => MemoryConfig::architecture_independent(),
         }
     }
 
-    fn workload(&self) -> WorkloadConfig {
+    pub(crate) fn workload(&self) -> WorkloadConfig {
         WorkloadConfig {
             scale: self.scale,
             seed: self.seed,
@@ -272,12 +298,11 @@ fn run_benchmark_inner(
     } else {
         (0.0, 1.0)
     };
-    let mut heap = KingsguardHeap::new(heap_config, config.memory_config());
+    let mut heap = KingsguardHeap::new(heap_config.clone(), config.memory_config());
     if profiled {
         heap.enable_profiling(profile.name);
     }
-    let mutator = SyntheticMutator::new(profile.clone(), config.workload());
-    mutator.run(&mut heap);
+    drive_workload(profile, &mut heap, &heap_config, config, |_, _| {});
     finalize(profile, label, heap, None, dram_fraction, pcm_fraction)
 }
 
@@ -285,13 +310,108 @@ fn run_benchmark_inner(
 /// Write Partitioning baseline (Section 6.1.3).
 pub fn run_benchmark_with_wp(profile: &BenchmarkProfile, config: &ExperimentConfig) -> ExperimentResult {
     let heap_config = heap_config_for(profile, HeapConfig::gen_immix_pcm(), config);
-    let mut heap = KingsguardHeap::new(heap_config, config.memory_config());
+    let mut heap = KingsguardHeap::new(heap_config.clone(), config.memory_config());
     let mut wp = WritePartitioning::new(WritePartitioningConfig::default());
-    let mutator = SyntheticMutator::new(profile.clone(), config.workload());
-    mutator.run_with(&mut heap, |heap, progress| {
+    drive_workload(profile, &mut heap, &heap_config, config, |heap, progress| {
         heap.with_synced_memory(|mem| wp.advance(mem, progress.elapsed_ms));
     });
     finalize(profile, "WP".to_string(), heap, Some(wp.stats()), 1.0 / 32.0, 1.0)
+}
+
+/// Canonical trace file path for one workload: keyed by everything that
+/// shapes the recorded op stream — workload name, scale, seed, the
+/// nursery/observer sizes the driver derives lifetimes from, and the
+/// mutator count `mutators` (K shapes context spawns, interleaving and SSB
+/// drain points; only in architecture-independent mode are totals
+/// K-invariant) — so distinct combinations never collide and every
+/// collector sharing a combination shares one trace.
+pub fn trace_path(
+    dir: &Path,
+    workload: &str,
+    heap_config: &HeapConfig,
+    config: &ExperimentConfig,
+    mutators: usize,
+) -> PathBuf {
+    dir.join(format!(
+        "{workload}-n{}-o{}-s{}-x{:016x}-k{}.{}",
+        heap_config.nursery_bytes,
+        heap_config.observer_bytes,
+        config.scale,
+        config.seed,
+        mutators.max(1),
+        trace::FILE_EXTENSION
+    ))
+}
+
+/// Returns `true` when `recorded` was taken under the current workload site
+/// map. A trace whose `site-map-hash` no longer matches is *stale*: its
+/// site-tagged stream would feed outdated ids to site-aware policies
+/// (KG-A/KG-D) and the profiling pipeline, so — mirroring the `.kgprof`
+/// drift policy — consumers log the drift and re-record instead of
+/// replaying it. Unhashed traces (hash 0, e.g. hand-built) are trusted.
+pub fn trace_site_map_current(recorded: &trace::Trace) -> bool {
+    recorded.header.site_map_hash == 0 || recorded.header.site_map_hash == workloads::site_map_hash()
+}
+
+/// Drives `heap` through `profile`'s workload. Live when
+/// [`ExperimentConfig::trace_dir`] is unset; otherwise replays the recorded
+/// trace, recording it first (passively, so the recording run doubles as
+/// this collector's result) when none exists or the existing file is
+/// unreadable or stale.
+fn drive_workload(
+    profile: &BenchmarkProfile,
+    heap: &mut KingsguardHeap,
+    heap_config: &HeapConfig,
+    config: &ExperimentConfig,
+    mut hook: impl FnMut(&mut KingsguardHeap, workloads::MutatorProgress),
+) {
+    let mutator = SyntheticMutator::new(profile.clone(), config.workload());
+    let Some(dir) = &config.trace_dir else {
+        mutator.run_with(heap, hook);
+        return;
+    };
+    // The figure/table drivers run the legacy single-mutator stream.
+    let path = trace_path(dir, profile.name, heap_config, config, 1);
+    match trace::load_trace(&path).map_err(Some).and_then(|recorded| {
+        if trace_site_map_current(&recorded) {
+            Ok(recorded)
+        } else {
+            eprintln!(
+                "warning: {}: site map drifted since recording; re-recording",
+                path.display()
+            );
+            Err(None)
+        }
+    }) {
+        Ok(recorded) => {
+            TraceReplayer::new(&recorded)
+                .replay_with(heap, |heap, progress| {
+                    hook(
+                        heap,
+                        workloads::MutatorProgress {
+                            allocated_bytes: progress.allocated_bytes,
+                            total_bytes: progress.total_bytes,
+                            elapsed_ms: progress.elapsed_ms,
+                        },
+                    )
+                })
+                .unwrap_or_else(|err| panic!("replaying {} failed: {err}", path.display()));
+        }
+        Err(err) => {
+            // Missing file is the normal first-use path; a damaged trace is
+            // worth mentioning before it is re-recorded (stale ones were
+            // already reported above, arriving here as `None`).
+            if let Some(err) = err {
+                if !matches!(err, trace::TraceError::Io(_)) {
+                    eprintln!("warning: {}: {err}; re-recording", path.display());
+                }
+            }
+            let recorded = mutator.record_with(heap, hook);
+            if let Err(err) = trace::save_trace(&recorded, &path) {
+                eprintln!("warning: could not save trace {}: {err}", path.display());
+            }
+        }
+    }
 }
 
 /// Runs `f` over `items` on up to `jobs` worker threads, returning the
@@ -391,6 +511,105 @@ mod tests {
         let wp = result.wp.expect("WP statistics present");
         assert!(wp.quanta > 0, "OS quanta must have elapsed");
         assert_eq!(result.collector, "WP");
+    }
+
+    #[test]
+    fn trace_backed_runs_match_live_runs_exactly() {
+        let dir = std::env::temp_dir().join(format!("kgtrace-runner-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let profile = benchmark("lu.fix").unwrap();
+        let live_config = ExperimentConfig::quick();
+        let traced_config = ExperimentConfig::quick().with_trace_dir(&dir);
+        let fingerprint = |result: &ExperimentResult| {
+            (
+                result.pcm_writes(),
+                result.dram_writes(),
+                result.gc.remset_insertions,
+                result.gc.nursery.collections,
+            )
+        };
+        for heap_config in [
+            HeapConfig::kg_n(),
+            HeapConfig::kg_w(),
+            HeapConfig::gen_immix_pcm(),
+        ] {
+            let live = run_benchmark(&profile, heap_config.clone(), &live_config);
+            // First traced run records (passively), second replays; both
+            // must equal the live run bit-for-bit.
+            let recorded = run_benchmark(&profile, heap_config.clone(), &traced_config);
+            let replayed = run_benchmark(&profile, heap_config.clone(), &traced_config);
+            assert_eq!(
+                fingerprint(&recorded),
+                fingerprint(&live),
+                "{}",
+                heap_config.label()
+            );
+            assert_eq!(
+                fingerprint(&replayed),
+                fingerprint(&live),
+                "{}",
+                heap_config.label()
+            );
+        }
+        // One trace file serves every collector of the same sizing.
+        let traces: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(traces.len(), 1, "all collectors share one recorded trace");
+        // The hook-driven OS Write Partitioning baseline replays its
+        // mid-run migrations from the recorded hook markers.
+        let wp_live = run_benchmark_with_wp(&profile, &live_config);
+        let wp_replayed = run_benchmark_with_wp(&profile, &traced_config);
+        assert_eq!(fingerprint(&wp_replayed), fingerprint(&wp_live));
+        assert_eq!(
+            wp_replayed.wp.as_ref().map(|wp| wp.quanta),
+            wp_live.wp.as_ref().map(|wp| wp.quanta),
+        );
+        // Profiled (advise-pipeline) runs replay too, with the profile
+        // reproduced from the replayed site-tagged stream.
+        let profiled_live = run_benchmark_profiled(&profile, HeapConfig::kg_n(), &live_config);
+        let profiled_replayed = run_benchmark_profiled(&profile, HeapConfig::kg_n(), &traced_config);
+        assert_eq!(
+            profiled_replayed.site_profile.as_ref().map(|p| p.sites.len()),
+            profiled_live.site_profile.as_ref().map(|p| p.sites.len()),
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_site_map_traces_are_re_recorded_not_replayed() {
+        let dir = std::env::temp_dir().join(format!("kgtrace-stale-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let profile = benchmark("pmd").unwrap();
+        let config = ExperimentConfig::quick().with_trace_dir(&dir);
+        let live = run_benchmark(&profile, HeapConfig::kg_n(), &ExperimentConfig::quick());
+        // Plant a trace whose site-map hash no longer matches: well-formed,
+        // but recorded "under an older program version". Its (empty) stream
+        // must not be replayed.
+        let heap_config = heap_config_for(&profile, HeapConfig::kg_n(), &config);
+        let path = trace_path(&dir, profile.name, &heap_config, &config, 1);
+        let stale = trace::Trace {
+            header: trace::TraceHeader {
+                workload: profile.name.to_string(),
+                seed: config.seed,
+                scale: config.scale,
+                nursery_bytes: heap_config.nursery_bytes as u64,
+                observer_bytes: heap_config.observer_bytes as u64,
+                site_map_hash: workloads::site_map_hash() ^ 1,
+            },
+            events: Vec::new(),
+        };
+        assert!(!trace_site_map_current(&stale));
+        trace::save_trace(&stale, &path).unwrap();
+        let result = run_benchmark(&profile, HeapConfig::kg_n(), &config);
+        assert_eq!(
+            result.pcm_writes(),
+            live.pcm_writes(),
+            "stale trace must be re-recorded"
+        );
+        // The re-recorded trace replaced the stale one and replays cleanly.
+        let refreshed = trace::load_trace(&path).unwrap();
+        assert!(trace_site_map_current(&refreshed));
+        assert!(refreshed.allocations() > 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -293,7 +293,7 @@ impl Table4Results {
 pub fn table4(config: &ExperimentConfig, include_wp: bool) -> Table4Results {
     let config = ExperimentConfig {
         mode: crate::MeasurementMode::ArchitectureIndependent,
-        ..*config
+        ..config.clone()
     };
     let to_mb = |bytes: u64| bytes as f64 / (1 << 20) as f64;
     let benchmarks = all_benchmarks();

@@ -86,7 +86,7 @@ impl DemographicsResults {
 pub fn figure2(config: &ExperimentConfig) -> DemographicsResults {
     let config = ExperimentConfig {
         mode: crate::MeasurementMode::ArchitectureIndependent,
-        ..*config
+        ..config.clone()
     };
     let benchmarks = all_benchmarks();
     let rows = run_jobs(&benchmarks, config.jobs, |profile| {
@@ -446,7 +446,7 @@ impl HardwareWritesResults {
 pub fn figure11(config: &ExperimentConfig) -> HardwareWritesResults {
     let config = ExperimentConfig {
         mode: crate::MeasurementMode::ArchitectureIndependent,
-        ..*config
+        ..config.clone()
     };
     let benchmarks = all_benchmarks();
     let rows = run_jobs(&benchmarks, config.jobs, |profile| {

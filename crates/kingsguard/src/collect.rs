@@ -24,6 +24,7 @@ use kingsguard_heap::Handle;
 use crate::policy::SurvivorPlacement;
 use crate::runtime::{KingsguardHeap, Location};
 use crate::stats::CompositionSample;
+use crate::tap::{CollectKind, HeapEvent};
 
 impl KingsguardHeap {
     /// Returns `true` if the policy stores PCM mark state in DRAM side
@@ -60,20 +61,29 @@ impl KingsguardHeap {
     /// collectors it is always a nursery collection. A full-heap collection
     /// follows if the mature spaces exceed the heap budget.
     pub fn collect_young(&mut self) {
-        self.safepoint();
+        self.tap.emit(|| HeapEvent::Collect {
+            kind: CollectKind::Young,
+        });
+        self.collect_young_impl();
+    }
+
+    /// [`Self::collect_young`] without the record-tap marker: the entry used
+    /// by allocation-pressure triggers, whose collections replay implicitly.
+    pub(crate) fn collect_young_impl(&mut self) {
+        self.enter_safepoint();
         if let Some(observer) = self.observer.as_ref() {
             let needed = self.nursery.used_bytes();
             let available = observer.free_bytes();
             if available < needed {
-                self.collect_observer();
+                self.collect_observer_impl();
             } else {
-                self.collect_nursery();
+                self.collect_nursery_impl();
             }
         } else {
-            self.collect_nursery();
+            self.collect_nursery_impl();
         }
         if self.mature_used_bytes() > self.config.heap_budget_bytes {
-            self.collect_full();
+            self.collect_full_impl();
         }
         self.sample_composition();
         self.update_peaks();
@@ -83,7 +93,14 @@ impl KingsguardHeap {
 
     /// Collects the nursery only.
     pub fn collect_nursery(&mut self) {
-        self.safepoint();
+        self.tap.emit(|| HeapEvent::Collect {
+            kind: CollectKind::Nursery,
+        });
+        self.collect_nursery_impl();
+    }
+
+    pub(crate) fn collect_nursery_impl(&mut self) {
+        self.enter_safepoint();
         let phase = Phase::NurseryGc;
         self.stats.nursery.collections += 1;
         let collected = self.nursery.used_bytes() as u64;
@@ -147,7 +164,14 @@ impl KingsguardHeap {
     ///
     /// Panics if called on a configuration without an observer space.
     pub fn collect_observer(&mut self) {
-        self.safepoint();
+        self.tap.emit(|| HeapEvent::Collect {
+            kind: CollectKind::Observer,
+        });
+        self.collect_observer_impl();
+    }
+
+    pub(crate) fn collect_observer_impl(&mut self) {
+        self.enter_safepoint();
         assert!(
             self.observer.is_some(),
             "observer collection requires an observer-space policy (KG-W)"
@@ -528,7 +552,14 @@ impl KingsguardHeap {
 
     /// Full-heap collection.
     pub fn collect_full(&mut self) {
-        self.safepoint();
+        self.tap.emit(|| HeapEvent::Collect {
+            kind: CollectKind::Full,
+        });
+        self.collect_full_impl();
+    }
+
+    pub(crate) fn collect_full_impl(&mut self) {
+        self.enter_safepoint();
         let phase = Phase::MajorGc;
         self.stats.major.collections += 1;
 

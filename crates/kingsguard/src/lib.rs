@@ -50,6 +50,7 @@ pub mod mutator;
 pub mod policy;
 pub mod runtime;
 pub mod stats;
+pub mod tap;
 
 pub use config::{CollectorKind, HeapConfig, KgwOptions};
 pub use mutator::{MutatorConfig, MutatorContext};
@@ -59,3 +60,4 @@ pub use policy::{
 };
 pub use runtime::{KingsguardHeap, RunReport};
 pub use stats::{CollectionCounters, CompositionSample, GcStats, WriteTarget};
+pub use tap::{CollectKind, HeapEvent};

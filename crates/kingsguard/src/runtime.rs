@@ -28,6 +28,7 @@ use crate::config::HeapConfig;
 use crate::mutator::{MutatorConfig, MutatorContext, MutatorState, WriteEvent};
 use crate::policy::{self, BarrierMode, LargePlacement, PlacementPolicy};
 use crate::stats::{GcStats, WriteTarget};
+use crate::tap::{EventTap, HeapEvent};
 
 /// Where an address lives within the heap.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,6 +98,8 @@ pub struct KingsguardHeap {
     /// Per-context mutator state (TLAB, store buffer, counter shard); slot 0
     /// is the built-in default context backing the legacy heap methods.
     pub(crate) mutators: Vec<MutatorState>,
+    /// The (optional) heap-event record tap (see [`crate::tap`]).
+    pub(crate) tap: EventTap,
 }
 
 /// End-of-run report: collector statistics plus the flushed memory-system
@@ -218,7 +221,41 @@ impl KingsguardHeap {
             profiler: None,
             policy,
             mutators,
+            tap: EventTap::none(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Heap-event record tap (see `crate::tap`)
+    // ------------------------------------------------------------------
+
+    /// Installs a heap-event tap: a passive observer invoked for every
+    /// mutator-visible API event in program order (see [`crate::tap`]). At
+    /// most one tap is installed; a second call replaces the first.
+    pub fn set_event_tap(&mut self, tap: Box<dyn FnMut(&HeapEvent)>) {
+        self.tap.set(tap);
+    }
+
+    /// Removes the installed heap-event tap, if any.
+    pub fn clear_event_tap(&mut self) {
+        self.tap.clear();
+    }
+
+    /// Returns `true` while a heap-event tap is installed.
+    pub fn has_event_tap(&self) -> bool {
+        self.tap.is_active()
+    }
+
+    /// Emits a workload progress marker through the tap (a no-op without a
+    /// tap). Workload drivers call this immediately before invoking their
+    /// periodic hook so hook-driven baselines replay at the recorded stream
+    /// positions.
+    pub fn trace_hook_marker(&mut self, allocated_bytes: u64, total_bytes: u64, elapsed_ms: u64) {
+        self.tap.emit(|| HeapEvent::HookMark {
+            allocated_bytes,
+            total_bytes,
+            elapsed_ms,
+        });
     }
 
     /// The placement policy governing this heap.
@@ -263,7 +300,39 @@ impl KingsguardHeap {
     /// through this, and tests use it for accounted object reads.
     pub fn with_synced_memory<R>(&mut self, f: impl FnOnce(&mut MemorySystem) -> R) -> R {
         self.drain_all_mutators();
+        self.debug_assert_mutators_drained();
         f(&mut self.mem)
+    }
+
+    /// Debug-asserts that every live mutator context is fully drained: no
+    /// buffered store-buffer events and no unmerged counter-shard traffic.
+    /// Aggregate statistics read while a shard still holds events would be
+    /// exact anyway (aggregates fold across shards), but a non-empty store
+    /// buffer at a read point means barrier bookkeeping — remembered-set
+    /// insertions, write bits, write demographics — is silently missing from
+    /// collector statistics. The synced-memory accessor and the trace replay
+    /// driver call this so such undercounts fail fast in debug builds.
+    pub fn debug_assert_mutators_drained(&self) {
+        if cfg!(debug_assertions) {
+            for (index, state) in self.mutators.iter().enumerate() {
+                if state.retired {
+                    continue;
+                }
+                debug_assert!(
+                    state.ssb.is_empty(),
+                    "mutator context {index} still buffers {} store-barrier events at a drained read point",
+                    state.ssb.len()
+                );
+                let shard = self.mem.shard_stats(state.shard);
+                debug_assert!(
+                    shard.reads == [0, 0] && shard.writes == [0, 0],
+                    "mutator context {index} still holds unmerged shard traffic \
+                     (reads {:?}, writes {:?}) at a drained read point",
+                    shard.reads,
+                    shard.writes
+                );
+            }
+        }
     }
 
     /// Number of live roots currently registered.
@@ -290,19 +359,21 @@ impl KingsguardHeap {
             let shard = self.mutators[index].shard;
             let stats = self.mem.shard_stats(shard);
             self.mutators[index] = MutatorState::new(config, shard, (stats.cache_hits, stats.cache_misses));
+            self.tap.emit(|| HeapEvent::MutatorSpawned { ctx: index, config });
             return MutatorContext { index };
         }
         let shard = self.mem.register_mutator_shard();
         self.mutators.push(MutatorState::new(config, shard, (0, 0)));
-        MutatorContext {
-            index: self.mutators.len() - 1,
-        }
+        let index = self.mutators.len() - 1;
+        self.tap.emit(|| HeapEvent::MutatorSpawned { ctx: index, config });
+        MutatorContext { index }
     }
 
     /// Retires a context (see [`MutatorContext::retire`]): drains its store
     /// buffer, merges its counter shard, drops its TLAB and marks its slot
     /// for reuse. Safepoints skip retired slots.
     pub fn retire_mutator(&mut self, ctx: MutatorContext) {
+        self.tap.emit(|| HeapEvent::MutatorRetired { ctx: ctx.index });
         self.drain_mutator(ctx.index);
         self.mutators[ctx.index].tlab = None;
         self.mutators[ctx.index].retired = true;
@@ -320,6 +391,14 @@ impl KingsguardHeap {
     /// and write bits; call it manually before reading mid-run statistics
     /// that must include batched contexts' buffered events.
     pub fn safepoint(&mut self) {
+        self.tap.emit(|| HeapEvent::Safepoint);
+        self.enter_safepoint();
+    }
+
+    /// The safepoint body, shared by the public (tap-reported) entry point
+    /// and the internal callers (collection entries, `finish`) whose
+    /// safepoints replay implicitly and therefore are not recorded.
+    pub(crate) fn enter_safepoint(&mut self) {
         self.drain_all_mutators();
         for state in &mut self.mutators {
             state.tlab = None;
@@ -477,7 +556,17 @@ impl KingsguardHeap {
         if self.tracks_sites() {
             self.stats.record_site(obj.address(), site);
         }
-        self.roots.add(obj)
+        let handle = self.roots.add(obj);
+        self.tap.emit(|| HeapEvent::Alloc {
+            ctx: m,
+            handle,
+            ref_slots: shape.ref_slots,
+            payload_bytes: shape.payload_bytes,
+            type_id,
+            site,
+            large: shape.is_large(),
+        });
+        handle
     }
 
     /// Returns `true` if this heap maintains the address→site side table:
@@ -505,7 +594,7 @@ impl KingsguardHeap {
                 self.mutators[m].tlab = Some(tlab);
                 continue;
             }
-            self.collect_young();
+            self.collect_young_impl();
         }
     }
 
@@ -566,7 +655,7 @@ impl KingsguardHeap {
         {
             return obj;
         }
-        self.collect_full();
+        self.collect_full_impl();
         self.mem.set_active_shard(self.mutators[m].shard);
         if let Some(obj) = self
             .los_primary
@@ -580,6 +669,7 @@ impl KingsguardHeap {
     /// Unregisters a root. The object it referenced becomes garbage unless it
     /// is reachable from another root.
     pub fn release(&mut self, handle: Handle) {
+        self.tap.emit(|| HeapEvent::Release { handle });
         self.roots.remove(handle);
     }
 
@@ -600,6 +690,12 @@ impl KingsguardHeap {
     }
 
     pub(crate) fn mutator_write_ref(&mut self, m: usize, src: Handle, slot: usize, target: Option<Handle>) {
+        self.tap.emit(|| HeapEvent::WriteRef {
+            ctx: m,
+            src,
+            slot,
+            target,
+        });
         let src_obj = self.roots.get(src);
         let target_obj = target.map(|t| self.roots.get(t)).unwrap_or(ObjectRef::NULL);
         self.reference_write(m, src_obj, slot, target_obj);
@@ -639,6 +735,12 @@ impl KingsguardHeap {
     }
 
     pub(crate) fn mutator_write_prim(&mut self, m: usize, src: Handle, offset: usize, len: usize) {
+        self.tap.emit(|| HeapEvent::WritePrim {
+            ctx: m,
+            src,
+            offset,
+            len,
+        });
         let src_obj = self.roots.get(src);
         self.primitive_write(m, src_obj, offset, len);
     }
@@ -673,6 +775,7 @@ impl KingsguardHeap {
     }
 
     pub(crate) fn mutator_read_ref(&mut self, m: usize, src: Handle, slot: usize) -> Option<ObjectRef> {
+        self.tap.emit(|| HeapEvent::ReadRef { ctx: m, src, slot });
         self.mem.set_active_shard(self.mutators[m].shard);
         let src_obj = self.roots.get(src);
         self.stats.work.mutator_ops += 1;
@@ -691,6 +794,12 @@ impl KingsguardHeap {
     }
 
     pub(crate) fn mutator_read_prim(&mut self, m: usize, src: Handle, offset: usize, len: usize) {
+        self.tap.emit(|| HeapEvent::ReadPrim {
+            ctx: m,
+            src,
+            offset,
+            len,
+        });
         self.mem.set_active_shard(self.mutators[m].shard);
         let src_obj = self.roots.get(src);
         let shape = src_obj.shape(&mut self.mem, Phase::Mutator);
@@ -897,7 +1006,8 @@ impl KingsguardHeap {
     /// mutator contexts reach a final safepoint first, so every buffered
     /// barrier event and counter shard is folded into the report.
     pub fn finish(mut self) -> RunReport {
-        self.safepoint();
+        self.enter_safepoint();
+        self.debug_assert_mutators_drained();
         self.update_peaks();
         self.mem.flush_caches();
         let site_profile = self.profiler.take().map(SiteProfiler::finish);

@@ -1,0 +1,196 @@
+//! The heap-event record tap.
+//!
+//! A *tap* is a passive observer of the mutator-visible heap API: every
+//! allocation, write, read, root release, mutator spawn/retire, explicit
+//! safepoint and mutator-initiated collection is reported to the installed
+//! tap **in program order**, exactly as the [`crate::KingsguardHeap`]
+//! received it. Collections triggered internally by allocation pressure are
+//! *not* reported — a replay of the recorded stream re-triggers them at the
+//! same points by construction.
+//!
+//! The tap exists so that a trace subsystem (the `trace` crate) can record a
+//! workload once and replay the identical operation stream against any
+//! [`crate::policy::PlacementPolicy`] without re-running workload logic.
+//! Because it observes the [`crate::MutatorContext`] layer — each event
+//! carries the context that performed it, and spawn events carry the
+//! context's [`MutatorConfig`] — store-buffer batching and K-mutator
+//! interleavings replay faithfully: the replayer spawns contexts with the
+//! recorded configurations and issues each operation from the recorded
+//! context, so every SSB drain point falls exactly where it fell during
+//! recording.
+//!
+//! The tap is a plain `FnMut` closure; when none is installed the emission
+//! sites reduce to one branch on an `Option` discriminant, so untapped runs
+//! — including every golden-pinned configuration — are unaffected.
+
+use std::fmt;
+
+use advice::SiteId;
+use kingsguard_heap::Handle;
+
+use crate::mutator::MutatorConfig;
+
+/// Which collection a mutator-initiated GC event requested.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CollectKind {
+    /// [`crate::KingsguardHeap::collect_young`] — the young-generation entry
+    /// point (nursery or observer collection, full collection on budget
+    /// overflow).
+    Young,
+    /// [`crate::KingsguardHeap::collect_nursery`].
+    Nursery,
+    /// [`crate::KingsguardHeap::collect_observer`].
+    Observer,
+    /// [`crate::KingsguardHeap::collect_full`].
+    Full,
+}
+
+/// One mutator-visible heap API event, in the heap's own vocabulary
+/// (handles and context indices). The trace subsystem converts handles to
+/// stable allocation indices when persisting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HeapEvent {
+    /// A mutator context was spawned at slot `ctx` with `config`.
+    MutatorSpawned {
+        /// The new context's index.
+        ctx: usize,
+        /// Its TLAB / store-buffer configuration.
+        config: MutatorConfig,
+    },
+    /// The context at slot `ctx` was retired.
+    MutatorRetired {
+        /// The retired context's index.
+        ctx: usize,
+    },
+    /// An object was allocated and rooted as `handle`.
+    Alloc {
+        /// The context that allocated.
+        ctx: usize,
+        /// The root handle of the new object.
+        handle: Handle,
+        /// Reference slots of the object's shape.
+        ref_slots: u16,
+        /// Primitive payload bytes of the object's shape.
+        payload_bytes: u32,
+        /// The object's type id.
+        type_id: u16,
+        /// The allocation site ([`SiteId::UNKNOWN`] when untagged).
+        site: SiteId,
+        /// `true` if the shape takes the large-object path.
+        large: bool,
+    },
+    /// A reference store through the write barrier.
+    WriteRef {
+        /// The context that wrote.
+        ctx: usize,
+        /// The written object.
+        src: Handle,
+        /// The written slot index.
+        slot: usize,
+        /// The stored reference.
+        target: Option<Handle>,
+    },
+    /// A primitive store (offset/len as passed by the mutator, before the
+    /// heap clamps them to the payload).
+    WritePrim {
+        /// The context that wrote.
+        ctx: usize,
+        /// The written object.
+        src: Handle,
+        /// Requested payload offset.
+        offset: usize,
+        /// Requested store length in bytes.
+        len: usize,
+    },
+    /// A reference-slot read.
+    ReadRef {
+        /// The context that read.
+        ctx: usize,
+        /// The read object.
+        src: Handle,
+        /// The read slot index.
+        slot: usize,
+    },
+    /// A primitive payload read (offset/len as passed by the mutator).
+    ReadPrim {
+        /// The context that read.
+        ctx: usize,
+        /// The read object.
+        src: Handle,
+        /// Requested payload offset.
+        offset: usize,
+        /// Requested read length in bytes.
+        len: usize,
+    },
+    /// A root was released.
+    Release {
+        /// The released handle.
+        handle: Handle,
+    },
+    /// An explicit [`crate::KingsguardHeap::safepoint`] call.
+    Safepoint,
+    /// A mutator-initiated collection (explicit `collect_*` call; internally
+    /// triggered collections are not reported).
+    Collect {
+        /// Which entry point was called.
+        kind: CollectKind,
+    },
+    /// A workload progress marker ([`crate::KingsguardHeap::trace_hook_marker`]):
+    /// the point where a driver's periodic hook ran, so hook-driven baselines
+    /// (e.g. OS Write Partitioning) replay their work at the recorded stream
+    /// positions.
+    HookMark {
+        /// Bytes the workload had allocated at the marker.
+        allocated_bytes: u64,
+        /// Total bytes the workload will allocate.
+        total_bytes: u64,
+        /// The workload's nominal elapsed milliseconds at the marker.
+        elapsed_ms: u64,
+    },
+}
+
+/// The installed tap closure.
+pub(crate) type TapFn = Box<dyn FnMut(&HeapEvent)>;
+
+/// Holder for the (optional) installed tap closure.
+#[derive(Default)]
+pub(crate) struct EventTap(Option<TapFn>);
+
+impl EventTap {
+    /// No tap installed.
+    pub(crate) fn none() -> Self {
+        EventTap(None)
+    }
+
+    /// Installs `tap`, replacing any previous one.
+    pub(crate) fn set(&mut self, tap: Box<dyn FnMut(&HeapEvent)>) {
+        self.0 = Some(tap);
+    }
+
+    /// Removes the tap.
+    pub(crate) fn clear(&mut self) {
+        self.0 = None;
+    }
+
+    /// Returns `true` if a tap is installed.
+    pub(crate) fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Emits one event. `make` is only evaluated when a tap is installed, so
+    /// untapped hot paths pay a single branch.
+    #[inline]
+    pub(crate) fn emit(&mut self, make: impl FnOnce() -> HeapEvent) {
+        if let Some(tap) = self.0.as_mut() {
+            tap(&make());
+        }
+    }
+}
+
+impl fmt::Debug for EventTap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("EventTap")
+            .field(&if self.0.is_some() { "installed" } else { "none" })
+            .finish()
+    }
+}

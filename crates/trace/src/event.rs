@@ -1,0 +1,156 @@
+//! The persisted heap-event vocabulary.
+//!
+//! A trace event is the on-disk twin of a [`kingsguard::HeapEvent`]: the
+//! same operation, but with every root [`kingsguard_heap::Handle`] replaced
+//! by the *allocation index* of the object it referred to — the position of
+//! the object's allocation event in the trace, counting from zero. Handles
+//! are runtime-assigned and reused after release, so they are meaningless
+//! across processes; allocation indices are stable, dense and append-only,
+//! which is what makes the format replayable and diffable.
+
+pub use kingsguard::CollectKind;
+use kingsguard::MutatorConfig;
+
+/// One persisted heap event. See [`crate::format`] for the encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A mutator context was spawned at slot `ctx`.
+    Spawn {
+        /// The context index the heap assigned (replay verifies it gets the
+        /// same one).
+        ctx: u32,
+        /// The context's TLAB / store-buffer configuration.
+        config: MutatorConfig,
+    },
+    /// The context at slot `ctx` was retired.
+    Retire {
+        /// The retired context index.
+        ctx: u32,
+    },
+    /// An object allocation; its allocation index is implicit (the number of
+    /// allocation events preceding it).
+    Alloc {
+        /// The context that allocated.
+        ctx: u32,
+        /// Reference slots of the object's shape.
+        ref_slots: u16,
+        /// Primitive payload bytes of the object's shape.
+        payload_bytes: u32,
+        /// The object's type id.
+        type_id: u16,
+        /// The allocation site (`advice::SiteId::UNKNOWN.0` when untagged).
+        site: u32,
+        /// `true` if the shape takes the large-object path (recorded for
+        /// diffing and sanity checks; replay re-derives it from the shape).
+        large: bool,
+    },
+    /// A reference store through the write barrier.
+    WriteRef {
+        /// The context that wrote.
+        ctx: u32,
+        /// Allocation index of the written object.
+        src: u64,
+        /// The written slot index.
+        slot: u32,
+        /// Allocation index of the stored reference.
+        target: Option<u64>,
+    },
+    /// A primitive store (offset/len as the mutator passed them).
+    WritePrim {
+        /// The context that wrote.
+        ctx: u32,
+        /// Allocation index of the written object.
+        src: u64,
+        /// Requested payload offset.
+        offset: u64,
+        /// Requested store length in bytes.
+        len: u64,
+    },
+    /// A reference-slot read.
+    ReadRef {
+        /// The context that read.
+        ctx: u32,
+        /// Allocation index of the read object.
+        src: u64,
+        /// The read slot index.
+        slot: u32,
+    },
+    /// A primitive payload read.
+    ReadPrim {
+        /// The context that read.
+        ctx: u32,
+        /// Allocation index of the read object.
+        src: u64,
+        /// Requested payload offset.
+        offset: u64,
+        /// Requested read length in bytes.
+        len: u64,
+    },
+    /// A root release.
+    Release {
+        /// Allocation index of the released object.
+        obj: u64,
+    },
+    /// An explicit mutator safepoint.
+    Safepoint,
+    /// A mutator-initiated collection.
+    Collect {
+        /// Which collection entry point was called.
+        kind: CollectKind,
+    },
+    /// A workload progress marker (the point where the driver's periodic
+    /// hook ran).
+    Hook {
+        /// Bytes the workload had allocated at the marker.
+        allocated_bytes: u64,
+        /// Total bytes the workload will allocate.
+        total_bytes: u64,
+        /// The workload's nominal elapsed milliseconds at the marker.
+        elapsed_ms: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Returns `true` for allocation events (the events that consume an
+    /// allocation index).
+    pub fn is_alloc(&self) -> bool {
+        matches!(self, TraceEvent::Alloc { .. })
+    }
+}
+
+/// Header of a `.kgtrace` file: enough provenance to validate a replay
+/// target and to key trace caches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Workload name (benchmark or custom driver).
+    pub workload: String,
+    /// RNG seed the workload was generated from.
+    pub seed: u64,
+    /// Workload scale divisor.
+    pub scale: u64,
+    /// Nursery size of the recording heap, in bytes. Workload drivers size
+    /// object lifetimes from this, so a replay heap must match for the
+    /// recorded stream to be meaningful.
+    pub nursery_bytes: u64,
+    /// Observer-space size of the recording heap, in bytes (same caveat).
+    pub observer_bytes: u64,
+    /// Hash of the workload's allocation-site map at recording time
+    /// (`0` = unhashed), mirroring the `.kgprof` drift detection.
+    pub site_map_hash: u64,
+}
+
+/// A fully decoded trace: header plus the event stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// File header.
+    pub header: TraceHeader,
+    /// The recorded events, in program order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of allocation events (objects the replay will create).
+    pub fn allocations(&self) -> u64 {
+        self.events.iter().filter(|e| e.is_alloc()).count() as u64
+    }
+}

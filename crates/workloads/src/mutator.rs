@@ -240,6 +240,63 @@ impl SyntheticMutator {
         ops.contexts.iter().map(|ctx| ctx.traffic(heap)).collect()
     }
 
+    /// The [`trace::TraceMeta`] describing this workload (stamped into
+    /// recorded trace headers).
+    fn trace_meta(&self) -> trace::TraceMeta {
+        trace::TraceMeta {
+            workload: self.profile.name.to_string(),
+            seed: self.config.seed,
+            scale: self.config.scale,
+            site_map_hash: crate::sites::site_map_hash(),
+        }
+    }
+
+    /// Runs the workload to completion on a **fresh** `heap` while recording
+    /// the complete heap-event stream, and returns the recorded
+    /// [`trace::Trace`]. Recording is passive: the run's statistics are
+    /// bit-identical to [`SyntheticMutator::run`]. Replaying the trace with
+    /// [`trace::TraceReplayer`] against any collector reproduces that
+    /// collector's live run exactly while skipping workload generation —
+    /// record one trace per benchmark, replay it under every policy.
+    pub fn record(&self, heap: &mut KingsguardHeap) -> trace::Trace {
+        self.record_with(heap, |_, _| {})
+    }
+
+    /// [`SyntheticMutator::record`] with the progress hook of
+    /// [`SyntheticMutator::run_with`]. Hook positions are recorded as
+    /// markers, so hook-driven baselines (e.g. OS Write Partitioning)
+    /// replay their mid-run work at the same stream positions.
+    pub fn record_with(
+        &self,
+        heap: &mut KingsguardHeap,
+        hook: impl FnMut(&mut KingsguardHeap, MutatorProgress),
+    ) -> trace::Trace {
+        let recorder = trace::TraceRecorder::install(heap, self.trace_meta());
+        self.run_with(heap, hook);
+        recorder.finish(heap)
+    }
+
+    /// Records a [`SyntheticMutator::run_multi`] execution: the trace
+    /// captures the K-context round-robin interleaving and each context's
+    /// configuration, so the replay reproduces TLAB carving and store-buffer
+    /// drain points exactly.
+    pub fn record_multi(&self, heap: &mut KingsguardHeap, mutators: usize) -> trace::Trace {
+        self.record_multi_configured(heap, mutators, MutatorConfig::default())
+    }
+
+    /// [`SyntheticMutator::record_multi`] with an explicit per-context
+    /// configuration (store-buffer capacity, TLAB chunking).
+    pub fn record_multi_configured(
+        &self,
+        heap: &mut KingsguardHeap,
+        mutators: usize,
+        config: MutatorConfig,
+    ) -> trace::Trace {
+        let recorder = trace::TraceRecorder::install(heap, self.trace_meta());
+        self.run_multi_configured(heap, mutators, config, |_, _| {});
+        recorder.finish(heap)
+    }
+
     fn drive(
         &self,
         heap: &mut KingsguardHeap,
@@ -407,6 +464,10 @@ impl SyntheticMutator {
             // ---- periodic hook -------------------------------------------
             if allocated >= next_hook {
                 next_hook += hook_interval;
+                // A recording tap gets a marker *before* the hook body runs,
+                // so replays re-run hook-driven work (e.g. the OS Write
+                // Partitioning baseline) at exactly this stream position.
+                heap.trace_hook_marker(allocated, total, allocated / Self::BYTES_PER_MS);
                 hook(
                     heap,
                     MutatorProgress {
@@ -422,6 +483,7 @@ impl SyntheticMutator {
         }
 
         // Final hook so observers see the end-of-run state.
+        heap.trace_hook_marker(allocated, total, allocated / Self::BYTES_PER_MS);
         hook(
             heap,
             MutatorProgress {
@@ -695,6 +757,62 @@ mod tests {
                 "K={mutators} diverged from the single-mutator run"
             );
         }
+    }
+
+    #[test]
+    fn recorded_workload_replays_bit_identically_under_every_collector() {
+        let profile = benchmark("lusearch").unwrap();
+        let config = quick_config();
+        let scale = config.scale;
+        let heap_for = |heap_config: HeapConfig| {
+            KingsguardHeap::new(
+                heap_config.with_heap_budget(profile.scaled_heap_bytes(scale).max(2 << 20) as usize),
+                MemoryConfig::architecture_independent(),
+            )
+        };
+        let fingerprint = |report: &kingsguard::RunReport| {
+            (
+                report.memory.writes(hybrid_mem::MemoryKind::Pcm),
+                report.memory.writes(hybrid_mem::MemoryKind::Dram),
+                report.memory.reads(hybrid_mem::MemoryKind::Pcm),
+                report.gc.remset_insertions,
+                report.gc.nursery.collections,
+                report.gc.major.collections,
+                report.gc.primitive_writes,
+                report.gc.reference_writes,
+            )
+        };
+        // Record once, under KG-N.
+        let mutator = SyntheticMutator::new(profile.clone(), config);
+        let mut record_heap = heap_for(HeapConfig::kg_n());
+        let trace = mutator.record(&mut record_heap);
+        let recorded_live = fingerprint(&record_heap.finish());
+        assert!(trace.allocations() > 0);
+        // Replay under every collector; each must match its own live run.
+        for heap_config in [
+            HeapConfig::kg_n(),
+            HeapConfig::kg_w(),
+            HeapConfig::gen_immix_pcm(),
+        ] {
+            let mut live_heap = heap_for(heap_config.clone());
+            mutator.run(&mut live_heap);
+            let live = fingerprint(&live_heap.finish());
+            let mut replay_heap = heap_for(heap_config.clone());
+            trace::TraceReplayer::new(&trace)
+                .replay(&mut replay_heap)
+                .expect("trace replays cleanly");
+            let replayed = fingerprint(&replay_heap.finish());
+            assert_eq!(
+                replayed,
+                live,
+                "{} replay diverged from live",
+                heap_config.label()
+            );
+        }
+        // And the recording run itself was unperturbed by the tap.
+        let mut untapped = heap_for(HeapConfig::kg_n());
+        mutator.run(&mut untapped);
+        assert_eq!(fingerprint(&untapped.finish()), recorded_live);
     }
 
     #[test]

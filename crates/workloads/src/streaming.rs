@@ -95,6 +95,25 @@ impl StreamingWorkload {
         &self.config
     }
 
+    /// Runs the workload to completion on a **fresh** `heap` while
+    /// recording the heap-event stream (mutator spawns, interleaved
+    /// allocations/writes, the per-interval `collect_young` safepoints) as
+    /// a replayable [`trace::Trace`]. Recording is passive: the outcome and
+    /// statistics are bit-identical to [`StreamingWorkload::run`].
+    pub fn record(&self, heap: &mut KingsguardHeap) -> (StreamingOutcome, trace::Trace) {
+        let recorder = trace::TraceRecorder::install(
+            heap,
+            trace::TraceMeta {
+                workload: "streaming".to_string(),
+                seed: self.config.seed,
+                scale: self.config.scale,
+                site_map_hash: crate::sites::site_map_hash(),
+            },
+        );
+        let outcome = self.run(heap);
+        (outcome, recorder.finish(heap))
+    }
+
     /// Runs the workload to completion on `heap` and reports what happened.
     pub fn run(&self, heap: &mut KingsguardHeap) -> StreamingOutcome {
         let config = self.config;
@@ -248,6 +267,36 @@ mod tests {
             kg_d.memory.writes(MemoryKind::Pcm),
             kg_n.memory.writes(MemoryKind::Pcm)
         );
+    }
+
+    #[test]
+    fn recorded_streaming_run_replays_bit_identically() {
+        let fingerprint = |report: &kingsguard::RunReport| {
+            (
+                report.memory.writes(MemoryKind::Pcm),
+                report.memory.writes(MemoryKind::Dram),
+                report.gc.primitive_writes,
+                report.gc.nursery.collections,
+                report.gc.major.collections,
+            )
+        };
+        let workload = StreamingWorkload::new(StreamingConfig::default());
+        let mut heap = KingsguardHeap::new(
+            HeapConfig::kg_d().with_heap_budget(512 * 1024),
+            MemoryConfig::architecture_independent(),
+        );
+        let (outcome, trace) = workload.record(&mut heap);
+        assert!(outcome.intervals > 0);
+        assert_eq!(trace.header.workload, "streaming");
+        let live = heap.finish();
+        let mut replay_heap = KingsguardHeap::new(
+            HeapConfig::kg_d().with_heap_budget(512 * 1024),
+            MemoryConfig::architecture_independent(),
+        );
+        trace::TraceReplayer::new(&trace)
+            .replay(&mut replay_heap)
+            .expect("streaming trace replays");
+        assert_eq!(fingerprint(&replay_heap.finish()), fingerprint(&live));
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Property tests of the heap-event trace subsystem: record → replay is
+//! bit-identical to the live run for every collector, across seeds, mutator
+//! counts K and store-buffer capacities, and the `.kgtrace` format
+//! round-trips byte-exactly through its binary encoding.
+
+use hybrid_mem::{MemoryConfig, MemoryKind};
+use kingsguard::{HeapConfig, KingsguardHeap, MutatorConfig};
+use trace::{Trace, TraceReplayer};
+use workloads::{benchmark, SyntheticMutator, WorkloadConfig};
+
+const SCALE: u64 = 2048;
+
+fn heap_for(heap_config: &HeapConfig, budget: usize) -> KingsguardHeap {
+    KingsguardHeap::new(
+        heap_config.clone().with_heap_budget(budget),
+        MemoryConfig::architecture_independent(),
+    )
+}
+
+fn collectors() -> Vec<HeapConfig> {
+    vec![
+        HeapConfig::gen_immix_dram(),
+        HeapConfig::gen_immix_pcm(),
+        HeapConfig::kg_n(),
+        HeapConfig::kg_w(),
+        HeapConfig::kg_a(advice::AdviceTable::all_cold()),
+        HeapConfig::kg_d(),
+    ]
+}
+
+/// Everything the acceptance bar cares about: device write/read totals
+/// ("PcmWrites" and line-level stats are derived from these in
+/// architecture-independent mode) plus the collector counters.
+fn fingerprint(report: &kingsguard::RunReport) -> Vec<u64> {
+    vec![
+        report.memory.writes(MemoryKind::Pcm),
+        report.memory.writes(MemoryKind::Dram),
+        report.memory.reads(MemoryKind::Pcm),
+        report.memory.reads(MemoryKind::Dram),
+        report.gc.remset_insertions,
+        report.gc.nursery.collections,
+        report.gc.observer.collections,
+        report.gc.major.collections,
+        report.gc.reference_writes,
+        report.gc.primitive_writes,
+        report.gc.writes_to_mature_objects,
+        report.gc.pcm_to_dram_rescues,
+    ]
+}
+
+/// Live-runs and records the workload at (K, ssb), returning both
+/// fingerprints and the trace.
+fn live_and_recorded(
+    heap_config: &HeapConfig,
+    budget: usize,
+    mutator: &SyntheticMutator,
+    k: usize,
+    ssb: usize,
+) -> (Vec<u64>, Vec<u64>, Trace) {
+    let context_config = MutatorConfig::default().with_ssb_capacity(ssb);
+    let mut live_heap = heap_for(heap_config, budget);
+    if k == 0 {
+        mutator.run(&mut live_heap);
+    } else {
+        mutator.run_multi_configured(&mut live_heap, k, context_config, |_, _| {});
+    }
+    let live = fingerprint(&live_heap.finish());
+
+    let mut record_heap = heap_for(heap_config, budget);
+    let recorded_trace = if k == 0 {
+        mutator.record(&mut record_heap)
+    } else {
+        mutator.record_multi_configured(&mut record_heap, k, context_config)
+    };
+    let recorded = fingerprint(&record_heap.finish());
+    (live, recorded, recorded_trace)
+}
+
+fn replayed(heap_config: &HeapConfig, budget: usize, recorded: &Trace) -> Vec<u64> {
+    let mut heap = heap_for(heap_config, budget);
+    TraceReplayer::new(recorded)
+        .replay(&mut heap)
+        .unwrap_or_else(|err| panic!("replay under {} failed: {err}", heap_config.label()));
+    fingerprint(&heap.finish())
+}
+
+#[test]
+fn record_replay_is_bit_identical_for_every_collector() {
+    let profile = benchmark("lusearch").unwrap();
+    let budget = profile.scaled_heap_bytes(SCALE).max(2 << 20) as usize;
+    let mutator = SyntheticMutator::new(
+        profile,
+        WorkloadConfig {
+            scale: SCALE,
+            seed: 11,
+        },
+    );
+    // Record once (single-mutator stream, under KG-N as the vehicle)...
+    let (_, _, recorded) = live_and_recorded(&HeapConfig::kg_n(), budget, &mutator, 0, 0);
+    // ...then replay under every collector and compare against that
+    // collector's own live run.
+    for heap_config in collectors() {
+        let mut live_heap = heap_for(&heap_config, budget);
+        mutator.run(&mut live_heap);
+        let live = fingerprint(&live_heap.finish());
+        assert_eq!(
+            replayed(&heap_config, budget, &recorded),
+            live,
+            "replay under {} diverged from its live run",
+            heap_config.label()
+        );
+    }
+}
+
+#[test]
+fn record_replay_is_bit_identical_across_seeds_k_and_ssb_capacities() {
+    // K ∈ {1, 2, 4} crossed with SSB capacities {0, 7, 4096} (0 drains
+    // every event eagerly — the legacy barrier behaviour), two seeds each,
+    // exercising both a hybrid and a single-technology collector.
+    let profile = benchmark("pmd").unwrap();
+    let budget = profile.scaled_heap_bytes(SCALE).max(2 << 20) as usize;
+    for seed in [3u64, 77] {
+        let mutator = SyntheticMutator::new(profile.clone(), WorkloadConfig { scale: SCALE, seed });
+        for (k, ssb) in [(1usize, 0usize), (1, 4096), (2, 7), (2, 0), (4, 4096), (4, 7)] {
+            for heap_config in [HeapConfig::kg_n(), HeapConfig::kg_d()] {
+                let (live, recorded_fp, recorded) = live_and_recorded(&heap_config, budget, &mutator, k, ssb);
+                assert_eq!(
+                    recorded_fp,
+                    live,
+                    "recording perturbed the run (seed {seed}, K={k}, ssb={ssb}, {})",
+                    heap_config.label()
+                );
+                assert_eq!(
+                    replayed(&heap_config, budget, &recorded),
+                    live,
+                    "replay diverged (seed {seed}, K={k}, ssb={ssb}, {})",
+                    heap_config.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kgtrace_binary_round_trip_is_byte_exact_for_a_real_workload() {
+    let profile = benchmark("lu.fix").unwrap();
+    let budget = profile.scaled_heap_bytes(SCALE).max(2 << 20) as usize;
+    let mutator = SyntheticMutator::new(
+        profile,
+        WorkloadConfig {
+            scale: SCALE,
+            seed: 5,
+        },
+    );
+    let mut heap = heap_for(&HeapConfig::kg_n(), budget);
+    let recorded = mutator.record_multi(&mut heap, 2);
+    drop(heap.finish());
+    let bytes = trace::trace_to_bytes(&recorded);
+    let parsed = trace::parse_trace(&bytes).expect("encoded trace parses");
+    assert_eq!(parsed, recorded);
+    assert_eq!(trace::trace_to_bytes(&parsed), bytes);
+    // Truncations anywhere are rejected, never mis-parsed.
+    for cut in [8usize, bytes.len() / 3, bytes.len() - 9] {
+        assert!(
+            trace::parse_trace(&bytes[..cut]).is_err(),
+            "cut at {cut} must fail"
+        );
+    }
+    // And a replay of the parsed copy still drives a heap.
+    let mut replay_heap = heap_for(&HeapConfig::kg_w(), budget);
+    let stats = TraceReplayer::new(&parsed).replay(&mut replay_heap).unwrap();
+    assert_eq!(stats.allocations, recorded.allocations());
+    assert!(replay_heap.finish().gc.bytes_allocated > 0);
+}
