@@ -15,10 +15,19 @@ fn json_escape(value: &str) -> String {
     value.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+fn events_per_sec(events: u64, millis: u64) -> f64 {
+    if millis == 0 {
+        0.0
+    } else {
+        events as f64 / (millis as f64 / 1000.0)
+    }
+}
+
 fn emit_json(path: &Path, config: &ExperimentConfig, recorded: &RecordResults, replayed: &ReplayResults) {
     let total_record_ms: u64 = recorded.rows.iter().map(|r| r.record_ms).sum();
     let total_live_ms = replayed.total_live_ms();
     let total_replay_ms = replayed.total_replay_ms();
+    let mut total_replayed_events: u64 = 0;
     let mut benchmarks = String::new();
     for record in &recorded.rows {
         let live_ms: u64 = replayed
@@ -27,22 +36,31 @@ fn emit_json(path: &Path, config: &ExperimentConfig, recorded: &RecordResults, r
             .filter(|r| r.benchmark == record.benchmark)
             .filter_map(|r| r.live_ms)
             .sum();
+        let replays = replayed
+            .rows
+            .iter()
+            .filter(|r| r.benchmark == record.benchmark)
+            .count() as u64;
         let replay_ms: u64 = replayed
             .rows
             .iter()
             .filter(|r| r.benchmark == record.benchmark)
             .map(|r| r.replay_ms)
             .sum();
+        let replayed_events = record.events * replays;
+        total_replayed_events += replayed_events;
         if !benchmarks.is_empty() {
             benchmarks.push_str(",\n");
         }
         benchmarks.push_str(&format!(
             "    {{\"name\": \"{}\", \"events\": {}, \"trace_kb\": {:.1}, \"record_ms\": {}, \
-             \"live_ms\": {live_ms}, \"replay_ms\": {replay_ms}}}",
+             \"live_ms\": {live_ms}, \"replay_ms\": {replay_ms}, \
+             \"replay_events_per_sec\": {:.0}}}",
             json_escape(&record.benchmark),
             record.events,
             record.bytes as f64 / 1024.0,
             record.record_ms,
+            events_per_sec(replayed_events, replay_ms),
         ));
     }
     let speedup = if total_replay_ms > 0 {
@@ -55,11 +73,13 @@ fn emit_json(path: &Path, config: &ExperimentConfig, recorded: &RecordResults, r
     } else {
         0.0
     };
+    let replay_rate = events_per_sec(total_replayed_events, total_replay_ms);
     let json = format!(
         "{{\n  \"bench\": \"trace\",\n  \"scale\": {},\n  \"collectors\": {},\n  \
          \"replays_exact\": {},\n  \"benchmarks\": [\n{benchmarks}\n  ],\n  \
          \"total_record_ms\": {total_record_ms},\n  \"total_live_ms\": {total_live_ms},\n  \
-         \"total_replay_ms\": {total_replay_ms},\n  \"speedup_replay_vs_live\": {speedup:.3},\n  \
+         \"total_replay_ms\": {total_replay_ms},\n  \"total_replayed_events\": {total_replayed_events},\n  \
+         \"replay_events_per_sec\": {replay_rate:.0},\n  \"speedup_replay_vs_live\": {speedup:.3},\n  \
          \"speedup_including_record\": {amortized:.3}\n}}\n",
         config.scale,
         traces::REPLAY_COLLECTORS.len(),
@@ -67,6 +87,11 @@ fn emit_json(path: &Path, config: &ExperimentConfig, recorded: &RecordResults, r
     );
     std::fs::write(path, &json).unwrap_or_else(|err| panic!("cannot write {}: {err}", path.display()));
     println!("{json}");
+    println!(
+        "replay throughput: {:.2} M events/s across {} replayed events",
+        replay_rate / 1e6,
+        total_replayed_events
+    );
 }
 
 fn main() {

@@ -95,6 +95,8 @@ impl AdaptiveResults {
                 "Life KG-D",
                 "EDP KG-D",
                 "Learned",
+                "GCs KG-D",
+                "Max pause",
             ],
         );
         for row in &self.rows {
@@ -108,6 +110,8 @@ impl AdaptiveResults {
                 format!("{:.1}", row.lifetime_years("KG-D")),
                 ratio(row.edp_vs_kg_n("KG-D")),
                 row.kg_d_learned_dram_objects().to_string(),
+                report::pause_count_cell(row.result("KG-D")),
+                report::max_pause_cell(row.result("KG-D")),
             ]);
         }
         let mut out = table.render();
@@ -116,6 +120,11 @@ impl AdaptiveResults {
             self.kg_d_wins(),
             self.rows.len()
         ));
+        if let Some(summary) = report::telemetry_summary(self.rows.iter().flat_map(|row| row.results.iter()))
+        {
+            out.push_str(&summary);
+            out.push('\n');
+        }
         out
     }
 }

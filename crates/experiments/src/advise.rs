@@ -125,6 +125,11 @@ impl AdviseResults {
             self.kg_a_wins(),
             self.rows.len()
         ));
+        if let Some(summary) = report::telemetry_summary(self.rows.iter().flat_map(|row| row.results.iter()))
+        {
+            out.push_str(&summary);
+            out.push('\n');
+        }
         out
     }
 }

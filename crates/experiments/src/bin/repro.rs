@@ -17,6 +17,10 @@
 //!   event stream, every later run — any collector, both measurement modes,
 //!   any `--jobs` fan-out — replays it instead of re-running workload
 //!   generation.
+//! * Passing `--telemetry-dir DIR` writes one `.kgmetrics` JSON-lines
+//!   telemetry file per run (GC-phase spans, pause histograms, cache and
+//!   wear snapshots); `repro metrics show|diff` renders one file or
+//!   compares two, failing when deterministic metrics drift.
 //!
 //! Build with `--release`; full-scale runs of `all` take a few minutes.
 
@@ -50,7 +54,7 @@ fn main() -> ExitCode {
         eprintln!("{}", cli::help_text());
         return ExitCode::FAILURE;
     };
-    if experiment != "trace" && !parsed.positional.is_empty() {
+    if experiment != "trace" && experiment != "metrics" && !parsed.positional.is_empty() {
         eprintln!(
             "error: unexpected argument {:?} after experiment {experiment:?}\n\n{}",
             parsed.positional[0],
@@ -83,6 +87,10 @@ fn configs(parsed: &ParsedArgs) -> (ExperimentConfig, ExperimentConfig) {
         sim = sim.with_trace_dir(&parsed.trace_dir);
         hw = hw.with_trace_dir(&parsed.trace_dir);
     }
+    if parsed.telemetry_dir_set {
+        sim = sim.with_telemetry_dir(&parsed.telemetry_dir);
+        hw = hw.with_telemetry_dir(&parsed.telemetry_dir);
+    }
     (sim, hw)
 }
 
@@ -94,6 +102,9 @@ fn run(parsed: &ParsedArgs, experiment: &str) -> ExitCode {
 
     if experiment == "trace" {
         return run_trace(parsed, &hw);
+    }
+    if experiment == "metrics" {
+        return run_metrics(parsed);
     }
 
     let run_one = |name: &str| -> Option<String> {
@@ -158,7 +169,7 @@ fn run(parsed: &ParsedArgs, experiment: &str) -> ExitCode {
         cli::EXPERIMENTS
             .iter()
             .map(|(name, _)| *name)
-            .filter(|name| !matches!(*name, "all" | "trace"))
+            .filter(|name| !matches!(*name, "all" | "trace" | "metrics"))
             .collect()
     } else {
         vec![experiment]
@@ -174,6 +185,67 @@ fn run(parsed: &ParsedArgs, experiment: &str) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn run_metrics(parsed: &ParsedArgs) -> ExitCode {
+    let mode = parsed.positional.first().map(String::as_str);
+    match mode {
+        Some("show") => {
+            let Some(path) = parsed.positional.get(1) else {
+                eprintln!("usage: repro metrics show <file.kgmetrics>");
+                return ExitCode::FAILURE;
+            };
+            if parsed.positional.len() > 2 {
+                eprintln!("error: unexpected argument {:?}", parsed.positional[2]);
+                return ExitCode::FAILURE;
+            }
+            match telemetry::TelemetryDoc::load(Path::new(path)) {
+                Ok(doc) => {
+                    println!("{}", doc.summary());
+                    ExitCode::SUCCESS
+                }
+                Err(err) => {
+                    eprintln!("error: {err}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("diff") => {
+            let (Some(path_a), Some(path_b)) = (parsed.positional.get(1), parsed.positional.get(2)) else {
+                eprintln!("usage: repro metrics diff <a.kgmetrics> <b.kgmetrics>");
+                return ExitCode::FAILURE;
+            };
+            if parsed.positional.len() > 3 {
+                eprintln!("error: unexpected argument {:?}", parsed.positional[3]);
+                return ExitCode::FAILURE;
+            }
+            let load = |path: &str| telemetry::TelemetryDoc::load(Path::new(path));
+            match (load(path_a), load(path_b)) {
+                (Ok(a), Ok(b)) => {
+                    let diff = telemetry::diff_docs(&a, &b);
+                    println!("{}", diff.report());
+                    if diff.has_drift() {
+                        eprintln!("error: deterministic metrics drifted between the two runs");
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                (Err(err), _) | (_, Err(err)) => {
+                    eprintln!("error: {err}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown metrics mode: {other}\n\n{}", cli::help_text());
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: repro metrics <show|diff> [flags]\n\n{}", cli::help_text());
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn run_trace(parsed: &ParsedArgs, hw: &ExperimentConfig) -> ExitCode {

@@ -33,6 +33,7 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("adaptive", "online-adaptive KG-D vs baselines"),
     ("mutators", "multi-mutator exactness and attribution (K threads)"),
     ("trace", "heap-event traces: record | replay | diff"),
+    ("metrics", ".kgmetrics telemetry files: show | diff"),
     ("all", "every figure and table above"),
 ];
 
@@ -46,6 +47,15 @@ pub const TRACE_MODES: &[(&str, &str)] = &[
     (
         "diff",
         "replay two trace files under one collector and compare writes + wear",
+    ),
+];
+
+/// Modes of the `metrics` experiment.
+pub const METRICS_MODES: &[(&str, &str)] = &[
+    ("show", "render one .kgmetrics telemetry file as a human summary"),
+    (
+        "diff",
+        "compare two .kgmetrics files; exits non-zero on deterministic drift",
     ),
 ];
 
@@ -82,6 +92,10 @@ pub struct ParsedArgs {
     pub trace_dir: PathBuf,
     /// Whether `--trace-dir` was given explicitly.
     pub trace_dir_set: bool,
+    /// `--telemetry-dir DIR`.
+    pub telemetry_dir: PathBuf,
+    /// Whether `--telemetry-dir` was given explicitly.
+    pub telemetry_dir_set: bool,
     /// `--verify` (trace replay: compare against live runs).
     pub verify: bool,
     /// `--collector NAME` (trace replay/diff).
@@ -102,6 +116,8 @@ impl Default for ParsedArgs {
             profile_dir: PathBuf::from("target/site-profiles"),
             trace_dir: PathBuf::from("target/traces"),
             trace_dir_set: false,
+            telemetry_dir: PathBuf::from("target/telemetry"),
+            telemetry_dir_set: false,
             verify: false,
             collector: None,
             help: false,
@@ -154,6 +170,10 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, CliError> {
                 parsed.trace_dir = PathBuf::from(value_of("--trace-dir", &mut iter)?);
                 parsed.trace_dir_set = true;
             }
+            "--telemetry-dir" => {
+                parsed.telemetry_dir = PathBuf::from(value_of("--telemetry-dir", &mut iter)?);
+                parsed.telemetry_dir_set = true;
+            }
             "--collector" => parsed.collector = Some(value_of("--collector", &mut iter)?.clone()),
             // Legacy experiment aliases, kept working.
             "--profile-then-advise" if parsed.experiment.is_none() => {
@@ -188,6 +208,8 @@ pub fn help_text() -> String {
          \x20 --profile-dir DIR .kgprof site profiles for advise/adaptive (default target/site-profiles)\n\
          \x20 --trace-dir DIR   .kgtrace heap-event traces; with a figure/table experiment, makes the\n\
          \x20                   runs trace-backed: record on first use, replay after (default target/traces)\n\
+         \x20 --telemetry-dir DIR write one .kgmetrics telemetry file per run (JSON lines; read them\n\
+         \x20                   back with `repro metrics show|diff`)\n\
          \x20 --verify          trace replay: also run live and check bit-identity + speedup\n\
          \x20 --collector NAME  trace replay/diff: restrict to one collector (e.g. KG-N)\n\
          \x20 --help, -h        this text\n\
@@ -201,6 +223,10 @@ pub fn help_text() -> String {
     for (name, description) in TRACE_MODES {
         out.push_str(&format!("  {name:<10} {description}\n"));
     }
+    out.push_str("\nmetrics modes (repro metrics <mode>):\n");
+    for (name, description) in METRICS_MODES {
+        out.push_str(&format!("  {name:<10} {description}\n"));
+    }
     out.push_str(
         "\nexamples:\n\
          \x20 repro fig6 --jobs 4\n\
@@ -208,7 +234,10 @@ pub fn help_text() -> String {
          \x20 repro fig6 --trace-dir target/traces   # trace-backed figure\n\
          \x20 repro trace record --quick\n\
          \x20 repro trace replay --quick --verify --jobs 4\n\
-         \x20 repro trace diff A.kgtrace B.kgtrace --collector KG-N\n",
+         \x20 repro trace diff A.kgtrace B.kgtrace --collector KG-N\n\
+         \x20 repro fig11 --quick --telemetry-dir target/telemetry\n\
+         \x20 repro metrics show target/telemetry/lusearch-KG-W.kgmetrics\n\
+         \x20 repro metrics diff A.kgmetrics B.kgmetrics\n",
     );
     out
 }
@@ -258,6 +287,21 @@ mod tests {
     }
 
     #[test]
+    fn metrics_subcommand_collects_positionals() {
+        let parsed = parse(&["metrics", "diff", "a.kgmetrics", "b.kgmetrics"]).unwrap();
+        assert_eq!(parsed.experiment.as_deref(), Some("metrics"));
+        assert_eq!(parsed.positional, vec!["diff", "a.kgmetrics", "b.kgmetrics"]);
+    }
+
+    #[test]
+    fn telemetry_dir_flag_parses() {
+        let parsed = parse(&["fig11", "--telemetry-dir", "out/tm"]).unwrap();
+        assert!(parsed.telemetry_dir_set);
+        assert_eq!(parsed.telemetry_dir, PathBuf::from("out/tm"));
+        assert!(parse(&["fig11", "--telemetry-dir"]).is_err());
+    }
+
+    #[test]
     fn legacy_aliases_keep_working() {
         assert_eq!(
             parse(&["--profile-then-advise"]).unwrap().experiment.as_deref(),
@@ -283,8 +327,9 @@ mod tests {
     fn defaults_are_stable() {
         let parsed = parse(&["fig1"]).unwrap();
         assert_eq!(parsed.jobs, 1);
-        assert!(!parsed.quick && !parsed.verify && !parsed.trace_dir_set);
+        assert!(!parsed.quick && !parsed.verify && !parsed.trace_dir_set && !parsed.telemetry_dir_set);
         assert_eq!(parsed.profile_dir, PathBuf::from("target/site-profiles"));
         assert_eq!(parsed.trace_dir, PathBuf::from("target/traces"));
+        assert_eq!(parsed.telemetry_dir, PathBuf::from("target/telemetry"));
     }
 }

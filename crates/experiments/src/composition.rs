@@ -3,7 +3,7 @@
 use kingsguard::{CompositionSample, HeapConfig};
 use workloads::benchmark;
 
-use crate::report::TextTable;
+use crate::report::{collect_rows, TelemetryRollup, TextTable};
 use crate::runner::{run_benchmark, ExperimentConfig};
 
 /// Heap-composition time series for one benchmark under KG-W.
@@ -33,6 +33,8 @@ impl CompositionSeries {
 pub struct CompositionResults {
     /// One series per requested benchmark.
     pub series: Vec<CompositionSeries>,
+    /// Telemetry rollup of the runs behind the tables.
+    pub telemetry: TelemetryRollup,
 }
 
 impl CompositionResults {
@@ -63,6 +65,7 @@ impl CompositionResults {
                 series.peak_dram_bytes() as f64 / (1 << 20) as f64,
             ));
         }
+        out.push_str(&self.telemetry.appendix());
         out
     }
 }
@@ -75,13 +78,18 @@ pub fn figure13(config: &ExperimentConfig) -> CompositionResults {
 
 /// Heap composition over time for an arbitrary set of benchmarks.
 pub fn figure13_for(config: &ExperimentConfig, names: &[&str]) -> CompositionResults {
-    let series = crate::runner::run_jobs(names, config.jobs, |name| {
+    let (series, telemetry) = collect_rows(crate::runner::run_jobs(names, config.jobs, |name| {
         let profile = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
         let result = run_benchmark(&profile, HeapConfig::kg_w(), config);
-        CompositionSeries {
-            benchmark: profile.name.to_string(),
-            samples: result.gc.composition.clone(),
-        }
-    });
-    CompositionResults { series }
+        let mut rollup = TelemetryRollup::default();
+        rollup.absorb(&result);
+        (
+            CompositionSeries {
+                benchmark: profile.name.to_string(),
+                samples: result.gc.composition.clone(),
+            },
+            rollup,
+        )
+    }));
+    CompositionResults { series, telemetry }
 }

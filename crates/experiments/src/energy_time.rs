@@ -5,7 +5,7 @@ use hybrid_mem::{MemoryKind, MemoryStats};
 use kingsguard::HeapConfig;
 use workloads::{all_benchmarks, simulated_benchmarks};
 
-use crate::report::{mean, ratio, TextTable};
+use crate::report::{collect_rows, mean, ratio, TelemetryRollup, TextTable};
 use crate::runner::{run_benchmark, run_jobs, ExperimentConfig, ExperimentResult};
 
 // ---------------------------------------------------------------------------
@@ -30,6 +30,8 @@ pub struct EdpRow {
 pub struct EdpResults {
     /// Per-benchmark rows (simulation subset).
     pub rows: Vec<EdpRow>,
+    /// Telemetry rollup of the runs behind the table.
+    pub telemetry: TelemetryRollup,
 }
 
 impl EdpResults {
@@ -71,7 +73,7 @@ impl EdpResults {
             ratio(self.average_kg_n()),
             ratio(self.average_kg_w()),
         ]);
-        table.render()
+        table.render() + &self.telemetry.appendix()
     }
 }
 
@@ -85,14 +87,22 @@ pub fn figure8(config: &ExperimentConfig) -> EdpResults {
         let kg_n = run_benchmark(profile, HeapConfig::kg_n(), config);
         let kg_w = run_benchmark(profile, HeapConfig::kg_w(), config);
         let base = dram.edp.max(f64::MIN_POSITIVE);
-        EdpRow {
-            benchmark: profile.name.to_string(),
-            pcm_only: pcm.edp / base,
-            kg_n: kg_n.edp / base,
-            kg_w: kg_w.edp / base,
+        let mut rollup = TelemetryRollup::default();
+        for result in [&dram, &pcm, &kg_n, &kg_w] {
+            rollup.absorb(result);
         }
+        (
+            EdpRow {
+                benchmark: profile.name.to_string(),
+                pcm_only: pcm.edp / base,
+                kg_n: kg_n.edp / base,
+                kg_w: kg_w.edp / base,
+            },
+            rollup,
+        )
     });
-    EdpResults { rows }
+    let (rows, telemetry) = collect_rows(rows);
+    EdpResults { rows, telemetry }
 }
 
 // ---------------------------------------------------------------------------
@@ -130,6 +140,8 @@ impl OverheadRow {
 pub struct OverheadResults {
     /// Per-benchmark rows (simulation subset).
     pub rows: Vec<OverheadRow>,
+    /// Telemetry rollup of the runs behind the table.
+    pub telemetry: TelemetryRollup,
 }
 
 impl OverheadResults {
@@ -168,7 +180,7 @@ impl OverheadResults {
                 format!("{:.1}", row.total_pct()),
             ]);
         }
-        table.render()
+        table.render() + &self.telemetry.appendix()
     }
 }
 
@@ -186,16 +198,23 @@ pub fn figure9(config: &ExperimentConfig) -> OverheadResults {
         let gc_pct = (kg_w.time.gc_s - dram.time.gc_s).max(0.0) / base * 100.0;
         let monitoring_pct = kg_w.time.monitoring_s / base * 100.0;
         let other_pct = (total_pct - pcm_pct - remsets_pct - gc_pct - monitoring_pct).max(0.0);
-        OverheadRow {
-            benchmark: profile.name.to_string(),
-            pcm_pct,
-            remsets_pct,
-            gc_pct,
-            monitoring_pct,
-            other_pct,
-        }
+        let mut rollup = TelemetryRollup::default();
+        rollup.absorb(&dram);
+        rollup.absorb(&kg_w);
+        (
+            OverheadRow {
+                benchmark: profile.name.to_string(),
+                pcm_pct,
+                remsets_pct,
+                gc_pct,
+                monitoring_pct,
+                other_pct,
+            },
+            rollup,
+        )
     });
-    OverheadResults { rows }
+    let (rows, telemetry) = collect_rows(rows);
+    OverheadResults { rows, telemetry }
 }
 
 // ---------------------------------------------------------------------------
@@ -217,6 +236,8 @@ pub struct PerformanceRow {
 pub struct PerformanceResults {
     /// One row per benchmark (all 18).
     pub rows: Vec<PerformanceRow>,
+    /// Telemetry rollup of the runs behind the table.
+    pub telemetry: TelemetryRollup,
 }
 
 /// Configuration labels of Figure 12 in order.
@@ -243,7 +264,7 @@ impl PerformanceResults {
         let mut avg = vec!["Average".to_string(), "1.00".to_string()];
         avg.extend((0..4).map(|i| ratio(self.average(i))));
         table.row(avg);
-        table.render()
+        table.render() + &self.telemetry.appendix()
     }
 }
 
@@ -275,14 +296,21 @@ pub fn figure12(config: &ExperimentConfig) -> PerformanceResults {
             HeapConfig::kg_w_no_primitive_monitoring(),
         ];
         let mut relative = [0.0f64; 4];
+        let mut rollup = TelemetryRollup::default();
+        rollup.absorb(&kg_n);
         for (i, heap_config) in configs.into_iter().enumerate() {
             let result = run_benchmark(profile, heap_config, &config);
+            rollup.absorb(&result);
             relative[i] = dram_hardware_time(&result) / base;
         }
-        PerformanceRow {
-            benchmark: profile.name.to_string(),
-            relative,
-        }
+        (
+            PerformanceRow {
+                benchmark: profile.name.to_string(),
+                relative,
+            },
+            rollup,
+        )
     });
-    PerformanceResults { rows }
+    let (rows, telemetry) = collect_rows(rows);
+    PerformanceResults { rows, telemetry }
 }

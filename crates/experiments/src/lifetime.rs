@@ -4,7 +4,7 @@ use hybrid_mem::lifetime::Endurance;
 use kingsguard::HeapConfig;
 use workloads::simulated_benchmarks;
 
-use crate::report::{mean, TextTable};
+use crate::report::{mean, telemetry_summary, TextTable};
 use crate::runner::{run_benchmark, run_jobs, ExperimentConfig, ExperimentResult};
 
 /// One benchmark's lifetime results under the three collectors.
@@ -100,7 +100,12 @@ impl LifetimeResults {
             format!("{:.1}x", self.average_kg_n_improvement()),
             format!("{:.1}x", self.average_kg_w_improvement()),
         ]);
-        table.render()
+        let mut out = table.render();
+        if let Some(summary) = telemetry_summary(self.raw.iter()) {
+            out.push_str(&summary);
+            out.push('\n');
+        }
+        out
     }
 }
 

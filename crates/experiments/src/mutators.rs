@@ -58,6 +58,11 @@ pub struct MutatorRow {
     pub pcm_write_rate_k: f64,
     /// Per-context PCM write attribution of the K-mutator run.
     pub context_pcm_writes: Vec<u64>,
+    /// GC pause count of the K-mutator run, rendered (deterministic: one
+    /// sample per collection).
+    pub gc_pauses_k: String,
+    /// Maximum GC pause of the K-mutator run, rendered (wall-clock timing).
+    pub max_pause_k: String,
 }
 
 impl MutatorRow {
@@ -135,6 +140,8 @@ impl MutatorResults {
                 &format!("PCM K={}", self.mutators),
                 "Exact",
                 "Per-context PCM",
+                "GCs",
+                "Max pause",
             ],
         );
         for row in &self.rows {
@@ -149,6 +156,8 @@ impl MutatorResults {
                     .map(u64::to_string)
                     .collect::<Vec<_>>()
                     .join("/"),
+                row.gc_pauses_k.clone(),
+                row.max_pause_k.clone(),
             ]);
         }
         let mut out = table.render();
@@ -183,6 +192,7 @@ fn run_with_mutators(
         heap_config.with_heap_budget(budget),
         hybrid_mem::MemoryConfig::architecture_independent(),
     );
+    heap.enable_telemetry();
     let workload = SyntheticMutator::new(
         profile,
         workloads::WorkloadConfig {
@@ -253,6 +263,8 @@ pub fn mutator_scaling(config: &ExperimentConfig, benchmarks: &[&str], mutators:
             dram_writes_k: multi.memory.writes(MemoryKind::Dram),
             pcm_write_rate_k: pcm_write_rate(name, &multi),
             context_pcm_writes: traffic.iter().map(|t| t.writes(MemoryKind::Pcm)).collect(),
+            gc_pauses_k: crate::report::pause_count_cell_of(multi.telemetry.as_ref()),
+            max_pause_k: crate::report::max_pause_cell_of(multi.telemetry.as_ref()),
         }
     });
     MutatorResults {

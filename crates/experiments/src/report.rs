@@ -136,6 +136,153 @@ pub fn mean(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len() as f64
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry summary lines and pause columns
+// ---------------------------------------------------------------------------
+
+/// GC pause count of one run's telemetry, rendered for a table cell
+/// ("n/a" when the run carried no telemetry). The count is deterministic:
+/// one histogram sample per collection.
+pub fn pause_count_cell(result: &ExperimentResult) -> String {
+    pause_count_cell_of(result.telemetry.as_ref())
+}
+
+/// [`pause_count_cell`] over a bare telemetry report (for drivers holding a
+/// [`kingsguard::RunReport`] instead of an [`ExperimentResult`]).
+pub fn pause_count_cell_of(telemetry: Option<&telemetry::TelemetryReport>) -> String {
+    match telemetry {
+        Some(report) => report
+            .hist("gc.pause_ns")
+            .map_or(0, |hist| hist.count)
+            .to_string(),
+        None => "n/a".to_string(),
+    }
+}
+
+/// Maximum GC pause of one run's telemetry, rendered for a table cell
+/// ("n/a" when the run carried no telemetry, "-" when it never collected).
+/// The duration is wall-clock timing: informative, not deterministic.
+pub fn max_pause_cell(result: &ExperimentResult) -> String {
+    max_pause_cell_of(result.telemetry.as_ref())
+}
+
+/// [`max_pause_cell`] over a bare telemetry report.
+pub fn max_pause_cell_of(telemetry: Option<&telemetry::TelemetryReport>) -> String {
+    match telemetry {
+        Some(report) => match report.hist("gc.pause_ns") {
+            Some(hist) if hist.count > 0 => telemetry::fmt_ns(hist.max),
+            _ => "-".to_string(),
+        },
+        None => "n/a".to_string(),
+    }
+}
+
+/// Accumulates the telemetry of every run behind one experiment table into
+/// the end-of-run summary line. The figure experiments derive their rows
+/// from transient [`ExperimentResult`]s; each row absorbs its runs into a
+/// rollup so the summary survives the results being dropped.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryRollup {
+    runs: usize,
+    pauses: telemetry::HistogramSummary,
+    touch_events: u64,
+    elapsed_ns: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl TelemetryRollup {
+    /// Folds one run's telemetry in (a run without telemetry is skipped).
+    pub fn absorb(&mut self, result: &ExperimentResult) {
+        let Some(report) = result.telemetry.as_ref() else {
+            return;
+        };
+        self.runs += 1;
+        if let Some(hist) = report.hist("gc.pause_ns") {
+            self.pauses.merge(hist);
+        }
+        self.touch_events += report.counter("touch.events").unwrap_or(0);
+        self.cache_hits += report.counter("cache.hits").unwrap_or(0);
+        self.cache_misses += report.counter("cache.misses").unwrap_or(0);
+        self.elapsed_ns += report.elapsed_ns;
+    }
+
+    /// Folds another rollup in (for per-row rollups fanned over
+    /// [`crate::runner::run_jobs`] worker threads).
+    pub fn merge(&mut self, other: &TelemetryRollup) {
+        self.runs += other.runs;
+        self.pauses.merge(&other.pauses);
+        self.touch_events += other.touch_events;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.elapsed_ns += other.elapsed_ns;
+    }
+
+    /// The summary line: GC pauses (count, p50/p99, max), touch-path
+    /// throughput and cache hit rate ("n/a" without caches, e.g. in
+    /// architecture-independent mode). `None` when no run carried telemetry.
+    pub fn line(&self) -> Option<String> {
+        if self.runs == 0 {
+            return None;
+        }
+        let mut line = format!(
+            "telemetry ({} runs): {} GC pauses (p50 {}, p99 {}, max {})",
+            self.runs,
+            self.pauses.count,
+            telemetry::fmt_ns(self.pauses.p50),
+            telemetry::fmt_ns(self.pauses.p99),
+            telemetry::fmt_ns(self.pauses.max),
+        );
+        if self.elapsed_ns > 0 {
+            let events_per_sec = self.touch_events as f64 / (self.elapsed_ns as f64 / 1e9);
+            line.push_str(&format!(", {:.2} M events/s", events_per_sec / 1e6));
+        }
+        let cached = self.cache_hits + self.cache_misses;
+        if cached > 0 {
+            line.push_str(&format!(
+                ", cache hit rate {}",
+                percent(self.cache_hits as f64 / cached as f64)
+            ));
+        } else {
+            line.push_str(", cache hit rate n/a");
+        }
+        Some(line)
+    }
+
+    /// [`TelemetryRollup::line`] with a trailing newline, or the empty
+    /// string — ready to append to a rendered table.
+    pub fn appendix(&self) -> String {
+        match self.line() {
+            Some(line) => format!("{line}\n"),
+            None => String::new(),
+        }
+    }
+}
+
+/// Splits `(row, rollup)` pairs produced by a fanned per-benchmark closure
+/// into the row list and the table-wide rollup.
+pub(crate) fn collect_rows<R>(pairs: Vec<(R, TelemetryRollup)>) -> (Vec<R>, TelemetryRollup) {
+    let mut rollup = TelemetryRollup::default();
+    let rows = pairs
+        .into_iter()
+        .map(|(row, r)| {
+            rollup.merge(&r);
+            row
+        })
+        .collect();
+    (rows, rollup)
+}
+
+/// The end-of-run telemetry summary over retained results (see
+/// [`TelemetryRollup`] for the accumulating form).
+pub fn telemetry_summary<'a>(results: impl IntoIterator<Item = &'a ExperimentResult>) -> Option<String> {
+    let mut rollup = TelemetryRollup::default();
+    for result in results {
+        rollup.absorb(result);
+    }
+    rollup.line()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +308,68 @@ mod tests {
         assert_eq!(mb(32 << 20), "32.0");
         assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
         assert_eq!(mean(&[]), 0.0);
+    }
+
+    /// A bare result carrying only the given telemetry report, for pinning
+    /// the formatting of the pause columns and summary lines.
+    fn result_with_telemetry(telemetry: Option<telemetry::TelemetryReport>) -> ExperimentResult {
+        ExperimentResult {
+            benchmark: "demo".to_string(),
+            collector: "KG-W".to_string(),
+            gc: Default::default(),
+            memory: Default::default(),
+            time: Default::default(),
+            energy: Default::default(),
+            edp: 0.0,
+            wp: None,
+            scaling_factor: 1.0,
+            site_profile: None,
+            telemetry,
+        }
+    }
+
+    fn report_with_pauses(pauses_ns: &[u64]) -> telemetry::TelemetryReport {
+        let mut t = telemetry::Telemetry::enabled();
+        for &pause in pauses_ns {
+            t.record("gc.pause_ns", pause);
+        }
+        t.counter_set("touch.events", 1_000);
+        t.counter_set("cache.hits", 75);
+        t.counter_set("cache.misses", 25);
+        let mut report = t.report().expect("enabled telemetry reports");
+        report.elapsed_ns = 2_000_000_000; // pin: timing is not deterministic
+        report
+    }
+
+    #[test]
+    fn pause_cells_are_golden() {
+        let run = result_with_telemetry(Some(report_with_pauses(&[1_000, 3_000_000, 2_000])));
+        assert_eq!(pause_count_cell(&run), "3");
+        assert_eq!(max_pause_cell(&run), "3.0ms");
+
+        let idle = result_with_telemetry(Some(report_with_pauses(&[])));
+        assert_eq!(pause_count_cell(&idle), "0");
+        assert_eq!(max_pause_cell(&idle), "-");
+
+        let dark = result_with_telemetry(None);
+        assert_eq!(pause_count_cell(&dark), "n/a");
+        assert_eq!(max_pause_cell(&dark), "n/a");
+    }
+
+    #[test]
+    fn telemetry_summary_line_is_golden() {
+        let runs = [
+            result_with_telemetry(Some(report_with_pauses(&[1_000, 3_000_000, 2_000]))),
+            result_with_telemetry(Some(report_with_pauses(&[500_000]))),
+        ];
+        let line = telemetry_summary(runs.iter()).expect("telemetry present");
+        // 2 runs, 4 pauses, 500 events/s over 2+2 pinned seconds, 75% hits.
+        assert_eq!(
+            line,
+            "telemetry (2 runs): 4 GC pauses (p50 2.0us, p99 3.0ms, max 3.0ms), \
+             0.00 M events/s, cache hit rate 75%"
+        );
+        assert!(telemetry_summary(std::iter::empty()).is_none());
+        assert!(telemetry_summary([result_with_telemetry(None)].iter()).is_none());
     }
 }

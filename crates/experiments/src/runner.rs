@@ -55,6 +55,13 @@ pub struct ExperimentConfig {
     /// benchmark run records its trace on first use and replays it on every
     /// later use (see the module docs); when `None`, runs are always live.
     pub trace_dir: Option<PathBuf>,
+    /// Directory for `.kgmetrics` telemetry emissions. Runs always collect
+    /// telemetry (it is host-side bookkeeping, bit-identical on or off, and
+    /// feeds the pause columns of the experiment tables); when this is set,
+    /// each run additionally writes its report as a JSON-lines file named
+    /// `{benchmark}-{collector}.kgmetrics`, and per-line write tracking is
+    /// forced on so wear-distribution snapshots are included.
+    pub telemetry_dir: Option<PathBuf>,
 }
 
 impl ExperimentConfig {
@@ -67,6 +74,7 @@ impl ExperimentConfig {
             mode: MeasurementMode::Simulation,
             jobs: 1,
             trace_dir: None,
+            telemetry_dir: None,
         }
     }
 
@@ -87,6 +95,7 @@ impl ExperimentConfig {
             mode: MeasurementMode::ArchitectureIndependent,
             jobs: 1,
             trace_dir: None,
+            telemetry_dir: None,
         }
     }
 
@@ -109,11 +118,25 @@ impl ExperimentConfig {
         self
     }
 
+    /// Same configuration with `.kgmetrics` telemetry files written to
+    /// `dir` (see [`ExperimentConfig::telemetry_dir`]).
+    pub fn with_telemetry_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.telemetry_dir = Some(dir.into());
+        self
+    }
+
     pub(crate) fn memory_config(&self) -> MemoryConfig {
-        match self.mode {
+        let mut config = match self.mode {
             MeasurementMode::Simulation => MemoryConfig::hybrid_scaled(self.cache_scale),
             MeasurementMode::ArchitectureIndependent => MemoryConfig::architecture_independent(),
+        };
+        if self.telemetry_dir.is_some() {
+            // Emitted telemetry includes wear-distribution snapshots, which
+            // need per-line write counts. Tracking only adds host-side
+            // bookkeeping; the simulated traffic is unchanged.
+            config.track_line_writes = true;
         }
+        config
     }
 
     pub(crate) fn workload(&self) -> WorkloadConfig {
@@ -155,6 +178,10 @@ pub struct ExperimentResult {
     /// The per-site profile gathered by the run, when it was a profiling run
     /// (see [`run_benchmark_profiled`]).
     pub site_profile: Option<SiteProfile>,
+    /// The run's telemetry snapshot: GC-phase spans, pause histograms,
+    /// device/cache counters and adaptation events (see the `telemetry`
+    /// crate). Always present for runs driven by this module.
+    pub telemetry: Option<telemetry::TelemetryReport>,
 }
 
 impl ExperimentResult {
@@ -238,6 +265,7 @@ fn finalize(
     wp: Option<WritePartitioningStats>,
     dram_fraction: f64,
     pcm_fraction: f64,
+    config: &ExperimentConfig,
 ) -> ExperimentResult {
     let report = heap.finish();
     let model = ExecutionModel::default();
@@ -245,6 +273,21 @@ fn finalize(
     let energy_model = EnergyModel::default();
     let energy = energy_model.breakdown(&report.memory, time.total_s(), dram_fraction, pcm_fraction);
     let edp = energy.total_j() * time.total_s();
+    if let (Some(dir), Some(telemetry)) = (&config.telemetry_dir, &report.telemetry) {
+        let meta = telemetry::RunMeta {
+            benchmark: profile.name.to_string(),
+            collector: collector.clone(),
+            seed: config.seed,
+            scale: config.scale,
+        };
+        let path = metrics_path(dir, profile.name, &collector);
+        if let Err(err) = std::fs::create_dir_all(dir)
+            .map_err(telemetry::TelemetryError::from)
+            .and_then(|()| telemetry::write_jsonl(&path, &meta, telemetry))
+        {
+            eprintln!("warning: could not write telemetry {}: {err}", path.display());
+        }
+    }
     ExperimentResult {
         benchmark: profile.name.to_string(),
         collector,
@@ -256,7 +299,29 @@ fn finalize(
         wp,
         scaling_factor: profile.scaling_factor.unwrap_or(1.0),
         site_profile: report.site_profile,
+        telemetry: report.telemetry,
     }
+}
+
+/// Canonical telemetry file path for one (benchmark, collector) run.
+pub fn metrics_path(dir: &Path, benchmark: &str, collector: &str) -> PathBuf {
+    let sanitize = |s: &str| -> String {
+        s.chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect()
+    };
+    dir.join(format!(
+        "{}-{}.{}",
+        sanitize(benchmark),
+        sanitize(collector),
+        telemetry::FILE_EXTENSION
+    ))
 }
 
 /// Runs `profile` under the collector described by `heap_config`.
@@ -299,11 +364,12 @@ fn run_benchmark_inner(
         (0.0, 1.0)
     };
     let mut heap = KingsguardHeap::new(heap_config.clone(), config.memory_config());
+    heap.enable_telemetry();
     if profiled {
         heap.enable_profiling(profile.name);
     }
     drive_workload(profile, &mut heap, &heap_config, config, |_, _| {});
-    finalize(profile, label, heap, None, dram_fraction, pcm_fraction)
+    finalize(profile, label, heap, None, dram_fraction, pcm_fraction, config)
 }
 
 /// Runs `profile` on a PCM-only generational Immix heap managed by the OS
@@ -311,11 +377,20 @@ fn run_benchmark_inner(
 pub fn run_benchmark_with_wp(profile: &BenchmarkProfile, config: &ExperimentConfig) -> ExperimentResult {
     let heap_config = heap_config_for(profile, HeapConfig::gen_immix_pcm(), config);
     let mut heap = KingsguardHeap::new(heap_config.clone(), config.memory_config());
+    heap.enable_telemetry();
     let mut wp = WritePartitioning::new(WritePartitioningConfig::default());
     drive_workload(profile, &mut heap, &heap_config, config, |heap, progress| {
         heap.with_synced_memory(|mem| wp.advance(mem, progress.elapsed_ms));
     });
-    finalize(profile, "WP".to_string(), heap, Some(wp.stats()), 1.0 / 32.0, 1.0)
+    finalize(
+        profile,
+        "WP".to_string(),
+        heap,
+        Some(wp.stats()),
+        1.0 / 32.0,
+        1.0,
+        config,
+    )
 }
 
 /// Canonical trace file path for one workload: keyed by everything that
@@ -384,7 +459,8 @@ fn drive_workload(
         }
     }) {
         Ok(recorded) => {
-            TraceReplayer::new(&recorded)
+            let started = std::time::Instant::now();
+            let stats = TraceReplayer::new(&recorded)
                 .replay_with(heap, |heap, progress| {
                     hook(
                         heap,
@@ -396,6 +472,7 @@ fn drive_workload(
                     )
                 })
                 .unwrap_or_else(|err| panic!("replaying {} failed: {err}", path.display()));
+            record_replay_telemetry(heap, &recorded, stats, started.elapsed());
         }
         Err(err) => {
             // Missing file is the normal first-use path; a damaged trace is
@@ -411,6 +488,50 @@ fn drive_workload(
                 eprintln!("warning: could not save trace {}: {err}", path.display());
             }
         }
+    }
+}
+
+/// Records replay-progress metrics after a trace-backed run: how much of
+/// the stream was applied, its throughput, and the divergence of the
+/// replayed heap from the recorded schedule (collections the heap ran on
+/// its own allocation pressure beyond the explicitly recorded ones — zero
+/// divergence means the replay hit every recorded safepoint position).
+fn record_replay_telemetry(
+    heap: &mut KingsguardHeap,
+    recorded: &trace::Trace,
+    stats: trace::ReplayStats,
+    elapsed: std::time::Duration,
+) {
+    let recorded_collects = recorded
+        .events
+        .iter()
+        .filter(|event| matches!(event, trace::TraceEvent::Collect { .. }))
+        .count() as u64;
+    let recorded_safepoints = recorded
+        .events
+        .iter()
+        .filter(|event| matches!(event, trace::TraceEvent::Safepoint))
+        .count() as u64;
+    let observed_collections = {
+        let gc = heap.stats();
+        gc.nursery.collections + gc.observer.collections + gc.major.collections
+    };
+    let telemetry = heap.telemetry_mut();
+    if !telemetry.is_enabled() {
+        return;
+    }
+    telemetry.counter_set("replay.events", stats.events);
+    telemetry.counter_set("replay.allocations", stats.allocations);
+    telemetry.counter_set("replay.hooks", stats.hooks);
+    telemetry.counter_set("replay.recorded_collects", recorded_collects);
+    telemetry.counter_set("replay.recorded_safepoints", recorded_safepoints);
+    telemetry.counter_set(
+        "replay.unscheduled_collections",
+        observed_collections.saturating_sub(recorded_collects),
+    );
+    let elapsed_s = elapsed.as_secs_f64();
+    if elapsed_s > 0.0 {
+        telemetry.timing_gauge("replay.events_per_sec", stats.events as f64 / elapsed_s);
     }
 }
 

@@ -5,7 +5,7 @@ use hybrid_mem::MemoryKind;
 use kingsguard::HeapConfig;
 use workloads::{all_benchmarks, simulated_benchmarks};
 
-use crate::report::{mean, percent, TextTable};
+use crate::report::{collect_rows, mean, percent, TelemetryRollup, TextTable};
 use crate::runner::{run_benchmark, run_benchmark_with_wp, run_jobs, ExperimentConfig};
 
 /// Table 1: collector configurations (a static description).
@@ -112,6 +112,8 @@ pub struct WriteRateRow {
 pub struct WriteRateResults {
     /// One row per simulation-subset benchmark.
     pub rows: Vec<WriteRateRow>,
+    /// Telemetry rollup of the runs behind the table.
+    pub telemetry: TelemetryRollup,
 }
 
 impl WriteRateResults {
@@ -147,26 +149,31 @@ impl WriteRateResults {
                 format!("{:.1}", row.paper_gbps),
             ]);
         }
-        table.render()
+        table.render() + &self.telemetry.appendix()
     }
 }
 
 /// Table 3: write-rate estimation for the simulation subset.
 pub fn table3(config: &ExperimentConfig) -> WriteRateResults {
     let benchmarks = simulated_benchmarks();
-    let rows = run_jobs(&benchmarks, config.jobs, |profile| {
+    let (rows, telemetry) = collect_rows(run_jobs(&benchmarks, config.jobs, |profile| {
         let result = run_benchmark(profile, HeapConfig::gen_immix_pcm(), config);
         let four_core = result.pcm_write_rate_4core() / 1e9;
         let scaling = profile.scaling_factor.unwrap_or(1.0);
-        WriteRateRow {
-            benchmark: profile.name.to_string(),
-            scaling_factor: scaling,
-            simulated_4core_gbps: four_core,
-            estimated_32core_gbps: four_core * scaling,
-            paper_gbps: profile.paper_write_rate_gbps.unwrap_or(0.0),
-        }
-    });
-    WriteRateResults { rows }
+        let mut rollup = TelemetryRollup::default();
+        rollup.absorb(&result);
+        (
+            WriteRateRow {
+                benchmark: profile.name.to_string(),
+                scaling_factor: scaling,
+                simulated_4core_gbps: four_core,
+                estimated_32core_gbps: four_core * scaling,
+                paper_gbps: profile.paper_write_rate_gbps.unwrap_or(0.0),
+            },
+            rollup,
+        )
+    }));
+    WriteRateResults { rows, telemetry }
 }
 
 /// One row of Table 4.
@@ -210,6 +217,8 @@ pub struct Table4Results {
     pub rows: Vec<DemographicsRow>,
     /// The scale factor used (needed to interpret absolute MB values).
     pub scale: u64,
+    /// Telemetry rollup of the runs behind the table.
+    pub telemetry: TelemetryRollup,
 }
 
 impl Table4Results {
@@ -282,7 +291,7 @@ impl Table4Results {
                 ),
             ]);
         }
-        table.render()
+        table.render() + &self.telemetry.appendix()
     }
 }
 
@@ -297,9 +306,12 @@ pub fn table4(config: &ExperimentConfig, include_wp: bool) -> Table4Results {
     };
     let to_mb = |bytes: u64| bytes as f64 / (1 << 20) as f64;
     let benchmarks = all_benchmarks();
-    let rows = run_jobs(&benchmarks, config.jobs, |profile| {
+    let pairs = run_jobs(&benchmarks, config.jobs, |profile| {
         let kg_n = run_benchmark(profile, HeapConfig::kg_n(), &config);
         let kg_w = run_benchmark(profile, HeapConfig::kg_w(), &config);
+        let mut rollup = TelemetryRollup::default();
+        rollup.absorb(&kg_n);
+        rollup.absorb(&kg_w);
         let wp_dram_mb = if include_wp && profile.simulated {
             let wp = run_benchmark_with_wp(profile, &config);
             wp.wp
@@ -309,7 +321,7 @@ pub fn table4(config: &ExperimentConfig, include_wp: bool) -> Table4Results {
             0.0
         };
         let heap_bytes = kg_w.gc.peak_pcm_mapped + kg_w.gc.peak_dram_mapped;
-        DemographicsRow {
+        let row = DemographicsRow {
             benchmark: profile.name.to_string(),
             allocation_mb: to_mb(kg_w.gc.bytes_allocated) * config.scale as f64,
             heap_mb: profile.heap_mb as f64,
@@ -328,10 +340,13 @@ pub fn table4(config: &ExperimentConfig, include_wp: bool) -> Table4Results {
             observer_survival: kg_w.gc.observer_survival(),
             held_in_dram_bytes: kg_w.gc.observer_dram_fraction(),
             held_in_dram_objects: kg_w.gc.observer_dram_object_fraction(),
-        }
+        };
+        (row, rollup)
     });
+    let (rows, telemetry) = collect_rows(pairs);
     Table4Results {
         rows,
         scale: config.scale,
+        telemetry,
     }
 }

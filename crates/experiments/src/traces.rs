@@ -19,7 +19,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use advice::AdviceTable;
-use hybrid_mem::wear::{WearSummary, WearTracker};
+use hybrid_mem::wear::WearSummary;
 use hybrid_mem::{MemoryConfig, MemoryKind, MemorySystem};
 use kingsguard::{HeapConfig, KingsguardHeap};
 use trace::{Trace, TraceError, TraceReplayer};
@@ -456,17 +456,10 @@ impl DiffResults {
 }
 
 /// Summarises the wear of every *PCM-mapped* line with recorded writes.
+/// Diff replays force line tracking on, so the summary is always available.
 fn pcm_wear_summary(mem: &MemorySystem) -> WearSummary {
-    let counts: Vec<u64> = mem
-        .controller()
-        .line_writes()
-        .filter(|&(line, _)| {
-            let addr = hybrid_mem::Address::new(line * hybrid_mem::CACHE_LINE_SIZE as u64);
-            mem.is_mapped(addr) && mem.kind_of(addr) == MemoryKind::Pcm
-        })
-        .map(|(_, writes)| writes)
-        .collect();
-    WearTracker::from_counts(counts).summary()
+    mem.wear_summary(MemoryKind::Pcm)
+        .expect("diff replays run with track_line_writes enabled")
 }
 
 fn replay_side(trace: &Trace, collector: &str, config: &ExperimentConfig, path: &Path) -> DiffSide {

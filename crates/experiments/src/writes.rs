@@ -4,7 +4,7 @@ use hybrid_mem::{MemoryKind, Phase};
 use kingsguard::HeapConfig;
 use workloads::{all_benchmarks, simulated_benchmarks};
 
-use crate::report::{mean, percent, ratio, TextTable};
+use crate::report::{collect_rows, mean, percent, ratio, TelemetryRollup, TextTable};
 use crate::runner::{run_benchmark, run_benchmark_with_wp, run_jobs, ExperimentConfig, ExperimentResult};
 
 // ---------------------------------------------------------------------------
@@ -31,6 +31,8 @@ pub struct DemographicsRow {
 pub struct DemographicsResults {
     /// Per-benchmark rows for all 18 benchmarks.
     pub rows: Vec<DemographicsRow>,
+    /// Telemetry rollup of the runs behind the table.
+    pub telemetry: TelemetryRollup,
 }
 
 impl DemographicsResults {
@@ -77,7 +79,7 @@ impl DemographicsResults {
             percent(self.average_top10_share()),
             percent(self.average_top2_share()),
         ]);
-        table.render()
+        table.render() + &self.telemetry.appendix()
     }
 }
 
@@ -89,16 +91,21 @@ pub fn figure2(config: &ExperimentConfig) -> DemographicsResults {
         ..config.clone()
     };
     let benchmarks = all_benchmarks();
-    let rows = run_jobs(&benchmarks, config.jobs, |profile| {
+    let (rows, telemetry) = collect_rows(run_jobs(&benchmarks, config.jobs, |profile| {
         let result = run_benchmark(profile, HeapConfig::gen_immix_dram(), &config);
-        DemographicsRow {
-            benchmark: profile.name.to_string(),
-            nursery_fraction: result.gc.nursery_write_fraction(),
-            top10_share: result.gc.top_mature_writer_share(0.10),
-            top2_share: result.gc.top_mature_writer_share(0.02),
-        }
-    });
-    DemographicsResults { rows }
+        let mut rollup = TelemetryRollup::default();
+        rollup.absorb(&result);
+        (
+            DemographicsRow {
+                benchmark: profile.name.to_string(),
+                nursery_fraction: result.gc.nursery_write_fraction(),
+                top10_share: result.gc.top_mature_writer_share(0.10),
+                top2_share: result.gc.top_mature_writer_share(0.02),
+            },
+            rollup,
+        )
+    }));
+    DemographicsResults { rows, telemetry }
 }
 
 // ---------------------------------------------------------------------------
@@ -120,6 +127,8 @@ pub struct WriteReductionRow {
 pub struct WriteReductionResults {
     /// Per-benchmark rows (simulation subset).
     pub rows: Vec<WriteReductionRow>,
+    /// Telemetry rollup of the runs behind the table.
+    pub telemetry: TelemetryRollup,
 }
 
 /// Configuration labels of Figure 6 in order.
@@ -145,7 +154,7 @@ impl WriteReductionResults {
         let mut avg = vec!["Average".to_string()];
         avg.extend((0..4).map(|i| ratio(self.average(i))));
         table.row(avg);
-        table.render()
+        table.render() + &self.telemetry.appendix()
     }
 }
 
@@ -153,9 +162,11 @@ impl WriteReductionResults {
 /// PCM-only, on the simulation subset.
 pub fn figure6(config: &ExperimentConfig) -> WriteReductionResults {
     let benchmarks = simulated_benchmarks();
-    let rows = run_jobs(&benchmarks, config.jobs, |profile| {
+    let (rows, telemetry) = collect_rows(run_jobs(&benchmarks, config.jobs, |profile| {
         let baseline = run_benchmark(profile, HeapConfig::gen_immix_pcm(), config);
         let base_writes = baseline.pcm_writes().max(1) as f64;
+        let mut rollup = TelemetryRollup::default();
+        rollup.absorb(&baseline);
         let configs = [
             HeapConfig::kg_n(),
             HeapConfig::kg_w(),
@@ -165,14 +176,18 @@ pub fn figure6(config: &ExperimentConfig) -> WriteReductionResults {
         let mut relative = [0.0f64; 4];
         for (i, heap_config) in configs.into_iter().enumerate() {
             let result = run_benchmark(profile, heap_config, config);
+            rollup.absorb(&result);
             relative[i] = result.pcm_writes() as f64 / base_writes;
         }
-        WriteReductionRow {
-            benchmark: profile.name.to_string(),
-            relative,
-        }
-    });
-    WriteReductionResults { rows }
+        (
+            WriteReductionRow {
+                benchmark: profile.name.to_string(),
+                relative,
+            },
+            rollup,
+        )
+    }));
+    WriteReductionResults { rows, telemetry }
 }
 
 // ---------------------------------------------------------------------------
@@ -201,6 +216,8 @@ pub struct WpComparisonRow {
 pub struct WpComparisonResults {
     /// Per-benchmark rows (simulation subset).
     pub rows: Vec<WpComparisonRow>,
+    /// Telemetry rollup of the runs behind the table.
+    pub telemetry: TelemetryRollup,
 }
 
 impl WpComparisonResults {
@@ -256,7 +273,7 @@ impl WpComparisonResults {
             String::new(),
             ratio(self.average_wp()),
         ]);
-        table.render()
+        table.render() + &self.telemetry.appendix()
     }
 }
 
@@ -264,25 +281,32 @@ impl WpComparisonResults {
 /// PCM-only on the simulation subset.
 pub fn figure7(config: &ExperimentConfig) -> WpComparisonResults {
     let benchmarks = simulated_benchmarks();
-    let rows = run_jobs(&benchmarks, config.jobs, |profile| {
+    let (rows, telemetry) = collect_rows(run_jobs(&benchmarks, config.jobs, |profile| {
         let baseline = run_benchmark(profile, HeapConfig::gen_immix_pcm(), config);
         let base_writes = baseline.pcm_writes().max(1) as f64;
         let kg_n = run_benchmark(profile, HeapConfig::kg_n(), config);
         let kg_w = run_benchmark(profile, HeapConfig::kg_w(), config);
         let wp = run_benchmark_with_wp(profile, config);
-        WpComparisonRow {
-            benchmark: profile.name.to_string(),
-            kg_n: kg_n.pcm_writes() as f64 / base_writes,
-            kg_w: kg_w.pcm_writes() as f64 / base_writes,
-            wp_writebacks: wp.memory.writeback_writes(MemoryKind::Pcm) as f64 / base_writes,
-            wp_migrations: wp.memory.migration_writes(MemoryKind::Pcm) as f64 / base_writes,
-            wp_dram_bytes: wp
-                .wp
-                .map(|s| (s.peak_dram_pages * hybrid_mem::PAGE_SIZE) as u64)
-                .unwrap_or(0),
+        let mut rollup = TelemetryRollup::default();
+        for result in [&baseline, &kg_n, &kg_w, &wp] {
+            rollup.absorb(result);
         }
-    });
-    WpComparisonResults { rows }
+        (
+            WpComparisonRow {
+                benchmark: profile.name.to_string(),
+                kg_n: kg_n.pcm_writes() as f64 / base_writes,
+                kg_w: kg_w.pcm_writes() as f64 / base_writes,
+                wp_writebacks: wp.memory.writeback_writes(MemoryKind::Pcm) as f64 / base_writes,
+                wp_migrations: wp.memory.migration_writes(MemoryKind::Pcm) as f64 / base_writes,
+                wp_dram_bytes: wp
+                    .wp
+                    .map(|s| (s.peak_dram_pages * hybrid_mem::PAGE_SIZE) as u64)
+                    .unwrap_or(0),
+            },
+            rollup,
+        )
+    }));
+    WpComparisonResults { rows, telemetry }
 }
 
 // ---------------------------------------------------------------------------
@@ -315,6 +339,8 @@ pub struct WriteOriginRow {
 pub struct WriteOriginResults {
     /// Two rows (KG-N, KG-W) per benchmark of the simulation subset.
     pub rows: Vec<WriteOriginRow>,
+    /// Telemetry rollup of the runs behind the table.
+    pub telemetry: TelemetryRollup,
 }
 
 impl WriteOriginResults {
@@ -343,7 +369,7 @@ impl WriteOriginResults {
                 ratio(row.runtime),
             ]);
         }
-        table.render()
+        table.render() + &self.telemetry.appendix()
     }
 }
 
@@ -364,16 +390,20 @@ fn origin_row(result: &ExperimentResult, normaliser: f64) -> WriteOriginRow {
 /// line, for KG-N and KG-W on the simulation subset.
 pub fn figure10(config: &ExperimentConfig) -> WriteOriginResults {
     let benchmarks = simulated_benchmarks();
-    let rows = run_jobs(&benchmarks, config.jobs, |profile| {
+    let (pairs, telemetry) = collect_rows(run_jobs(&benchmarks, config.jobs, |profile| {
         let kg_n = run_benchmark(profile, HeapConfig::kg_n(), config);
         let kg_w = run_benchmark(profile, HeapConfig::kg_w(), config);
         let normaliser = kg_n.pcm_writes().max(1) as f64;
-        [origin_row(&kg_n, normaliser), origin_row(&kg_w, normaliser)]
-    })
-    .into_iter()
-    .flatten()
-    .collect();
-    WriteOriginResults { rows }
+        let mut rollup = TelemetryRollup::default();
+        rollup.absorb(&kg_n);
+        rollup.absorb(&kg_w);
+        (
+            [origin_row(&kg_n, normaliser), origin_row(&kg_w, normaliser)],
+            rollup,
+        )
+    }));
+    let rows = pairs.into_iter().flatten().collect();
+    WriteOriginResults { rows, telemetry }
 }
 
 // ---------------------------------------------------------------------------
@@ -398,6 +428,8 @@ pub struct HardwareWritesRow {
 pub struct HardwareWritesResults {
     /// One row per benchmark (all 18).
     pub rows: Vec<HardwareWritesRow>,
+    /// Telemetry rollup of the runs behind the table.
+    pub telemetry: TelemetryRollup,
 }
 
 impl HardwareWritesResults {
@@ -437,7 +469,7 @@ impl HardwareWritesResults {
             ratio(self.average_kg_w()),
             ratio(self.average_kg_w_pm()),
         ]);
-        table.render()
+        table.render() + &self.telemetry.appendix()
     }
 }
 
@@ -449,18 +481,25 @@ pub fn figure11(config: &ExperimentConfig) -> HardwareWritesResults {
         ..config.clone()
     };
     let benchmarks = all_benchmarks();
-    let rows = run_jobs(&benchmarks, config.jobs, |profile| {
+    let (rows, telemetry) = collect_rows(run_jobs(&benchmarks, config.jobs, |profile| {
         let kg_n = run_benchmark(profile, HeapConfig::kg_n(), &config);
         let baseline = kg_n.pcm_app_writes().max(1) as f64;
         let kg_n_12 = run_benchmark(profile, HeapConfig::kg_n_large_nursery(), &config);
         let kg_w = run_benchmark(profile, HeapConfig::kg_w(), &config);
         let kg_w_pm = run_benchmark(profile, HeapConfig::kg_w_no_primitive_monitoring(), &config);
-        HardwareWritesRow {
-            benchmark: profile.name.to_string(),
-            kg_n_12: kg_n_12.pcm_app_writes() as f64 / baseline,
-            kg_w: kg_w.pcm_app_writes() as f64 / baseline,
-            kg_w_pm: kg_w_pm.pcm_app_writes() as f64 / baseline,
+        let mut rollup = TelemetryRollup::default();
+        for result in [&kg_n, &kg_n_12, &kg_w, &kg_w_pm] {
+            rollup.absorb(result);
         }
-    });
-    HardwareWritesResults { rows }
+        (
+            HardwareWritesRow {
+                benchmark: profile.name.to_string(),
+                kg_n_12: kg_n_12.pcm_app_writes() as f64 / baseline,
+                kg_w: kg_w.pcm_app_writes() as f64 / baseline,
+                kg_w_pm: kg_w_pm.pcm_app_writes() as f64 / baseline,
+            },
+            rollup,
+        )
+    }));
+    HardwareWritesResults { rows, telemetry }
 }

@@ -255,6 +255,25 @@ impl MemorySystem {
         &self.controller
     }
 
+    /// Summarises the write distribution over the *mapped* lines of `kind`,
+    /// or `None` when per-line write tracking is disabled. Call at a
+    /// safepoint (after shard merges) so the counts are complete.
+    pub fn wear_summary(&self, kind: MemoryKind) -> Option<crate::wear::WearSummary> {
+        if !self.config.track_line_writes {
+            return None;
+        }
+        let counts: Vec<u64> = self
+            .controller
+            .line_writes()
+            .filter(|&(line, _)| {
+                let addr = Address::new(line * crate::address::CACHE_LINE_SIZE as u64);
+                self.is_mapped(addr) && self.kind_of(addr) == kind
+            })
+            .map(|(_, writes)| writes)
+            .collect();
+        Some(crate::wear::WearTracker::from_counts(counts).summary())
+    }
+
     /// Mutable access to the memory controller (used by the OS baseline to
     /// consume per-page write counters).
     pub fn controller_mut(&mut self) -> &mut MemoryController {

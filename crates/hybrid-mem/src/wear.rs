@@ -49,20 +49,22 @@ impl WearTracker {
         self.counts.push(writes);
     }
 
-    /// Summarises the distribution.
+    /// Summarises the distribution. The moments are accumulated as integer
+    /// sums, so the result is independent of the order counts were recorded
+    /// in (the memory controller folds its shards through a `HashMap`, whose
+    /// iteration order varies run to run — float accumulation in that order
+    /// would make the coefficient of variation drift in its last bits).
     pub fn summary(&self) -> WearSummary {
         if self.counts.is_empty() {
             return WearSummary::default();
         }
         let total: u64 = self.counts.iter().sum();
+        let sum_sq: u128 = self.counts.iter().map(|&c| (c as u128) * (c as u128)).sum();
         let n = self.counts.len() as f64;
         let mean = total as f64 / n;
-        let var = self
-            .counts
-            .iter()
-            .map(|&c| (c as f64 - mean).powi(2))
-            .sum::<f64>()
-            / n;
+        // E[c²] − mean², clamped: the two terms are equal for a uniform
+        // distribution and rounding may leave a tiny negative residue.
+        let var = (sum_sq as f64 / n - mean * mean).max(0.0);
         WearSummary {
             lines_written: self.counts.len() as u64,
             total_writes: total,

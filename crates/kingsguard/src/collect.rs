@@ -89,6 +89,7 @@ impl KingsguardHeap {
         self.update_peaks();
         // End-of-GC refresh point for adaptive policies.
         self.policy.on_gc_feedback(&self.stats);
+        self.record_policy_adaptation();
     }
 
     /// Collects the nursery only.
@@ -101,6 +102,7 @@ impl KingsguardHeap {
 
     pub(crate) fn collect_nursery_impl(&mut self) {
         self.enter_safepoint();
+        self.telemetry.span_enter("gc.nursery");
         let phase = Phase::NurseryGc;
         self.stats.nursery.collections += 1;
         let collected = self.nursery.used_bytes() as u64;
@@ -109,6 +111,7 @@ impl KingsguardHeap {
 
         let mut queue: Vec<ObjectRef> = Vec::new();
 
+        self.telemetry.span_enter("gc.nursery.roots");
         let entries: Vec<(Handle, ObjectRef)> = self.roots.iter().collect();
         for (handle, obj) in entries {
             if self.locate(obj.address()) == Location::Nursery {
@@ -116,7 +119,9 @@ impl KingsguardHeap {
                 self.roots.set(handle, new_obj);
             }
         }
+        self.telemetry.span_exit();
 
+        self.telemetry.span_enter("gc.nursery.remset");
         let slots = self.remset_nursery.drain();
         for slot in slots {
             if !self.mem.is_mapped(slot) {
@@ -132,8 +137,11 @@ impl KingsguardHeap {
                 self.mem.write_u64(slot, new_obj.address().raw(), phase);
             }
         }
+        self.telemetry.span_exit();
 
+        self.telemetry.span_enter("gc.nursery.copy");
         self.process_young_queue(&mut queue, false, phase);
+        self.telemetry.span_exit();
 
         let survived = self.stats.nursery.bytes_copied - copied_before;
         self.stats.nursery_survived_bytes += survived;
@@ -156,6 +164,9 @@ impl KingsguardHeap {
         self.nursery.reset();
         self.remset_nursery.clear();
         self.stats.work.gc_ops += collected / 64;
+        let pause_ns = self.telemetry.span_exit();
+        self.telemetry.record("gc.pause_ns", pause_ns);
+        self.telemetry.record("gc.pause.nursery_ns", pause_ns);
     }
 
     /// Collects the nursery and observer space together (KG-W only).
@@ -176,6 +187,7 @@ impl KingsguardHeap {
             self.observer.is_some(),
             "observer collection requires an observer-space policy (KG-W)"
         );
+        self.telemetry.span_enter("gc.observer");
         let phase = Phase::ObserverGc;
         self.stats.observer.collections += 1;
         let observer_used = self.observer.as_ref().expect("observer space").used_bytes() as u64;
@@ -193,6 +205,7 @@ impl KingsguardHeap {
         let mut nursery_live: Vec<ObjectRef> = Vec::new();
         let mut nursery_marked: HashSet<u64> = HashSet::new();
 
+        self.telemetry.span_enter("gc.observer.roots");
         let entries: Vec<(Handle, ObjectRef)> = self.roots.iter().collect();
         for (handle, obj) in entries {
             let loc = self.locate(obj.address());
@@ -202,7 +215,9 @@ impl KingsguardHeap {
                 self.roots.set(handle, new_obj);
             }
         }
+        self.telemetry.span_exit();
 
+        self.telemetry.span_enter("gc.observer.remset");
         let slots: Vec<Address> = self.remset_observer.iter().collect();
         for slot in slots {
             if !self.mem.is_mapped(slot) {
@@ -222,7 +237,9 @@ impl KingsguardHeap {
                 }
             }
         }
+        self.telemetry.span_exit();
 
+        self.telemetry.span_enter("gc.observer.trace");
         while let Some(obj) = queue.pop() {
             let shape = obj.shape(&mut self.mem, phase);
             for i in 0..shape.ref_slots as usize {
@@ -243,12 +260,14 @@ impl KingsguardHeap {
             self.stats.work.gc_ops += 1 + shape.ref_slots as u64;
             scanned.push(obj);
         }
+        self.telemetry.span_exit();
 
         let observer_survived = self.stats.observer.bytes_copied - observer_copied_before;
         self.stats.observer_survived_bytes += observer_survived;
 
         // Pass 2: the observer space is now fully evacuated; reset it and
         // copy the live nursery objects into it.
+        self.telemetry.span_enter("gc.observer.copy");
         self.observer.as_mut().expect("observer space").reset();
         let nursery_copied_before = self.stats.nursery.bytes_copied;
         for &obj in &nursery_live {
@@ -270,7 +289,9 @@ impl KingsguardHeap {
             self.stats.work.gc_ops += 2 + size as u64 / 16;
         }
         self.stats.nursery_survived_bytes += self.stats.nursery.bytes_copied - nursery_copied_before;
+        self.telemetry.span_exit();
 
+        self.telemetry.span_enter("gc.observer.patch");
         // Pass 3: patch references that still point at the old nursery
         // copies: in evacuated/scanned objects, in roots and in remembered
         // slots. While doing so, rebuild the observer remembered set: any
@@ -337,6 +358,7 @@ impl KingsguardHeap {
                 retained.insert(slot);
             }
         }
+        self.telemetry.span_exit();
 
         self.nursery.reset();
         self.remset_nursery.clear();
@@ -351,6 +373,9 @@ impl KingsguardHeap {
         self.los_alloc_since_gc = 0;
         self.nursery_alloc_since_gc = 0;
         self.stats.work.gc_ops += (observer_used + nursery_used) / 64;
+        let pause_ns = self.telemetry.span_exit();
+        self.telemetry.record("gc.pause_ns", pause_ns);
+        self.telemetry.record("gc.pause.observer_ns", pause_ns);
     }
 
     /// Traces one object during a nursery collection (and the nursery part
@@ -560,9 +585,11 @@ impl KingsguardHeap {
 
     pub(crate) fn collect_full_impl(&mut self) {
         self.enter_safepoint();
+        self.telemetry.span_enter("gc.major");
         let phase = Phase::MajorGc;
         self.stats.major.collections += 1;
 
+        self.telemetry.span_enter("gc.major.prepare");
         self.mature_primary.prepare_collection();
         if let Some(space) = self.mature_dram.as_mut() {
             space.prepare_collection();
@@ -574,10 +601,12 @@ impl KingsguardHeap {
         if self.uses_mdo() {
             self.metadata.clear_object_marks(&mut self.mem, phase);
         }
+        self.telemetry.span_exit();
 
         let mut marked: HashSet<u64> = HashSet::new();
         let mut queue: Vec<ObjectRef> = Vec::new();
 
+        self.telemetry.span_enter("gc.major.roots");
         let entries: Vec<(Handle, ObjectRef)> = self.roots.iter().collect();
         for (handle, obj) in entries {
             let new_obj = self.trace_major(obj, phase, &mut marked, &mut queue);
@@ -585,7 +614,9 @@ impl KingsguardHeap {
                 self.roots.set(handle, new_obj);
             }
         }
+        self.telemetry.span_exit();
 
+        self.telemetry.span_enter("gc.major.trace");
         while let Some(obj) = queue.pop() {
             let shape = obj.shape(&mut self.mem, phase);
             for i in 0..shape.ref_slots as usize {
@@ -600,7 +631,9 @@ impl KingsguardHeap {
             }
             self.stats.work.gc_ops += 1 + shape.ref_slots as u64;
         }
+        self.telemetry.span_exit();
 
+        self.telemetry.span_enter("gc.major.sweep");
         self.mature_primary.sweep(&mut self.mem);
         if let Some(space) = self.mature_dram.as_mut() {
             space.sweep(&mut self.mem);
@@ -615,11 +648,19 @@ impl KingsguardHeap {
         }
         self.remset_nursery.clear();
         self.remset_observer.clear();
+        self.telemetry.span_exit();
         self.sample_composition();
         self.update_peaks();
         // End-of-GC refresh point for adaptive policies: the rescue and
         // demotion counters this collection produced are now visible.
         self.policy.on_gc_feedback(&self.stats);
+        self.record_policy_adaptation();
+        let pause_ns = self.telemetry.span_exit();
+        self.telemetry.record("gc.pause_ns", pause_ns);
+        self.telemetry.record("gc.pause.major_ns", pause_ns);
+        // Major collections are rare: a good cadence for wear-distribution
+        // snapshots (and the heap is at a safepoint, so counts are complete).
+        self.record_wear_snapshot();
     }
 
     /// Traces one object during a full-heap collection, applying the

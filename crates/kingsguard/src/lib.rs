@@ -55,8 +55,9 @@ pub mod tap;
 pub use config::{CollectorKind, HeapConfig, KgwOptions};
 pub use mutator::{MutatorConfig, MutatorContext};
 pub use policy::{
-    BarrierMode, GenImmixPolicy, KgAdvicePolicy, KgDynamicParams, KgDynamicPolicy, KgNurseryPolicy,
-    KgWritersPolicy, LargePlacement, PlacementPolicy, SurvivorPlacement, Topology,
+    AdaptationEvent, AdaptationTrigger, BarrierMode, GenImmixPolicy, KgAdvicePolicy, KgDynamicParams,
+    KgDynamicPolicy, KgNurseryPolicy, KgWritersPolicy, LargePlacement, PlacementPolicy, SurvivorPlacement,
+    Topology,
 };
 pub use runtime::{KingsguardHeap, RunReport};
 pub use stats::{CollectionCounters, CompositionSample, GcStats, WriteTarget};

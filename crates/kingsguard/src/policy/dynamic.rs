@@ -29,7 +29,10 @@ use std::collections::{HashMap, HashSet};
 use advice::{AdviceTable, Placement, SiteId};
 use hybrid_mem::MemoryKind;
 
-use crate::policy::{BarrierMode, LargePlacement, PlacementPolicy, SurvivorPlacement, Topology};
+use crate::policy::{
+    AdaptationEvent, AdaptationTrigger, BarrierMode, LargePlacement, PlacementPolicy, SurvivorPlacement,
+    Topology,
+};
 use crate::stats::GcStats;
 
 /// Tuning knobs of the adaptive policy.
@@ -73,6 +76,10 @@ pub struct KgDynamicPolicy {
     demotions_since_rescue: HashMap<u32, u64>,
     promotions: u64,
     reversions: u64,
+    /// Learn/un-learn decisions buffered for
+    /// [`PlacementPolicy::drain_adaptation_events`]. Bounded: one entry per
+    /// actual promotion or reversion, drained after every collection.
+    events: Vec<AdaptationEvent>,
 }
 
 impl KgDynamicPolicy {
@@ -120,10 +127,15 @@ impl KgDynamicPolicy {
         self.dram_sites.contains(&site.raw())
     }
 
-    fn promote(&mut self, site: u32) {
+    fn promote(&mut self, site: u32, trigger: AdaptationTrigger) {
         if self.dram_sites.insert(site) {
             self.promotions += 1;
             self.demotions_since_rescue.insert(site, 0);
+            self.events.push(AdaptationEvent {
+                site,
+                learned: true,
+                trigger,
+            });
         }
     }
 }
@@ -168,6 +180,10 @@ impl PlacementPolicy for KgDynamicPolicy {
         Some((self.promotions, self.reversions))
     }
 
+    fn drain_adaptation_events(&mut self) -> Vec<AdaptationEvent> {
+        std::mem::take(&mut self.events)
+    }
+
     fn on_mature_write(&mut self, site: SiteId, kind: MemoryKind) {
         if kind != MemoryKind::Pcm {
             return;
@@ -175,7 +191,7 @@ impl PlacementPolicy for KgDynamicPolicy {
         let count = self.pcm_writes.entry(site.raw()).or_insert(0);
         *count += 1;
         if *count >= self.params.promote_after_pcm_writes {
-            self.promote(site.raw());
+            self.promote(site.raw(), AdaptationTrigger::PcmWriteBurst);
         }
     }
 
@@ -189,7 +205,7 @@ impl PlacementPolicy for KgDynamicPolicy {
                 *seen = total;
                 rescued_now.insert(site);
                 self.demotions_since_rescue.insert(site, 0);
-                self.promote(site);
+                self.promote(site, AdaptationTrigger::Rescue);
             }
         }
         // Repeated demotions *without an intervening rescue* prove the
@@ -212,6 +228,11 @@ impl PlacementPolicy for KgDynamicPolicy {
                     self.pcm_writes.insert(site, 0);
                     *since = 0;
                     self.reversions += 1;
+                    self.events.push(AdaptationEvent {
+                        site,
+                        learned: false,
+                        trigger: AdaptationTrigger::Demotions,
+                    });
                 }
             }
         }
@@ -327,6 +348,39 @@ mod tests {
         policy.on_gc_feedback(&stats);
         assert_eq!(policy.promotions(), 1);
         assert_eq!(policy.reversions(), 0, "site 2 was never DRAM-advised");
+    }
+
+    #[test]
+    fn adaptation_events_carry_site_and_trigger_and_drain_once() {
+        let mut policy = KgDynamicPolicy::with_params(KgDynamicParams {
+            promote_after_pcm_writes: 1,
+            revert_after_demotions: 1,
+        });
+        policy.on_mature_write(SiteId(7), MemoryKind::Pcm);
+        policy.on_gc_feedback(&feedback_with(&[(9, 1)], &[(7, 2)]));
+        let events = policy.drain_adaptation_events();
+        assert_eq!(
+            events,
+            vec![
+                AdaptationEvent {
+                    site: 7,
+                    learned: true,
+                    trigger: AdaptationTrigger::PcmWriteBurst,
+                },
+                AdaptationEvent {
+                    site: 9,
+                    learned: true,
+                    trigger: AdaptationTrigger::Rescue,
+                },
+                AdaptationEvent {
+                    site: 7,
+                    learned: false,
+                    trigger: AdaptationTrigger::Demotions,
+                },
+            ]
+        );
+        assert!(policy.drain_adaptation_events().is_empty(), "drained");
+        assert_eq!(AdaptationTrigger::PcmWriteBurst.label(), "pcm-write-burst");
     }
 
     #[test]

@@ -237,6 +237,52 @@ pub trait PlacementPolicy: std::fmt::Debug + Send {
     fn adaptation_counters(&self) -> Option<(u64, u64)> {
         None
     }
+
+    /// Drains the adaptation events buffered since the last drain. The
+    /// runtime calls this after every [`PlacementPolicy::on_gc_feedback`],
+    /// so adaptive policies can buffer each learn/un-learn decision with its
+    /// trigger and have the telemetry layer pick them up without the policy
+    /// knowing anything about telemetry. Non-adaptive policies keep the
+    /// default empty drain.
+    fn drain_adaptation_events(&mut self) -> Vec<AdaptationEvent> {
+        Vec::new()
+    }
+}
+
+/// What caused one KG-D learn/un-learn decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdaptationTrigger {
+    /// A site crossed the mutator PCM-write threshold through the write
+    /// barrier.
+    PcmWriteBurst,
+    /// A site's objects were rescued from PCM during tracing.
+    Rescue,
+    /// A learned site's objects kept getting demoted as unwritten — the
+    /// advice was un-learned.
+    Demotions,
+}
+
+impl AdaptationTrigger {
+    /// Stable label used in telemetry events.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdaptationTrigger::PcmWriteBurst => "pcm-write-burst",
+            AdaptationTrigger::Rescue => "rescue",
+            AdaptationTrigger::Demotions => "demotions",
+        }
+    }
+}
+
+/// One online adaptation decision: a site was learned into (or un-learned
+/// from) the policy's DRAM set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptationEvent {
+    /// The allocation site the decision is about.
+    pub site: u32,
+    /// `true` for learn (promote to DRAM), `false` for un-learn (revert).
+    pub learned: bool,
+    /// What triggered the decision.
+    pub trigger: AdaptationTrigger,
 }
 
 /// Builds the built-in policy for `config.collector`. `CollectorKind`

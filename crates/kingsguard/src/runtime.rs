@@ -29,6 +29,7 @@ use crate::mutator::{MutatorConfig, MutatorContext, MutatorState, WriteEvent};
 use crate::policy::{self, BarrierMode, LargePlacement, PlacementPolicy};
 use crate::stats::{GcStats, WriteTarget};
 use crate::tap::{EventTap, HeapEvent};
+use telemetry::{Telemetry, TelemetryReport, Value};
 
 /// Where an address lives within the heap.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,6 +101,11 @@ pub struct KingsguardHeap {
     pub(crate) mutators: Vec<MutatorState>,
     /// The (optional) heap-event record tap (see [`crate::tap`]).
     pub(crate) tap: EventTap,
+    /// The metrics handle (disabled by default; see
+    /// [`KingsguardHeap::enable_telemetry`]). Purely host-side: it never
+    /// issues simulated memory traffic, so enabling it cannot change any
+    /// simulation result.
+    pub(crate) telemetry: Telemetry,
 }
 
 /// End-of-run report: collector statistics plus the flushed memory-system
@@ -113,6 +119,10 @@ pub struct RunReport {
     /// The per-site profile gathered by this run, when profiling was enabled
     /// through [`KingsguardHeap::enable_profiling`].
     pub site_profile: Option<SiteProfile>,
+    /// The metrics snapshot, when telemetry was enabled through
+    /// [`KingsguardHeap::enable_telemetry`]; `None` otherwise (a disabled
+    /// handle emits exactly nothing).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl KingsguardHeap {
@@ -222,6 +232,7 @@ impl KingsguardHeap {
             policy,
             mutators,
             tap: EventTap::none(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -261,6 +272,142 @@ impl KingsguardHeap {
     /// The placement policy governing this heap.
     pub fn policy(&self) -> &dyn PlacementPolicy {
         self.policy.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry (see the `telemetry` crate)
+    // ------------------------------------------------------------------
+
+    /// Switches on metrics collection for this run: GC-phase spans, pause
+    /// histograms, policy adaptation events, and the end-of-run traffic and
+    /// cache statistics sampled from the counter shards the simulator
+    /// already merges at safepoints. Telemetry is host-side bookkeeping like
+    /// profiling — it adds no simulated memory traffic, so results are
+    /// bit-identical with it on or off. The run clock starts here.
+    pub fn enable_telemetry(&mut self) {
+        if !self.telemetry.is_enabled() {
+            self.telemetry = Telemetry::enabled();
+        }
+    }
+
+    /// The metrics handle (disabled unless
+    /// [`KingsguardHeap::enable_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable access to the metrics handle, for drivers recording their
+    /// own counters and gauges (e.g. trace replay progress) into the run's
+    /// report.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Samples cumulative collector statistics into telemetry counters and
+    /// drains the policy's buffered adaptation events. Called after every
+    /// collection's policy feedback and once at [`KingsguardHeap::finish`].
+    pub(crate) fn record_policy_adaptation(&mut self) {
+        // Always drain (the buffer is bounded by actual promotions and
+        // reversions, but dropping it keeps disabled runs allocation-free).
+        let events = self.policy.drain_adaptation_events();
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        if let Some((promotions, reversions)) = self.policy.adaptation_counters() {
+            self.telemetry.counter_set("policy.promotions", promotions);
+            self.telemetry.counter_set("policy.reversions", reversions);
+        }
+        for event in events {
+            self.telemetry.event(
+                if event.learned {
+                    "policy.promote"
+                } else {
+                    "policy.revert"
+                },
+                true,
+                || {
+                    vec![
+                        ("site", Value::U64(event.site as u64)),
+                        ("trigger", Value::Str(event.trigger.label().to_string())),
+                    ]
+                },
+            );
+        }
+        self.telemetry
+            .counter_set("gc.rescues.pcm_to_dram", self.stats.pcm_to_dram_rescues);
+        self.telemetry
+            .counter_set("gc.demotions.dram_to_pcm", self.stats.dram_to_pcm_demotions);
+        self.telemetry
+            .counter_set("gc.large_moves.pcm_to_dram", self.stats.large_pcm_to_dram_moves);
+    }
+
+    /// Emits a deterministic wear-distribution snapshot for the PCM device
+    /// (a no-op unless telemetry is on and the memory system tracks per-line
+    /// writes). Call at safepoints only, so the line counts are complete.
+    pub(crate) fn record_wear_snapshot(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        if let Some(wear) = self.mem.wear_summary(MemoryKind::Pcm) {
+            self.telemetry.event("wear.snapshot", true, || {
+                vec![
+                    ("device", Value::Str("pcm".to_string())),
+                    ("lines_written", Value::U64(wear.lines_written)),
+                    ("total_writes", Value::U64(wear.total_writes)),
+                    ("max_line_writes", Value::U64(wear.max_line_writes)),
+                    ("mean_line_writes", Value::F64(wear.mean_line_writes)),
+                    (
+                        "coefficient_of_variation",
+                        Value::F64(wear.coefficient_of_variation),
+                    ),
+                ]
+            });
+        }
+    }
+
+    /// Folds the end-of-run device, cache and throughput statistics into
+    /// telemetry. The device counters come from the shard-merged memory
+    /// statistics (exact at this point: every mutator reached its final
+    /// safepoint and the caches are flushed), so the touch fast path paid
+    /// nothing for them during the run.
+    fn finalize_telemetry(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        debug_assert_eq!(
+            self.telemetry.open_spans(),
+            0,
+            "every GC-phase span must be closed at finish"
+        );
+        self.record_policy_adaptation();
+        self.record_wear_snapshot();
+        let mem_stats = self.mem.stats();
+        let t = &mut self.telemetry;
+        t.counter_set("mem.reads.dram", mem_stats.reads(MemoryKind::Dram));
+        t.counter_set("mem.reads.pcm", mem_stats.reads(MemoryKind::Pcm));
+        t.counter_set("mem.writes.dram", mem_stats.writes(MemoryKind::Dram));
+        t.counter_set("mem.writes.pcm", mem_stats.writes(MemoryKind::Pcm));
+        t.counter_set("cache.hits", mem_stats.cache_hits);
+        t.counter_set("cache.misses", mem_stats.llc_misses);
+        t.counter_set("alloc.bytes", self.stats.bytes_allocated);
+        t.counter_set("alloc.objects", self.stats.objects_allocated);
+        t.counter_set("gc.collections.nursery", self.stats.nursery.collections);
+        t.counter_set("gc.collections.observer", self.stats.observer.collections);
+        t.counter_set("gc.collections.major", self.stats.major.collections);
+        let cached = mem_stats.cache_hits + mem_stats.llc_misses;
+        let events = if cached > 0 {
+            cached
+        } else {
+            mem_stats.total_reads() + mem_stats.total_writes()
+        };
+        t.counter_set("touch.events", events);
+        if cached > 0 {
+            t.gauge("cache.hit_rate", mem_stats.cache_hits as f64 / cached as f64);
+        }
+        let elapsed_s = t.elapsed_ns() as f64 / 1e9;
+        if elapsed_s > 0.0 {
+            t.timing_gauge("touch.events_per_sec", events as f64 / elapsed_s);
+        }
     }
 
     /// Enables per-site profiling for this run. The gathered
@@ -1010,11 +1157,13 @@ impl KingsguardHeap {
         self.debug_assert_mutators_drained();
         self.update_peaks();
         self.mem.flush_caches();
+        self.finalize_telemetry();
         let site_profile = self.profiler.take().map(SiteProfiler::finish);
         RunReport {
             gc: self.stats,
             memory: self.mem.stats(),
             site_profile,
+            telemetry: self.telemetry.report(),
         }
     }
 }

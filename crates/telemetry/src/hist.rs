@@ -1,0 +1,283 @@
+//! Fixed-bucket power-of-two histograms.
+
+/// A fixed 64-bucket power-of-two histogram over `u64` samples.
+///
+/// Bucket `i` covers the values `v` with `2^(i-1) < v <= 2^i` (bucket 0
+/// covers `0` and `1`), so recording is a `leading_zeros` plus two adds and
+/// merging two histograms is exact. Quantiles are read as the inclusive
+/// upper bound of the bucket holding the requested rank, clamped to the
+/// observed maximum — a relative error of at most 2x, which is plenty for
+/// pause-time triage while keeping the memory footprint constant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; Histogram::BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Number of buckets; bucket `i` has inclusive upper bound `2^i`.
+    pub const BUCKETS: usize = 64;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; Self::BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket `value` lands in: the smallest `i` with `value <= 2^i`.
+    pub fn bucket_index(value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            (64 - (value - 1).leading_zeros() as usize).min(Self::BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `index` (saturating for the last
+    /// bucket, which also absorbs values above `2^63`).
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        if index >= Self::BUCKETS - 1 {
+            u64::MAX
+        } else {
+            1u64 << index
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// containing rank `ceil(q * count)`, clamped to the observed maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_from_buckets(
+            self.count,
+            self.max,
+            self.counts
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (Self::bucket_upper_bound(i), c)),
+            q,
+        )
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// `(upper_bound, count)` for every non-empty bucket, in value order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_upper_bound(i), c))
+            .collect()
+    }
+
+    /// Adds every sample of `other` into `self` (exact: buckets align).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Quantile walk over `(upper_bound, count)` pairs in value order. Shared by
+/// the live [`Histogram`] and by parsed bucket summaries so merged summaries
+/// report the same quantiles a merged live histogram would.
+pub(crate) fn quantile_from_buckets(
+    count: u64,
+    max: u64,
+    buckets: impl IntoIterator<Item = (u64, u64)>,
+    q: f64,
+) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (upper, c) in buckets {
+        seen += c;
+        if seen >= rank {
+            return upper.min(max);
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift so the property tests stay zero-dependency.
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        assert_eq!(Histogram::bucket_index(1 << 20), 20);
+        assert_eq!(Histogram::bucket_index((1 << 20) + 1), 21);
+        assert_eq!(Histogram::bucket_index(u64::MAX), Histogram::BUCKETS - 1);
+        assert_eq!(Histogram::bucket_upper_bound(0), 1);
+        assert_eq!(Histogram::bucket_upper_bound(10), 1024);
+        assert_eq!(Histogram::bucket_upper_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn every_value_lands_between_its_bucket_bounds() {
+        let mut rng = XorShift(0x1234_5678_9abc_def0);
+        for _ in 0..10_000 {
+            let shift = rng.next() % 64;
+            let value = rng.next() >> shift;
+            let index = Histogram::bucket_index(value);
+            assert!(value <= Histogram::bucket_upper_bound(index));
+            if index > 0 {
+                let lower = Histogram::bucket_upper_bound(index - 1);
+                assert!(value > lower, "{value} not above lower bound {lower}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_the_sample_set() {
+        let mut rng = XorShift(42);
+        let mut hist = Histogram::new();
+        let mut values = Vec::new();
+        for _ in 0..5_000 {
+            let v = rng.next() % 1_000_000;
+            values.push(v);
+            hist.record(v);
+        }
+        values.sort_unstable();
+        assert_eq!(hist.count(), 5_000);
+        assert_eq!(hist.max(), *values.last().unwrap());
+        assert_eq!(hist.min(), values[0]);
+        assert_eq!(hist.quantile(1.0), hist.max());
+        // Quantiles are monotone and each one upper-bounds the exact rank
+        // value while staying within one power of two of it.
+        let mut last = 0;
+        for q in [0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let approx = hist.quantile(q);
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            assert!(approx >= exact, "q{q}: {approx} < exact {exact}");
+            assert!(approx <= exact.max(1) * 2, "q{q}: {approx} > 2x exact {exact}");
+            assert!(approx >= last);
+            last = approx;
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let hist = Histogram::new();
+        assert_eq!(hist.count(), 0);
+        assert_eq!(hist.min(), 0);
+        assert_eq!(hist.max(), 0);
+        assert_eq!(hist.p50(), 0);
+        assert_eq!(hist.mean(), 0.0);
+        assert!(hist.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let mut rng = XorShift(7);
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for i in 0..2_000 {
+            let v = rng.next() % 100_000;
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+}

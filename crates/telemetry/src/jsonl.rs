@@ -1,0 +1,1061 @@
+//! The versioned `.kgmetrics` JSON-lines format.
+//!
+//! One file per run, in the same spirit as the `.kgprof`/`.kgtrace`
+//! formats: a header line carrying the schema name and version plus the run
+//! identity (benchmark, collector, seed, scale), followed by one JSON
+//! object per metric — counters, gauges, histograms, spans and structured
+//! events. Readers reject files whose version is outside the supported
+//! window, exactly like the binary trace format.
+//!
+//! Every record is (explicitly or by kind) *deterministic* or *timing*:
+//! counters, deterministic gauges, histogram/span **counts** and
+//! deterministic events are pure functions of the simulation and must not
+//! drift between two runs of the same seed; wall-clock durations, rates and
+//! quantiles are timing data and are reported but never compared. This
+//! split is what lets `repro metrics diff` gate on zero metric drift while
+//! still showing timing movement for triage.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use crate::{HistogramSummary, SpanSummary, TelemetryEvent, TelemetryReport, Value};
+
+/// Schema name stamped into the header line.
+pub const SCHEMA_NAME: &str = "kingsguard-telemetry";
+/// Version this build writes.
+pub const SCHEMA_VERSION: u32 = 1;
+/// Oldest version this build reads.
+pub const SCHEMA_MIN_VERSION: u32 = 1;
+/// Canonical file extension (without the dot).
+pub const FILE_EXTENSION: &str = "kgmetrics";
+
+/// Run identity stamped into the header line.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Workload name.
+    pub benchmark: String,
+    /// Collector label (e.g. `KG-D`).
+    pub collector: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Workload scale factor.
+    pub scale: u64,
+}
+
+/// Errors reading or parsing a `.kgmetrics` file.
+#[derive(Debug)]
+pub enum TelemetryError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line is not what the schema requires.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The header declares a version outside the supported window.
+    UnsupportedVersion(u32),
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryError::Io(err) => write!(f, "telemetry i/o error: {err}"),
+            TelemetryError::Malformed { line, reason } => {
+                write!(f, "malformed telemetry line {line}: {reason}")
+            }
+            TelemetryError::UnsupportedVersion(version) => write!(
+                f,
+                "unsupported telemetry schema version {version} (this build reads versions \
+                 {SCHEMA_MIN_VERSION}..={SCHEMA_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
+impl From<std::io::Error> for TelemetryError {
+    fn from(err: std::io::Error) -> Self {
+        TelemetryError::Io(err)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+
+fn json_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `value` as a JSON number (`{:?}` on `f64` round-trips; the rare
+/// non-finite value becomes `null` and parses back as missing).
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_value(value: &Value) -> String {
+    match value {
+        Value::U64(v) => v.to_string(),
+        Value::F64(v) => json_f64(*v),
+        Value::Str(v) => format!("\"{}\"", json_escape(v)),
+    }
+}
+
+/// Renders a report as the versioned JSON-lines document.
+pub fn render_jsonl(meta: &RunMeta, report: &TelemetryReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schema\":\"{}\",\"version\":{},\"benchmark\":\"{}\",\"collector\":\"{}\",\
+         \"seed\":{},\"scale\":{},\"elapsed_ns\":{}}}\n",
+        SCHEMA_NAME,
+        SCHEMA_VERSION,
+        json_escape(&meta.benchmark),
+        json_escape(&meta.collector),
+        meta.seed,
+        meta.scale,
+        report.elapsed_ns,
+    ));
+    for (name, value) in &report.counters {
+        out.push_str(&format!(
+            "{{\"t\":\"counter\",\"name\":\"{}\",\"value\":{}}}\n",
+            json_escape(name),
+            value
+        ));
+    }
+    for (name, value, det) in &report.gauges {
+        out.push_str(&format!(
+            "{{\"t\":\"gauge\",\"name\":\"{}\",\"value\":{},\"det\":{}}}\n",
+            json_escape(name),
+            json_f64(*value),
+            det
+        ));
+    }
+    for (name, hist) in &report.hists {
+        let buckets: Vec<String> = hist
+            .buckets
+            .iter()
+            .map(|(upper, count)| format!("[{upper},{count}]"))
+            .collect();
+        out.push_str(&format!(
+            "{{\"t\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+             \"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[{}]}}\n",
+            json_escape(name),
+            hist.count,
+            hist.sum,
+            hist.min,
+            hist.max,
+            hist.p50,
+            hist.p95,
+            hist.p99,
+            buckets.join(","),
+        ));
+    }
+    for span in &report.spans {
+        out.push_str(&format!(
+            "{{\"t\":\"span\",\"name\":\"{}\",\"count\":{},\"total_ns\":{},\"self_ns\":{}}}\n",
+            json_escape(&span.name),
+            span.count,
+            span.total_ns,
+            span.self_ns,
+        ));
+    }
+    for event in &report.events {
+        let fields: Vec<String> = event
+            .fields
+            .iter()
+            .map(|(key, value)| format!("\"{}\":{}", json_escape(key), json_value(value)))
+            .collect();
+        out.push_str(&format!(
+            "{{\"t\":\"event\",\"seq\":{},\"name\":\"{}\",\"det\":{},\"fields\":{{{}}}}}\n",
+            event.seq,
+            json_escape(&event.name),
+            event.deterministic,
+            fields.join(","),
+        ));
+    }
+    out
+}
+
+/// Writes the JSON-lines document to `path`.
+pub fn write_jsonl(path: &Path, meta: &RunMeta, report: &TelemetryReport) -> Result<(), TelemetryError> {
+    std::fs::write(path, render_jsonl(meta, report))?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+/// Minimal JSON value for the hand-rolled (dependency-free) parser.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn str_field(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn num_field(&self, key: &str) -> Option<f64> {
+        match self.get(key)? {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn u64_field(&self, key: &str) -> Option<u64> {
+        let n = self.num_field(key)?;
+        if n >= 0.0 && n.fract() == 0.0 {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    fn bool_field(&self, key: &str) -> Option<bool> {
+        match self.get(key)? {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), String> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", expected as char, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{literal}' at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_literal("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false").map(|_| Json::Bool(false)),
+            Some(b'n') => self.eat_literal("null").map(|_| Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(format!("unexpected byte '{}' at {}", b as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err("bad escape".to_string()),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (the input is a &str, so
+                    // the bytes are valid UTF-8).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).unwrap();
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number '{text}'"))
+    }
+}
+
+fn parse_json_line(line: &str, line_no: usize) -> Result<Json, TelemetryError> {
+    let mut parser = Parser::new(line);
+    let value = parser.value().map_err(|reason| TelemetryError::Malformed {
+        line: line_no,
+        reason,
+    })?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(TelemetryError::Malformed {
+            line: line_no,
+            reason: "trailing garbage after JSON value".to_string(),
+        });
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Documents
+
+/// A parsed `.kgmetrics` file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetryDoc {
+    /// Schema version declared by the header.
+    pub version: u32,
+    /// Run identity from the header.
+    pub meta: RunMeta,
+    /// Run wall-clock from the header (timing).
+    pub elapsed_ns: u64,
+    /// Counters by name (deterministic).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name: `(value, deterministic)`.
+    pub gauges: BTreeMap<String, (f64, bool)>,
+    /// Histograms by name (counts deterministic, values timing).
+    pub hists: BTreeMap<String, HistogramSummary>,
+    /// Spans by name (counts deterministic, times timing).
+    pub spans: BTreeMap<String, SpanSummary>,
+    /// Structured events in sequence order.
+    pub events: Vec<TelemetryEvent>,
+}
+
+fn require_u64(obj: &Json, key: &str, line: usize) -> Result<u64, TelemetryError> {
+    obj.u64_field(key).ok_or_else(|| TelemetryError::Malformed {
+        line,
+        reason: format!("missing or non-integer field '{key}'"),
+    })
+}
+
+fn require_str(obj: &Json, key: &str, line: usize) -> Result<String, TelemetryError> {
+    obj.str_field(key)
+        .map(str::to_string)
+        .ok_or_else(|| TelemetryError::Malformed {
+            line,
+            reason: format!("missing or non-string field '{key}'"),
+        })
+}
+
+impl TelemetryDoc {
+    /// Parses a JSON-lines document, rejecting unsupported schema versions.
+    pub fn parse(text: &str) -> Result<Self, TelemetryError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty());
+        let (header_no, header_line) = lines.next().ok_or(TelemetryError::Malformed {
+            line: 1,
+            reason: "empty file".to_string(),
+        })?;
+        let header = parse_json_line(header_line, header_no)?;
+        let schema = require_str(&header, "schema", header_no)?;
+        if schema != SCHEMA_NAME {
+            return Err(TelemetryError::Malformed {
+                line: header_no,
+                reason: format!("schema is '{schema}', expected '{SCHEMA_NAME}'"),
+            });
+        }
+        let version = require_u64(&header, "version", header_no)? as u32;
+        if !(SCHEMA_MIN_VERSION..=SCHEMA_VERSION).contains(&version) {
+            return Err(TelemetryError::UnsupportedVersion(version));
+        }
+        let mut doc = TelemetryDoc {
+            version,
+            meta: RunMeta {
+                benchmark: require_str(&header, "benchmark", header_no)?,
+                collector: require_str(&header, "collector", header_no)?,
+                seed: require_u64(&header, "seed", header_no)?,
+                scale: require_u64(&header, "scale", header_no)?,
+            },
+            elapsed_ns: require_u64(&header, "elapsed_ns", header_no)?,
+            ..TelemetryDoc::default()
+        };
+        for (line_no, line) in lines {
+            let record = parse_json_line(line, line_no)?;
+            let tag = require_str(&record, "t", line_no)?;
+            match tag.as_str() {
+                "counter" => {
+                    doc.counters.insert(
+                        require_str(&record, "name", line_no)?,
+                        require_u64(&record, "value", line_no)?,
+                    );
+                }
+                "gauge" => {
+                    let det = record.bool_field("det").unwrap_or(false);
+                    let value = record.num_field("value").unwrap_or(f64::NAN);
+                    doc.gauges
+                        .insert(require_str(&record, "name", line_no)?, (value, det));
+                }
+                "hist" => {
+                    let buckets = match record.get("buckets") {
+                        Some(Json::Arr(items)) => items
+                            .iter()
+                            .map(|item| match item {
+                                Json::Arr(pair) if pair.len() == 2 => match (&pair[0], &pair[1]) {
+                                    (Json::Num(u), Json::Num(c)) => Ok((*u as u64, *c as u64)),
+                                    _ => Err(()),
+                                },
+                                _ => Err(()),
+                            })
+                            .collect::<Result<Vec<_>, ()>>()
+                            .map_err(|()| TelemetryError::Malformed {
+                                line: line_no,
+                                reason: "bad bucket entry".to_string(),
+                            })?,
+                        _ => {
+                            return Err(TelemetryError::Malformed {
+                                line: line_no,
+                                reason: "missing 'buckets' array".to_string(),
+                            })
+                        }
+                    };
+                    doc.hists.insert(
+                        require_str(&record, "name", line_no)?,
+                        HistogramSummary {
+                            count: require_u64(&record, "count", line_no)?,
+                            sum: require_u64(&record, "sum", line_no)?,
+                            min: require_u64(&record, "min", line_no)?,
+                            max: require_u64(&record, "max", line_no)?,
+                            p50: require_u64(&record, "p50", line_no)?,
+                            p95: require_u64(&record, "p95", line_no)?,
+                            p99: require_u64(&record, "p99", line_no)?,
+                            buckets,
+                        },
+                    );
+                }
+                "span" => {
+                    let name = require_str(&record, "name", line_no)?;
+                    doc.spans.insert(
+                        name.clone(),
+                        SpanSummary {
+                            name,
+                            count: require_u64(&record, "count", line_no)?,
+                            total_ns: require_u64(&record, "total_ns", line_no)?,
+                            self_ns: require_u64(&record, "self_ns", line_no)?,
+                        },
+                    );
+                }
+                "event" => {
+                    let fields = match record.get("fields") {
+                        Some(Json::Obj(pairs)) => pairs
+                            .iter()
+                            .map(|(key, value)| {
+                                let value = match value {
+                                    Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 => Value::U64(*n as u64),
+                                    Json::Num(n) => Value::F64(*n),
+                                    Json::Str(s) => Value::Str(s.clone()),
+                                    Json::Null => Value::F64(f64::NAN),
+                                    other => Value::Str(format!("{other:?}")),
+                                };
+                                (key.clone(), value)
+                            })
+                            .collect(),
+                        _ => Vec::new(),
+                    };
+                    doc.events.push(TelemetryEvent {
+                        seq: require_u64(&record, "seq", line_no)?,
+                        name: require_str(&record, "name", line_no)?,
+                        deterministic: record.bool_field("det").unwrap_or(false),
+                        fields,
+                    });
+                }
+                other => {
+                    return Err(TelemetryError::Malformed {
+                        line: line_no,
+                        reason: format!("unknown record type '{other}'"),
+                    })
+                }
+            }
+        }
+        doc.events.sort_by_key(|e| e.seq);
+        Ok(doc)
+    }
+
+    /// Loads and parses the file at `path`.
+    pub fn load(path: &Path) -> Result<Self, TelemetryError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::parse(&text)
+    }
+
+    /// Human-readable rendering for `repro metrics show`.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "telemetry run: {} / {} (seed {}, scale {}), schema v{}, elapsed {}\n",
+            self.meta.benchmark,
+            self.meta.collector,
+            self.meta.seed,
+            self.meta.scale,
+            self.version,
+            fmt_ns(self.elapsed_ns),
+        ));
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name} = {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, (value, det)) in &self.gauges {
+                let kind = if *det { "det" } else { "timing" };
+                out.push_str(&format!("  {name} = {value:.4} ({kind})\n"));
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, hist) in &self.hists {
+                out.push_str(&format!(
+                    "  {name}: count={} p50={} p95={} p99={} max={}\n",
+                    hist.count,
+                    fmt_ns(hist.p50),
+                    fmt_ns(hist.p95),
+                    fmt_ns(hist.p99),
+                    fmt_ns(hist.max),
+                ));
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            for (name, span) in &self.spans {
+                out.push_str(&format!(
+                    "  {name}: count={} total={} self={}\n",
+                    span.count,
+                    fmt_ns(span.total_ns),
+                    fmt_ns(span.self_ns),
+                ));
+            }
+        }
+        out.push_str(&format!("events: {}\n", self.events.len()));
+        for event in self.events.iter().take(20) {
+            let fields: Vec<String> = event.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            out.push_str(&format!(
+                "  #{} {} [{}] {}\n",
+                event.seq,
+                event.name,
+                if event.deterministic { "det" } else { "timing" },
+                fields.join(" "),
+            ));
+        }
+        if self.events.len() > 20 {
+            out.push_str(&format!("  ... {} more\n", self.events.len() - 20));
+        }
+        out
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit (`ns`, `us`, `ms`, `s`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Diffing
+
+/// Result of comparing two documents: deterministic drift (a regression
+/// gate) and informational timing movement.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsDiff {
+    /// Number of deterministic quantities compared.
+    pub compared: usize,
+    /// One line per drifted deterministic quantity.
+    pub drift: Vec<String>,
+    /// One line per timing quantity that moved (informational).
+    pub timing: Vec<String>,
+}
+
+impl MetricsDiff {
+    /// `true` if any deterministic quantity differs.
+    pub fn has_drift(&self) -> bool {
+        !self.drift.is_empty()
+    }
+
+    /// Human-readable rendering for `repro metrics diff`.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "deterministic metrics: {} compared, {} drifted\n",
+            self.compared,
+            self.drift.len()
+        );
+        for line in &self.drift {
+            out.push_str(&format!("  DRIFT {line}\n"));
+        }
+        if self.timing.is_empty() {
+            out.push_str("timing metrics: unchanged or within noise\n");
+        } else {
+            out.push_str("timing metrics (informational):\n");
+            for line in &self.timing {
+                out.push_str(&format!("  {line}\n"));
+            }
+        }
+        out
+    }
+}
+
+fn diff_keyed<T, FD, FT>(
+    diff: &mut MetricsDiff,
+    kind: &str,
+    a: &BTreeMap<String, T>,
+    b: &BTreeMap<String, T>,
+    det_value: FD,
+    timing_line: FT,
+) where
+    FD: Fn(&T) -> String,
+    FT: Fn(&str, &T, &T) -> Option<String>,
+{
+    let keys: std::collections::BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+    for key in keys {
+        match (a.get(key.as_str()), b.get(key.as_str())) {
+            (Some(va), Some(vb)) => {
+                diff.compared += 1;
+                let (da, db) = (det_value(va), det_value(vb));
+                if da != db {
+                    diff.drift.push(format!("{kind} {key}: {da} != {db}"));
+                }
+                if let Some(line) = timing_line(key, va, vb) {
+                    diff.timing.push(line);
+                }
+            }
+            (Some(_), None) => {
+                diff.compared += 1;
+                diff.drift.push(format!("{kind} {key}: present only in A"));
+            }
+            (None, Some(_)) => {
+                diff.compared += 1;
+                diff.drift.push(format!("{kind} {key}: present only in B"));
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+}
+
+fn ratio_note(name: &str, what: &str, a: f64, b: f64) -> Option<String> {
+    if a == b {
+        return None;
+    }
+    let ratio = if a != 0.0 { b / a } else { f64::INFINITY };
+    Some(format!("{name} {what}: {a:.1} -> {b:.1} ({ratio:.2}x)"))
+}
+
+/// Compares two parsed documents. Deterministic records must match exactly;
+/// timing records are reported as informational movement.
+pub fn diff_docs(a: &TelemetryDoc, b: &TelemetryDoc) -> MetricsDiff {
+    let mut diff = MetricsDiff::default();
+
+    // Run identity: comparing different runs is almost always a mistake —
+    // surface it as drift rather than silently comparing apples to oranges.
+    diff.compared += 1;
+    if a.meta != b.meta {
+        diff.drift.push(format!(
+            "run identity: {}/{} seed {} scale {} != {}/{} seed {} scale {}",
+            a.meta.benchmark,
+            a.meta.collector,
+            a.meta.seed,
+            a.meta.scale,
+            b.meta.benchmark,
+            b.meta.collector,
+            b.meta.seed,
+            b.meta.scale,
+        ));
+    }
+    if a.elapsed_ns != b.elapsed_ns {
+        diff.timing.push(format!(
+            "elapsed: {} -> {}",
+            fmt_ns(a.elapsed_ns),
+            fmt_ns(b.elapsed_ns)
+        ));
+    }
+
+    diff_keyed(
+        &mut diff,
+        "counter",
+        &a.counters,
+        &b.counters,
+        |v| v.to_string(),
+        |_, _, _| None,
+    );
+    diff_keyed(
+        &mut diff,
+        "gauge",
+        &a.gauges,
+        &b.gauges,
+        |(value, det)| {
+            if *det {
+                // Deterministic gauges compare exactly (bit-for-bit via the
+                // round-tripping `{:?}` rendering).
+                format!("{value:?}")
+            } else {
+                "timing".to_string()
+            }
+        },
+        |name, (va, det), (vb, _)| {
+            if *det {
+                None
+            } else {
+                ratio_note(name, "gauge", *va, *vb)
+            }
+        },
+    );
+    diff_keyed(
+        &mut diff,
+        "hist",
+        &a.hists,
+        &b.hists,
+        // Sample counts are deterministic (one sample per GC); the sampled
+        // durations are wall-clock and therefore timing-only.
+        |h| h.count.to_string(),
+        |name, ha, hb| ratio_note(name, "p99", ha.p99 as f64, hb.p99 as f64),
+    );
+    diff_keyed(
+        &mut diff,
+        "span",
+        &a.spans,
+        &b.spans,
+        |s| s.count.to_string(),
+        |name, sa, sb| ratio_note(name, "total_ns", sa.total_ns as f64, sb.total_ns as f64),
+    );
+
+    // Deterministic events must match as an ordered sequence.
+    let det_a: Vec<&TelemetryEvent> = a.events.iter().filter(|e| e.deterministic).collect();
+    let det_b: Vec<&TelemetryEvent> = b.events.iter().filter(|e| e.deterministic).collect();
+    diff.compared += det_a.len().max(det_b.len());
+    if det_a.len() != det_b.len() {
+        diff.drift.push(format!(
+            "deterministic events: {} in A, {} in B",
+            det_a.len(),
+            det_b.len()
+        ));
+    } else {
+        for (ea, eb) in det_a.iter().zip(det_b.iter()) {
+            if ea.name != eb.name || !fields_match(&ea.fields, &eb.fields) {
+                diff.drift.push(format!(
+                    "event #{} {:?} != #{} {:?}",
+                    ea.seq, ea.name, eb.seq, eb.name
+                ));
+            }
+        }
+    }
+    diff
+}
+
+fn fields_match(a: &[(String, Value)], b: &[(String, Value)]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b.iter()).all(|((ka, va), (kb, vb))| {
+            ka == kb
+                && match (va, vb) {
+                    (Value::F64(x), Value::F64(y)) => {
+                        x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan())
+                    }
+                    (x, y) => x == y,
+                }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    fn sample_report() -> (RunMeta, TelemetryReport) {
+        let mut t = Telemetry::enabled();
+        t.counter_add("gc.collections.nursery", 12);
+        t.counter_set("mem.writes.pcm", 4_096);
+        t.gauge("cache.hit_rate", 0.9375);
+        t.timing_gauge("touch.events_per_sec", 1.25e7);
+        for pause in [800u64, 1_200, 9_000, 64_000] {
+            t.record("gc.pause_ns", pause);
+        }
+        t.span_enter("gc.nursery");
+        t.span_enter("gc.nursery.copy");
+        t.span_exit();
+        t.span_exit();
+        t.event("policy.promote", true, || {
+            vec![
+                ("site", Value::U64(42)),
+                ("trigger", Value::Str("rescue".to_string())),
+            ]
+        });
+        let meta = RunMeta {
+            benchmark: "lusearch".to_string(),
+            collector: "KG-D".to_string(),
+            seed: 7,
+            scale: 2048,
+        };
+        let report = t.report().unwrap();
+        (meta, report)
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let (meta, report) = sample_report();
+        let text = render_jsonl(&meta, &report);
+        let doc = TelemetryDoc::parse(&text).unwrap();
+        assert_eq!(doc.version, SCHEMA_VERSION);
+        assert_eq!(doc.meta, meta);
+        assert_eq!(doc.counters["gc.collections.nursery"], 12);
+        assert_eq!(doc.counters["mem.writes.pcm"], 4_096);
+        assert_eq!(doc.gauges["cache.hit_rate"], (0.9375, true));
+        assert!(!doc.gauges["touch.events_per_sec"].1);
+        let pause = &doc.hists["gc.pause_ns"];
+        assert_eq!(pause.count, 4);
+        assert_eq!(pause.max, 64_000);
+        assert_eq!(pause, report.hist("gc.pause_ns").unwrap());
+        assert_eq!(doc.spans["gc.nursery"].count, 1);
+        assert_eq!(doc.events.len(), 1);
+        assert_eq!(doc.events[0].fields[0], ("site".to_string(), Value::U64(42)));
+        // A second round trip is a fixed point.
+        let doc2 = TelemetryDoc::parse(&text).unwrap();
+        assert_eq!(doc, doc2);
+        assert!(doc.summary().contains("lusearch"));
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let text = format!(
+            "{{\"schema\":\"{SCHEMA_NAME}\",\"version\":{},\"benchmark\":\"x\",\
+             \"collector\":\"y\",\"seed\":0,\"scale\":1,\"elapsed_ns\":0}}\n",
+            SCHEMA_VERSION + 1
+        );
+        match TelemetryDoc::parse(&text) {
+            Err(TelemetryError::UnsupportedVersion(v)) => {
+                assert_eq!(v, SCHEMA_VERSION + 1);
+                let msg = TelemetryError::UnsupportedVersion(v).to_string();
+                assert!(msg.contains("unsupported telemetry schema version"));
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        // Wrong schema name and garbage lines are malformed, not panics.
+        assert!(matches!(
+            TelemetryDoc::parse("{\"schema\":\"other\",\"version\":1}"),
+            Err(TelemetryError::Malformed { .. })
+        ));
+        assert!(TelemetryDoc::parse("not json").is_err());
+        assert!(TelemetryDoc::parse("").is_err());
+    }
+
+    #[test]
+    fn identical_documents_diff_clean() {
+        let (meta, report) = sample_report();
+        let text = render_jsonl(&meta, &report);
+        let a = TelemetryDoc::parse(&text).unwrap();
+        let b = TelemetryDoc::parse(&text).unwrap();
+        let diff = diff_docs(&a, &b);
+        assert!(!diff.has_drift(), "unexpected drift: {:?}", diff.drift);
+        assert!(diff.compared > 4);
+        assert!(diff.report().contains("0 drifted"));
+    }
+
+    #[test]
+    fn deterministic_drift_is_detected_and_timing_is_not() {
+        let (meta, report) = sample_report();
+        let a = TelemetryDoc::parse(&render_jsonl(&meta, &report)).unwrap();
+        let mut b = a.clone();
+        // Timing-only movement: elapsed and span durations may differ freely.
+        b.elapsed_ns += 1_000_000;
+        let span = b.spans.get_mut("gc.nursery").unwrap();
+        span.total_ns *= 3;
+        let diff = diff_docs(&a, &b);
+        assert!(!diff.has_drift(), "timing flagged as drift: {:?}", diff.drift);
+        assert!(!diff.timing.is_empty());
+        // Deterministic drift: a counter change must be caught...
+        let mut c = a.clone();
+        *c.counters.get_mut("mem.writes.pcm").unwrap() += 1;
+        assert!(diff_docs(&a, &c).has_drift());
+        // ...as must a missing counter, a det-gauge change, a histogram
+        // count change and a deterministic event change.
+        let mut d = a.clone();
+        d.counters.remove("gc.collections.nursery");
+        assert!(diff_docs(&a, &d).has_drift());
+        let mut e = a.clone();
+        e.gauges.insert("cache.hit_rate".to_string(), (0.5, true));
+        assert!(diff_docs(&a, &e).has_drift());
+        let mut f = a.clone();
+        f.hists.get_mut("gc.pause_ns").unwrap().count += 1;
+        assert!(diff_docs(&a, &f).has_drift());
+        let mut g = a.clone();
+        g.events[0].fields[0].1 = Value::U64(43);
+        assert!(diff_docs(&a, &g).has_drift());
+    }
+
+    #[test]
+    fn escaped_strings_round_trip() {
+        let mut t = Telemetry::enabled();
+        t.event("weird", true, || {
+            vec![("label", Value::Str("a\"b\\c\nd\te".to_string()))]
+        });
+        let meta = RunMeta {
+            benchmark: "bench \"q\"".to_string(),
+            collector: "KG\\N".to_string(),
+            seed: 1,
+            scale: 2,
+        };
+        let report = t.report().unwrap();
+        let doc = TelemetryDoc::parse(&render_jsonl(&meta, &report)).unwrap();
+        assert_eq!(doc.meta, meta);
+        assert_eq!(doc.events[0].fields[0].1, Value::Str("a\"b\\c\nd\te".to_string()));
+    }
+
+    #[test]
+    fn fmt_ns_is_adaptive() {
+        assert_eq!(fmt_ns(850), "850ns");
+        assert_eq!(fmt_ns(12_500), "12.5us");
+        assert_eq!(fmt_ns(2_345_678), "2.3ms");
+        assert_eq!(fmt_ns(1_500_000_000), "1.50s");
+    }
+}

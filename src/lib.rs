@@ -11,6 +11,8 @@
 //! * [`hybrid_mem`] — the hybrid DRAM/PCM memory simulator,
 //! * [`oswp`] — the OS Write Partitioning baseline,
 //! * [`workloads`] — synthetic models of the paper's Java benchmarks,
+//! * [`telemetry`] — low-overhead metrics: counters, histograms, GC-phase
+//!   spans and the `.kgmetrics` JSON-lines run reports,
 //! * [`experiments`] — the harness that regenerates every table and figure
 //!   and runs the two-phase profile→advise pipeline.
 //!
@@ -22,4 +24,5 @@ pub use hybrid_mem;
 pub use kingsguard;
 pub use kingsguard_heap;
 pub use oswp;
+pub use telemetry;
 pub use workloads;
