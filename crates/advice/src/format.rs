@@ -353,6 +353,57 @@ mod tests {
     }
 
     #[test]
+    fn hostile_inputs_error_without_panicking() {
+        let text = profile_to_string(&sample_profile());
+        let parse_survives = |input: String| {
+            std::panic::catch_unwind(move || {
+                let _ = parse_profile(&input);
+            })
+            .is_ok()
+        };
+        // Every prefix truncation parses without panicking; failures carry a
+        // message. A cut that loses a whole record trips the declared-count
+        // check; only a cut inside the final numeric token (a text format
+        // has no checksum) can still parse, and then to fewer/altered sites
+        // of a well-formed profile — never to garbage.
+        let full = parse_profile(&text).unwrap();
+        for cut in 0..text.len() {
+            let prefix = text[..cut].to_string();
+            assert!(parse_survives(prefix.clone()), "panic at truncation {cut}");
+            match parse_profile(&prefix) {
+                Err(err) => assert!(!err.to_string().is_empty(), "cut {cut}: empty error message"),
+                Ok(parsed) => assert!(
+                    parsed.sites.len() <= full.sites.len(),
+                    "cut {cut}: truncation invented sites"
+                ),
+            }
+            if prefix.find('\n').is_none() {
+                // A truncated header can never be a valid profile.
+                assert!(
+                    parse_profile(&prefix).is_err(),
+                    "cut {cut}: truncated header accepted"
+                );
+            }
+        }
+        // Every single-bit flip that stays valid UTF-8 parses without
+        // panicking (a flip inside a numeric value may legitimately still
+        // parse).
+        let bytes = text.as_bytes();
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.to_vec();
+                flipped[pos] ^= 1 << bit;
+                if let Ok(corrupt) = String::from_utf8(flipped) {
+                    assert!(parse_survives(corrupt), "panic at flip {pos}/{bit}");
+                }
+            }
+        }
+        // Missing files surface as descriptive I/O errors.
+        let missing = load_profile(Path::new("/nonexistent/run.kgprof"));
+        assert!(matches!(missing, Err(ProfileError::Io(_))));
+    }
+
+    #[test]
     fn round_trip_through_disk() {
         let profile = sample_profile();
         let dir = std::env::temp_dir().join("kingsguard-advice-test");

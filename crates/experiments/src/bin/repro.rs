@@ -29,8 +29,10 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use experiments::cli::{self, ParsedArgs};
-use experiments::runner::ExperimentConfig;
-use experiments::{adaptive, advise, composition, energy_time, lifetime, mutators, tables, traces, writes};
+use experiments::runner::{panic_message, ExperimentConfig};
+use experiments::{
+    adaptive, advise, composition, energy_time, faults, lifetime, mutators, tables, traces, writes,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -62,7 +64,39 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if let Err(message) = validate_dirs(&parsed, &experiment) {
+        eprintln!("error: {message}");
+        return ExitCode::FAILURE;
+    }
     run(&parsed, &experiment)
+}
+
+/// Validates the output directories up front: a missing directory is
+/// created, an uncreatable or unwritable one is a descriptive error instead
+/// of a panic deep inside a half-finished experiment.
+fn validate_dirs(parsed: &ParsedArgs, experiment: &str) -> Result<(), String> {
+    // `trace diff` and `metrics` only read explicit file paths.
+    let trace_mode = (experiment == "trace")
+        .then(|| parsed.positional.first().map(String::as_str))
+        .flatten();
+    let needs_trace_dir = parsed.trace_dir_set || matches!(trace_mode, Some("record") | Some("replay"));
+    if needs_trace_dir {
+        ensure_writable_dir(&parsed.trace_dir, "--trace-dir")?;
+    }
+    if parsed.telemetry_dir_set {
+        ensure_writable_dir(&parsed.telemetry_dir, "--telemetry-dir")?;
+    }
+    Ok(())
+}
+
+fn ensure_writable_dir(dir: &Path, flag: &str) -> Result<(), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|err| format!("{flag} {}: cannot create directory: {err}", dir.display()))?;
+    let probe = dir.join(format!(".repro-probe-{}", std::process::id()));
+    std::fs::write(&probe, b"probe")
+        .map_err(|err| format!("{flag} {}: directory is not writable: {err}", dir.display()))?;
+    std::fs::remove_file(&probe).ok();
+    Ok(())
 }
 
 /// Builds the simulation- and architecture-independent-mode configurations
@@ -136,6 +170,7 @@ fn run(parsed: &ParsedArgs, experiment: &str) -> ExitCode {
                 let benchmarks = mutators::default_benchmarks();
                 Some(mutators::mutator_scaling(&hw, &benchmarks, mutator_threads).report())
             }
+            "faults" => Some(faults::fault_sweep(&hw, "lusearch").report()),
             "headline" => {
                 let life = lifetime::run(&sim);
                 let wp = writes::figure7(&sim);
@@ -175,14 +210,34 @@ fn run(parsed: &ParsedArgs, experiment: &str) -> ExitCode {
         vec![experiment]
     };
 
+    // Crash isolation: one panicking experiment (e.g. a single cell that
+    // `run_jobs` summarized after its siblings completed) is reported and
+    // the remaining experiments of an `all` run still execute; the process
+    // then exits non-zero with a summary of the failed experiments.
+    let mut failed: Vec<String> = Vec::new();
     for name in experiments {
-        match run_one(name) {
-            Some(report) => println!("{report}"),
-            None => {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_one(name))) {
+            Ok(Some(report)) => println!("{report}"),
+            Ok(None) => {
                 eprintln!("unknown experiment: {name}\n\n{}", cli::help_text());
                 return ExitCode::FAILURE;
             }
+            Err(payload) => {
+                eprintln!(
+                    "error: experiment {name} failed: {}",
+                    panic_message(payload.as_ref())
+                );
+                failed.push(name.to_string());
+            }
         }
+    }
+    if !failed.is_empty() {
+        eprintln!(
+            "error: {} experiment(s) failed: {}",
+            failed.len(),
+            failed.join(", ")
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

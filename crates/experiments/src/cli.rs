@@ -32,6 +32,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("advise", "profile -> advise pipeline (KG-A vs baselines)"),
     ("adaptive", "online-adaptive KG-D vs baselines"),
     ("mutators", "multi-mutator exactness and attribution (K threads)"),
+    (
+        "faults",
+        "PCM fault injection: endurance sweep, page retirement, survival",
+    ),
     ("trace", "heap-event traces: record | replay | diff"),
     ("metrics", ".kgmetrics telemetry files: show | diff"),
     ("all", "every figure and table above"),
@@ -235,6 +239,7 @@ pub fn help_text() -> String {
          \x20 repro trace record --quick\n\
          \x20 repro trace replay --quick --verify --jobs 4\n\
          \x20 repro trace diff A.kgtrace B.kgtrace --collector KG-N\n\
+         \x20 repro faults --quick --jobs 4\n\
          \x20 repro fig11 --quick --telemetry-dir target/telemetry\n\
          \x20 repro metrics show target/telemetry/lusearch-KG-W.kgmetrics\n\
          \x20 repro metrics diff A.kgmetrics B.kgmetrics\n",

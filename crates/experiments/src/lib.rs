@@ -39,12 +39,21 @@
 //! makes every figure/table experiment trace-backed: record on first use,
 //! replay afterwards. [`cli`] is the shared `repro` argument parser
 //! (`repro --help` lists every experiment).
+//!
+//! [`faults`] sweeps deterministic PCM fault injection (`repro faults`):
+//! accelerated line wear-out at every endurance level under every
+//! collector, reporting failed lines, ECC-uncorrectable page retirements,
+//! capacity degradation, years-to-first-uncorrectable and per-collector
+//! survival. Experiment cells are crash-isolated ([`run_jobs_reporting`]):
+//! one panicking (benchmark, collector) pair becomes a per-cell failure
+//! report instead of aborting its siblings.
 
 pub mod adaptive;
 pub mod advise;
 pub mod cli;
 pub mod composition;
 pub mod energy_time;
+pub mod faults;
 pub mod lifetime;
 pub mod mutators;
 pub mod report;
@@ -55,6 +64,9 @@ pub mod writes;
 
 pub use adaptive::{adaptive_comparison, AdaptiveResults};
 pub use advise::{profile_then_advise, profile_then_advise_jobs, AdviseResults};
+pub use faults::{fault_sweep, FaultResults};
 pub use mutators::{mutator_scaling, MutatorResults};
-pub use runner::{run_jobs, ExperimentConfig, ExperimentResult, MeasurementMode};
+pub use runner::{
+    run_jobs, run_jobs_reporting, ExperimentConfig, ExperimentResult, JobFailure, MeasurementMode,
+};
 pub use traces::{diff_traces, record_traces, replay_traces};

@@ -11,13 +11,14 @@
 //! to a live run and measurably faster, so an N-collector comparison pays
 //! the workload-generation cost once instead of N times.
 
+use std::fmt;
 use std::path::{Path, PathBuf};
 
 use advice::SiteProfile;
 use hybrid_mem::energy::{EnergyBreakdown, EnergyModel};
 use hybrid_mem::lifetime::LifetimeModel;
 use hybrid_mem::timing::{ExecutionModel, TimeBreakdown};
-use hybrid_mem::{MemoryConfig, MemoryKind, MemoryStats, Phase};
+use hybrid_mem::{FaultConfig, MemoryConfig, MemoryKind, MemoryStats, Phase};
 use kingsguard::{GcStats, HeapConfig, KingsguardHeap};
 use oswp::{WritePartitioning, WritePartitioningConfig, WritePartitioningStats};
 use trace::TraceReplayer;
@@ -62,6 +63,12 @@ pub struct ExperimentConfig {
     /// `{benchmark}-{collector}.kgmetrics`, and per-line write tracking is
     /// forced on so wear-distribution snapshots are included.
     pub telemetry_dir: Option<PathBuf>,
+    /// Deterministic PCM fault injection. `None` (the default) runs
+    /// fault-free and is bit-identical to builds that predate the fault
+    /// model; `Some` installs the schedule in every heap the experiment
+    /// builds, and its seed is stamped into recorded `.kgtrace` provenance
+    /// so replays only reuse traces taken under the same schedule.
+    pub fault: Option<FaultConfig>,
 }
 
 impl ExperimentConfig {
@@ -75,6 +82,7 @@ impl ExperimentConfig {
             jobs: 1,
             trace_dir: None,
             telemetry_dir: None,
+            fault: None,
         }
     }
 
@@ -96,6 +104,7 @@ impl ExperimentConfig {
             jobs: 1,
             trace_dir: None,
             telemetry_dir: None,
+            fault: None,
         }
     }
 
@@ -125,6 +134,13 @@ impl ExperimentConfig {
         self
     }
 
+    /// Same configuration with deterministic PCM fault injection enabled
+    /// (see [`ExperimentConfig::fault`]).
+    pub fn with_faults(mut self, fault: FaultConfig) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
     pub(crate) fn memory_config(&self) -> MemoryConfig {
         let mut config = match self.mode {
             MeasurementMode::Simulation => MemoryConfig::hybrid_scaled(self.cache_scale),
@@ -135,6 +151,9 @@ impl ExperimentConfig {
             // need per-line write counts. Tracking only adds host-side
             // bookkeeping; the simulated traffic is unchanged.
             config.track_line_writes = true;
+        }
+        if let Some(fault) = self.fault {
+            config = config.with_faults(fault);
         }
         config
     }
@@ -248,7 +267,7 @@ pub fn report_pcm_write_rate_32core(report: &kingsguard::RunReport, scaling_fact
     report.memory.bytes_written(MemoryKind::Pcm) as f64 / time * scaling_factor
 }
 
-fn heap_config_for(
+pub(crate) fn heap_config_for(
     profile: &BenchmarkProfile,
     mut base: HeapConfig,
     config: &ExperimentConfig,
@@ -407,8 +426,15 @@ pub fn trace_path(
     config: &ExperimentConfig,
     mutators: usize,
 ) -> PathBuf {
+    // Fault-injected runs get their own files (keyed by the fault seed):
+    // their device-level schedules differ, and fault-free runs keep the
+    // historical names.
+    let fault = match config.fault {
+        Some(fault) => format!("-f{:016x}", fault.seed),
+        None => String::new(),
+    };
     dir.join(format!(
-        "{workload}-n{}-o{}-s{}-x{:016x}-k{}.{}",
+        "{workload}-n{}-o{}-s{}-x{:016x}-k{}{fault}.{}",
         heap_config.nursery_bytes,
         heap_config.observer_bytes,
         config.scale,
@@ -426,6 +452,14 @@ pub fn trace_path(
 /// replaying it. Unhashed traces (hash 0, e.g. hand-built) are trusted.
 pub fn trace_site_map_current(recorded: &trace::Trace) -> bool {
     recorded.header.site_map_hash == 0 || recorded.header.site_map_hash == workloads::site_map_hash()
+}
+
+/// Returns `true` when `recorded` was taken under the fault schedule the
+/// current configuration installs (seed 0 = fault-free, which is also what
+/// v1 traces report). A mismatched trace would replay a different device
+/// failure history, so consumers re-record instead of replaying it.
+pub fn trace_fault_schedule_current(recorded: &trace::Trace, config: &ExperimentConfig) -> bool {
+    recorded.header.fault_seed == config.fault.map(|fault| fault.seed).unwrap_or(0)
 }
 
 /// Drives `heap` through `profile`'s workload. Live when
@@ -448,14 +482,22 @@ fn drive_workload(
     // The figure/table drivers run the legacy single-mutator stream.
     let path = trace_path(dir, profile.name, heap_config, config, 1);
     match trace::load_trace(&path).map_err(Some).and_then(|recorded| {
-        if trace_site_map_current(&recorded) {
-            Ok(recorded)
-        } else {
+        if !trace_site_map_current(&recorded) {
             eprintln!(
                 "warning: {}: site map drifted since recording; re-recording",
                 path.display()
             );
             Err(None)
+        } else if !trace_fault_schedule_current(&recorded, config) {
+            eprintln!(
+                "warning: {}: fault schedule changed since recording \
+                 (recorded seed {:#x}); re-recording",
+                path.display(),
+                recorded.header.fault_seed
+            );
+            Err(None)
+        } else {
+            Ok(recorded)
         }
     }) {
         Ok(recorded) => {
@@ -535,41 +577,123 @@ fn record_replay_telemetry(
     }
 }
 
+/// One experiment cell that panicked under [`run_jobs_reporting`].
+#[derive(Clone, Debug)]
+pub struct JobFailure {
+    /// Index of the failed item in the input slice.
+    pub index: usize,
+    /// The panic payload, rendered (`Box<dyn Any>` payloads that are not
+    /// strings become a placeholder).
+    pub message: String,
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell #{}: {}", self.index, self.message)
+    }
+}
+
+/// Renders a caught panic payload for failure reports.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Crash-isolated variant of [`run_jobs`]: every cell runs under
+/// `catch_unwind`, so one panicking (benchmark, collector) pair neither
+/// aborts the process nor takes the sibling cells with it. Returns the
+/// per-item results in input order (`None` where the cell panicked) plus
+/// one [`JobFailure`] per panicked cell, in index order.
+pub fn run_jobs_reporting<T, R, F>(items: &[T], jobs: usize, f: F) -> (Vec<Option<R>>, Vec<JobFailure>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let call = |index: usize, item: &T| -> Result<R, JobFailure> {
+        // The closure only borrows `f` and the item; a panic cannot leave
+        // them in a state any later cell observes (each cell builds its own
+        // heap and memory system), so unwind safety is by construction.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))).map_err(|payload| JobFailure {
+            index,
+            message: panic_message(payload.as_ref()),
+        })
+    };
+    let mut slots: Vec<Option<Result<R, JobFailure>>>;
+    if jobs <= 1 || items.len() <= 1 {
+        slots = items
+            .iter()
+            .enumerate()
+            .map(|(index, item)| Some(call(index, item)))
+            .collect();
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        slots = Vec::new();
+        slots.resize_with(items.len(), || None);
+        let shared = std::sync::Mutex::new(slots);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(items.len()) {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(item) = items.get(index) else {
+                        break;
+                    };
+                    let result = call(index, item);
+                    shared.lock().expect("worker poisoned the result set")[index] = Some(result);
+                });
+            }
+        });
+        slots = shared.into_inner().expect("worker poisoned the result set");
+    }
+    let mut results = Vec::with_capacity(items.len());
+    let mut failures = Vec::new();
+    for slot in slots {
+        match slot.expect("every index was claimed by exactly one worker") {
+            Ok(result) => results.push(Some(result)),
+            Err(failure) => {
+                results.push(None);
+                failures.push(failure);
+            }
+        }
+    }
+    (results, failures)
+}
+
 /// Runs `f` over `items` on up to `jobs` worker threads, returning the
 /// results in input order. Each (benchmark, collector) run is embarrassingly
 /// parallel — every worker builds its own heap and memory system — so the
 /// results are identical to a sequential run; only the wall-clock changes.
 /// `jobs <= 1` runs inline.
+///
+/// A panicking cell no longer aborts its siblings: every cell runs to
+/// completion (or failure) first, and only then does this function panic
+/// with a summary naming each failed cell — which `repro` catches and turns
+/// into a non-zero exit. Callers that want the partial results instead use
+/// [`run_jobs_reporting`].
 pub fn run_jobs<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    if jobs <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
+    let (results, failures) = run_jobs_reporting(items, jobs, f);
+    if !failures.is_empty() {
+        let lines: Vec<String> = failures.iter().map(JobFailure::to_string).collect();
+        panic!(
+            "{} of {} cells failed: {}",
+            failures.len(),
+            results.len(),
+            lines.join("; ")
+        );
     }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::new();
-    slots.resize_with(items.len(), || None);
-    let slots = std::sync::Mutex::new(slots);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(items.len()) {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(item) = items.get(index) else {
-                    break;
-                };
-                let result = f(item);
-                slots.lock().expect("worker poisoned the result set")[index] = Some(result);
-            });
-        }
-    });
-    slots
-        .into_inner()
-        .expect("worker poisoned the result set")
+    results
         .into_iter()
-        .map(|slot| slot.expect("every index was claimed by exactly one worker"))
+        .map(|slot| slot.expect("no failures means every slot is filled"))
         .collect()
 }
 
@@ -715,6 +839,7 @@ mod tests {
                 nursery_bytes: heap_config.nursery_bytes as u64,
                 observer_bytes: heap_config.observer_bytes as u64,
                 site_map_hash: workloads::site_map_hash() ^ 1,
+                fault_seed: 0,
             },
             events: Vec::new(),
         };
@@ -734,12 +859,97 @@ mod tests {
     }
 
     #[test]
+    fn faulted_runs_record_and_replay_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("kgtrace-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let profile = benchmark("lu.fix").unwrap();
+        let fault = FaultConfig::accelerated(0xFA11, hybrid_mem::Endurance::Low10M);
+        let live_config = ExperimentConfig::quick().with_faults(fault);
+        let traced_config = live_config.clone().with_trace_dir(&dir);
+        let fingerprint = |result: &ExperimentResult| {
+            (
+                result.pcm_writes(),
+                result.dram_writes(),
+                result.memory.failed_pcm_lines,
+                result.memory.retired_pcm_pages,
+                result.gc.fault_pages_retired,
+            )
+        };
+        let live = run_benchmark(&profile, HeapConfig::kg_n(), &live_config);
+        let recorded = run_benchmark(&profile, HeapConfig::kg_n(), &traced_config);
+        let replayed = run_benchmark(&profile, HeapConfig::kg_n(), &traced_config);
+        assert_eq!(fingerprint(&recorded), fingerprint(&live), "recording is passive");
+        assert_eq!(
+            fingerprint(&replayed),
+            fingerprint(&live),
+            "replay is bit-identical"
+        );
+        // The fault seed is stamped into the trace provenance, and the
+        // faulted trace does not collide with the fault-free one.
+        let heap_config = heap_config_for(&profile, HeapConfig::kg_n(), &traced_config);
+        let path = trace_path(&dir, profile.name, &heap_config, &traced_config, 1);
+        let trace = trace::load_trace(&path).unwrap();
+        assert_eq!(trace.header.fault_seed, 0xFA11);
+        assert!(trace_fault_schedule_current(&trace, &traced_config));
+        let fault_free = ExperimentConfig::quick().with_trace_dir(&dir);
+        assert_ne!(
+            path,
+            trace_path(&dir, profile.name, &heap_config, &fault_free, 1),
+            "fault-injected traces get their own files"
+        );
+        // A configuration under a *different* schedule treats the trace as
+        // stale and re-records rather than replaying the wrong failures.
+        assert!(!trace_fault_schedule_current(&trace, &fault_free));
+        let other_seed = live_config
+            .clone()
+            .with_faults(FaultConfig::accelerated(0xBEEF, hybrid_mem::Endurance::Low10M));
+        assert!(!trace_fault_schedule_current(&trace, &other_seed));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn run_jobs_preserves_input_order_for_any_job_count() {
         let items: Vec<u64> = (0..17).collect();
         let expected: Vec<u64> = items.iter().map(|i| i * i).collect();
         for jobs in [0, 1, 2, 3, 8, 32] {
             assert_eq!(run_jobs(&items, jobs, |&i| i * i), expected, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn panicking_cells_are_isolated_and_reported() {
+        let items: Vec<u64> = (0..9).collect();
+        for jobs in [1, 3] {
+            let (results, failures) = run_jobs_reporting(&items, jobs, |&i| {
+                if i % 4 == 2 {
+                    panic!("cell {i} exploded");
+                }
+                i * 10
+            });
+            // Every non-panicking cell completed despite the failures.
+            assert_eq!(results.len(), items.len(), "jobs={jobs}");
+            for (i, slot) in results.iter().enumerate() {
+                if i % 4 == 2 {
+                    assert!(slot.is_none(), "jobs={jobs}: cell {i} should have failed");
+                } else {
+                    assert_eq!(*slot, Some(i as u64 * 10), "jobs={jobs}");
+                }
+            }
+            // Failures carry the index and the panic message, in order.
+            assert_eq!(
+                failures.iter().map(|f| f.index).collect::<Vec<_>>(),
+                vec![2, 6],
+                "jobs={jobs}"
+            );
+            assert!(failures[0].message.contains("cell 2 exploded"), "jobs={jobs}");
+        }
+        // The strict wrapper completes every cell first, then panics with a
+        // summary naming each failed cell.
+        let caught =
+            std::panic::catch_unwind(|| run_jobs(&items, 2, |&i| if i == 5 { panic!("boom") } else { i }));
+        let message = panic_message(caught.unwrap_err().as_ref());
+        assert!(message.contains("1 of 9 cells failed"), "{message}");
+        assert!(message.contains("cell #5: boom"), "{message}");
     }
 
     #[test]

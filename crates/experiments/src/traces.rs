@@ -316,7 +316,8 @@ pub fn replay_traces_filtered(
             let path = trace_path(dir, profile.name, &heap_config, config, mutators);
             let current = trace::load_trace(&path)
                 .ok()
-                .filter(crate::runner::trace_site_map_current);
+                .filter(crate::runner::trace_site_map_current)
+                .filter(|recorded| crate::runner::trace_fault_schedule_current(recorded, config));
             let recorded = match current {
                 Some(recorded) => recorded,
                 None => {

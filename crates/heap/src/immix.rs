@@ -44,6 +44,11 @@ struct Block {
     occupied: u128,
     /// Lines marked live during the in-progress collection.
     line_marks: u128,
+    /// Lines fenced by PCM page retirement: counted as permanently occupied
+    /// so nothing is ever allocated on a retired page, and so the block is
+    /// never returned to the OS (which would resurrect the page on PCM the
+    /// next time the block is acquired).
+    retired: u128,
     /// Whether any object in the block was marked during the in-progress
     /// collection.
     block_mark: bool,
@@ -56,6 +61,7 @@ impl Block {
         Block {
             occupied: 0,
             line_marks: 0,
+            retired: 0,
             block_mark: false,
             state: BlockState::Free,
             mapped: false,
@@ -356,10 +362,40 @@ impl ImmixSpace {
         }
     }
 
+    /// Fences the page at `page_base` after PCM retirement: its lines become
+    /// permanently occupied (never allocated into again) and the block is
+    /// pinned mapped so the page's remap to spare capacity survives sweeps.
+    /// Drops the current bump gap, so call before any allocation that must
+    /// avoid the dying page.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `page_base` is not inside this space.
+    pub fn retire_page(&mut self, page_base: Address) {
+        debug_assert!(self.contains(page_base), "retire_page outside space: {page_base}");
+        let (block_index, first_line) = self.line_of(page_base);
+        let mask = ((1u128 << (PAGE_SIZE / LINE_SIZE)) - 1) << first_line;
+        let block = &mut self.blocks[block_index];
+        block.retired |= mask;
+        block.occupied |= mask;
+        // The bump gap may overlap the newly fenced lines; drop it so the
+        // next allocation rescans against the updated occupancy.
+        self.cursor = Address::ZERO;
+        self.limit = Address::ZERO;
+        self.cursor_block = None;
+        self.scan_line = 0;
+    }
+
+    /// Number of lines fenced by page retirement.
+    pub fn retired_lines(&self) -> usize {
+        self.blocks.iter().map(|b| b.retired.count_ones() as usize).sum()
+    }
+
     /// Sweeps the space at the end of a major collection: occupied lines
-    /// become exactly the marked lines, blocks are classified, completely
-    /// free blocks are returned to the OS, and the allocation cursor is
-    /// reset so subsequent allocation starts from recyclable blocks.
+    /// become exactly the marked lines (plus any retired lines, which stay
+    /// fenced forever), blocks are classified, completely free blocks are
+    /// returned to the OS, and the allocation cursor is reset so subsequent
+    /// allocation starts from recyclable blocks.
     pub fn sweep(&mut self, mem: &mut MemorySystem) -> SweepStats {
         let mut stats = SweepStats::default();
         for index in 0..self.blocks.len() {
@@ -368,7 +404,7 @@ impl ImmixSpace {
                 continue;
             }
             let before = block.occupied_lines();
-            block.occupied = block.line_marks;
+            block.occupied = block.line_marks | block.retired;
             let after = block.occupied_lines();
             stats.bytes_reclaimed += before.saturating_sub(after) * LINE_SIZE;
             stats.live_bytes += after * LINE_SIZE;
@@ -519,6 +555,29 @@ mod tests {
         let writes_after = mem.stats().phase_writes(MemoryKind::Pcm).get(Phase::MajorGc);
         let lines = 1000usize.div_ceil(LINE_SIZE) as u64;
         assert!(writes_after - writes_before >= lines);
+    }
+
+    #[test]
+    fn retired_pages_are_fenced_and_pin_their_block() {
+        let (mut mem, mut space) = setup(1 << 20);
+        let addr = space.alloc_for_copy(&mut mem, 512).unwrap();
+        let page = addr.align_down(PAGE_SIZE);
+        space.retire_page(page);
+        assert_eq!(space.retired_lines(), PAGE_SIZE / LINE_SIZE);
+        // New allocations never land on the retired page.
+        for _ in 0..200 {
+            let a = space.alloc_for_copy(&mut mem, 256).unwrap();
+            assert_ne!(a.align_down(PAGE_SIZE), page, "allocated on a retired page");
+        }
+        // Sweeping with nothing marked frees every line except the fence,
+        // and the fenced block stays mapped.
+        space.prepare_collection();
+        space.sweep(&mut mem);
+        assert_eq!(space.retired_lines(), PAGE_SIZE / LINE_SIZE);
+        assert!(space.blocks_in_use() >= 1, "retired block must stay mapped");
+        assert!(space.contains(page));
+        let a = space.alloc_for_copy(&mut mem, 256).unwrap();
+        assert_ne!(a.align_down(PAGE_SIZE), page);
     }
 
     #[test]

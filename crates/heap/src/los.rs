@@ -9,7 +9,7 @@
 //! (Section 4.2.4); the move itself is performed by the collector, which
 //! copies the object into the target space and lets the source copy die.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use hybrid_mem::{Address, MemoryKind, MemorySystem, Phase, PAGE_SIZE};
 
@@ -45,6 +45,9 @@ pub struct LargeObjectSpace {
     capacity: usize,
     cursor: Address,
     free_runs: Vec<(Address, usize)>,
+    /// Pages fenced by PCM retirement: excluded from every future run so a
+    /// retired page is never handed out (and remapped) again.
+    retired_pages: BTreeSet<u64>,
     objects: HashMap<u64, LargeInfo>,
     bytes_allocated_total: u64,
     treadmill_snaps: u64,
@@ -60,6 +63,7 @@ impl LargeObjectSpace {
             capacity,
             cursor: base,
             free_runs: Vec::new(),
+            retired_pages: BTreeSet::new(),
             objects: HashMap::new(),
             bytes_allocated_total: 0,
             treadmill_snaps: 0,
@@ -120,8 +124,32 @@ impl LargeObjectSpace {
         self.objects.get(&addr.raw()).map(|info| info.size)
     }
 
+    /// Returns a run to the free list, splitting it around retired pages so
+    /// fenced pages never re-enter circulation.
+    fn push_free_run(&mut self, addr: Address, pages: usize) {
+        let mut start = addr;
+        let mut len = 0usize;
+        for i in 0..pages {
+            let page = addr.add(i * PAGE_SIZE);
+            if self.retired_pages.contains(&page.page().0) {
+                if len > 0 {
+                    self.free_runs.push((start, len));
+                }
+                len = 0;
+            } else {
+                if len == 0 {
+                    start = page;
+                }
+                len += 1;
+            }
+        }
+        if len > 0 {
+            self.free_runs.push((start, len));
+        }
+    }
+
     fn take_run(&mut self, pages: usize) -> Option<Address> {
-        // First fit from the free list.
+        // First fit from the free list (runs never contain retired pages).
         if let Some(pos) = self.free_runs.iter().position(|&(_, p)| p >= pages) {
             let (addr, run_pages) = self.free_runs.swap_remove(pos);
             if run_pages > pages {
@@ -130,14 +158,48 @@ impl LargeObjectSpace {
             }
             return Some(addr);
         }
-        // Otherwise extend the frontier.
-        let addr = self.cursor;
-        let end = addr.add(pages * PAGE_SIZE);
-        if end > self.base.add(self.capacity) {
-            return None;
+        // Otherwise extend the frontier, skipping past any retired page.
+        loop {
+            let addr = self.cursor;
+            let end = addr.add(pages * PAGE_SIZE);
+            if end > self.base.add(self.capacity) {
+                return None;
+            }
+            let bad = (0..pages).find(|&i| self.retired_pages.contains(&addr.add(i * PAGE_SIZE).page().0));
+            match bad {
+                None => {
+                    self.cursor = end;
+                    return Some(addr);
+                }
+                Some(i) => {
+                    // Save the clean prefix for smaller requests and resume
+                    // past the fenced page.
+                    if i > 0 {
+                        self.push_free_run(addr, i);
+                    }
+                    self.cursor = addr.add((i + 1) * PAGE_SIZE);
+                }
+            }
         }
-        self.cursor = end;
-        Some(addr)
+    }
+
+    /// Fences the page at `page_base` after PCM retirement: it is carved out
+    /// of the free list and never allocated into again.
+    pub fn retire_page(&mut self, page_base: Address) {
+        debug_assert!(
+            self.in_region(page_base),
+            "retire_page outside space: {page_base}"
+        );
+        self.retired_pages.insert(page_base.page().0);
+        let runs = std::mem::take(&mut self.free_runs);
+        for (addr, pages) in runs {
+            self.push_free_run(addr, pages);
+        }
+    }
+
+    /// Number of pages fenced by retirement.
+    pub fn retired_page_count(&self) -> usize {
+        self.retired_pages.len()
     }
 
     /// Allocates and initialises a large object of `shape`.
@@ -217,7 +279,7 @@ impl LargeObjectSpace {
     pub fn remove(&mut self, mem: &mut MemorySystem, obj: ObjectRef) {
         if let Some(info) = self.objects.remove(&obj.address().raw()) {
             mem.unmap_pages(obj.address(), info.pages);
-            self.free_runs.push((obj.address(), info.pages));
+            self.push_free_run(obj.address(), info.pages);
         }
     }
 
@@ -238,7 +300,7 @@ impl LargeObjectSpace {
             stats.objects_freed += 1;
             stats.bytes_freed += info.pages * PAGE_SIZE;
             mem.unmap_pages(Address::new(addr), info.pages);
-            self.free_runs.push((Address::new(addr), info.pages));
+            self.push_free_run(Address::new(addr), info.pages);
         }
         stats.objects_live = self.objects.len();
         stats.bytes_live = self.used_bytes();
@@ -321,6 +383,45 @@ mod tests {
         assert!(!mem.is_mapped(obj.address()));
         let again = los.alloc_raw(&mut mem, big_shape().size()).unwrap();
         assert_eq!(again, obj.address());
+    }
+
+    #[test]
+    fn retired_pages_are_never_reallocated() {
+        let (mut mem, mut los) = setup();
+        let obj = los.alloc(&mut mem, big_shape(), 1, Phase::Mutator).unwrap();
+        let dying = obj.address().align_down(PAGE_SIZE).add(PAGE_SIZE);
+        // The object dies; its run returns to the free list — except the
+        // retired page, which is carved out forever.
+        los.retire_page(dying);
+        los.prepare_collection();
+        los.sweep(&mut mem);
+        assert_eq!(los.retired_page_count(), 1);
+        for _ in 0..50 {
+            let Some(addr) = los.alloc_raw(&mut mem, big_shape().size()) else {
+                break;
+            };
+            let pages = big_shape().size().div_ceil(PAGE_SIZE);
+            for i in 0..pages {
+                assert_ne!(
+                    addr.add(i * PAGE_SIZE).align_down(PAGE_SIZE),
+                    dying,
+                    "allocated over a retired page"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_skips_retired_pages() {
+        let (mut mem, mut los) = setup();
+        // Retire a page ahead of the frontier; allocation must step over it.
+        let ahead = los.cursor.add(PAGE_SIZE);
+        los.retire_page(ahead);
+        let obj = los.alloc(&mut mem, big_shape(), 1, Phase::Mutator).unwrap();
+        let pages = big_shape().size().div_ceil(PAGE_SIZE);
+        for i in 0..pages {
+            assert_ne!(obj.address().add(i * PAGE_SIZE).align_down(PAGE_SIZE), ahead);
+        }
     }
 
     #[test]

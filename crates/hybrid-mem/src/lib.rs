@@ -46,6 +46,7 @@ pub mod cache;
 pub mod controller;
 pub mod devices;
 pub mod energy;
+pub mod fault;
 pub mod lifetime;
 pub mod page_map;
 pub mod stats;
@@ -58,6 +59,7 @@ pub use cache::{CacheConfig, CacheHierarchy};
 pub use controller::{MemoryController, ShardId};
 pub use devices::{DeviceParams, DramParams, PcmParams};
 pub use energy::{EnergyBreakdown, EnergyModel};
+pub use fault::{years_to_first_uncorrectable, FaultConfig, FaultEvent, FaultModel};
 pub use lifetime::{lifetime_years, Endurance, LifetimeModel};
 pub use page_map::PageMap;
 pub use stats::{MemoryStats, PhaseWrites, ShardStats};

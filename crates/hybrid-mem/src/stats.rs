@@ -49,6 +49,15 @@ pub struct MemoryStats {
     pub llc_misses: u64,
     /// Cache hits across all levels.
     pub cache_hits: u64,
+    /// PCM lines permanently failed by the fault model (0 without fault
+    /// injection).
+    pub failed_pcm_lines: u64,
+    /// PCM pages retired as uncorrectable and remapped to spare capacity.
+    pub retired_pcm_pages: u64,
+    /// Transient (ECC-corrected) PCM faults absorbed.
+    pub transient_pcm_faults: u64,
+    /// PCM capacity lost to retired pages, in bytes.
+    pub degraded_pcm_bytes: u64,
 }
 
 impl MemoryStats {
@@ -100,6 +109,15 @@ impl MemoryStats {
     /// Total reads across both kinds.
     pub fn total_reads(&self) -> u64 {
         self.reads.iter().sum()
+    }
+
+    /// Fraction of the nominal PCM capacity lost to retired pages, given
+    /// that capacity in bytes (0 for a healthy device).
+    pub fn pcm_degradation(&self, pcm_capacity_bytes: u64) -> f64 {
+        if pcm_capacity_bytes == 0 {
+            return 0.0;
+        }
+        self.degraded_pcm_bytes as f64 / pcm_capacity_bytes as f64
     }
 }
 

@@ -7,10 +7,11 @@
 //! of the touched page, runs the access through the cache hierarchy and
 //! accounts the resulting device traffic.
 
-use crate::address::{align_up_usize, Address, PageId, CACHE_LINE_SIZE, PAGE_SIZE};
+use crate::address::{align_up_usize, Address, PageId, CACHE_LINE_SIZE, LINE_SIZE, PAGE_SIZE};
 use crate::backing::ChunkedMemory;
 use crate::cache::{CacheConfig, CacheHierarchy, MemEvent};
 use crate::controller::{MemoryController, ShardId};
+use crate::fault::{FaultConfig, FaultEvent, FaultModel};
 use crate::page_map::{PageInfo, PageMap};
 use crate::stats::{MemoryStats, ShardStats};
 
@@ -105,6 +106,9 @@ pub struct MemoryConfig {
     pub pcm_capacity_bytes: u64,
     /// Nominal DRAM capacity, in bytes (1 GB in the paper's hybrid system).
     pub dram_capacity_bytes: u64,
+    /// Deterministic PCM fault injection; `None` (the default everywhere)
+    /// disables the fault model entirely.
+    pub fault: Option<FaultConfig>,
 }
 
 impl MemoryConfig {
@@ -116,6 +120,7 @@ impl MemoryConfig {
             track_line_writes: false,
             pcm_capacity_bytes: 32 << 30,
             dram_capacity_bytes: 1 << 30,
+            fault: None,
         }
     }
 
@@ -137,6 +142,12 @@ impl MemoryConfig {
             ..Self::hybrid()
         }
     }
+
+    /// Enables deterministic PCM fault injection with `fault`'s schedule.
+    pub fn with_faults(mut self, fault: FaultConfig) -> Self {
+        self.fault = Some(fault);
+        self
+    }
 }
 
 impl Default for MemoryConfig {
@@ -155,6 +166,7 @@ pub struct MemorySystem {
     page_map: PageMap,
     cache: CacheHierarchy,
     controller: MemoryController,
+    fault: Option<FaultModel>,
     next_extent: u64,
     extents: Vec<(String, Address, usize)>,
     event_buf: Vec<MemEvent>,
@@ -175,8 +187,11 @@ impl MemorySystem {
             None => CacheHierarchy::disabled(),
         };
         MemorySystem {
-            controller: MemoryController::new(config.track_line_writes),
+            // The fault model consumes per-line write counts, so it forces
+            // line tracking on even when wear statistics were not requested.
+            controller: MemoryController::new(config.track_line_writes || config.fault.is_some()),
             cache,
+            fault: config.fault.map(FaultModel::new),
             config,
             backing: ChunkedMemory::new(),
             page_map: PageMap::new(),
@@ -272,6 +287,69 @@ impl MemorySystem {
             .map(|(_, writes)| writes)
             .collect();
         Some(crate::wear::WearTracker::from_counts(counts).summary())
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// The fault model's state, when fault injection is enabled.
+    pub fn fault_model(&self) -> Option<&FaultModel> {
+        self.fault.as_ref()
+    }
+
+    /// Device write counts per *mapped PCM line* (256 B granularity), sorted
+    /// by line id. Aggregates the controller's per-cache-line counts; call at
+    /// a safepoint so shard folds are complete. Empty when line tracking is
+    /// off.
+    pub fn pcm_line_writes(&self) -> Vec<(u64, u64)> {
+        let per_cache_line = CACHE_LINE_SIZE as u64;
+        let cache_lines_per_line = (LINE_SIZE / CACHE_LINE_SIZE) as u64;
+        let mut lines: Vec<(u64, u64)> = Vec::new();
+        for (cache_line, writes) in self.controller.line_writes() {
+            let addr = Address::new(cache_line * per_cache_line);
+            if self.is_mapped(addr) && self.kind_of(addr) == MemoryKind::Pcm {
+                lines.push((cache_line / cache_lines_per_line, writes));
+            }
+        }
+        lines.sort_unstable();
+        let mut folded: Vec<(u64, u64)> = Vec::with_capacity(lines.len());
+        for (line, writes) in lines {
+            match folded.last_mut() {
+                Some((last, total)) if *last == line => *total += writes,
+                _ => folded.push((line, writes)),
+            }
+        }
+        folded
+    }
+
+    /// Advances the fault schedule against the current PCM line-write counts
+    /// and returns the newly fired events. Pages reported
+    /// [`FaultEvent::PageUncorrectable`] must be retired by the caller (after
+    /// evacuating live data) via [`Self::retire_page`]. No-op without fault
+    /// injection. Call at a safepoint.
+    pub fn pump_faults(&mut self) -> Vec<FaultEvent> {
+        if self.fault.is_none() {
+            return Vec::new();
+        }
+        let line_writes = self.pcm_line_writes();
+        self.fault
+            .as_mut()
+            .expect("fault model present")
+            .pump(&line_writes)
+    }
+
+    /// Retires an uncorrectable PCM page: marks it retired in the fault
+    /// model and, when the page is still mapped on PCM, remaps it to DRAM
+    /// spare capacity (accounting the full-page copy like any migration).
+    /// Returns the page's previous kind when a remap happened.
+    pub fn retire_page(&mut self, page: PageId) -> Option<MemoryKind> {
+        let model = self.fault.as_mut()?;
+        model.mark_page_retired(page.0);
+        if self.page_map.info(page.start())?.kind != MemoryKind::Pcm {
+            return None;
+        }
+        self.migrate_page(page, MemoryKind::Dram)
     }
 
     /// Mutable access to the memory controller (used by the OS baseline to
@@ -481,6 +559,10 @@ impl MemorySystem {
             ],
             llc_misses: self.cache.llc_misses(),
             cache_hits: self.cache.hits(),
+            failed_pcm_lines: self.fault.as_ref().map_or(0, FaultModel::failed_line_count),
+            retired_pcm_pages: self.fault.as_ref().map_or(0, FaultModel::retired_page_count),
+            transient_pcm_faults: self.fault.as_ref().map_or(0, FaultModel::transient_fault_count),
+            degraded_pcm_bytes: self.fault.as_ref().map_or(0, FaultModel::degraded_bytes),
         }
     }
 
@@ -610,6 +692,51 @@ mod tests {
         mem.merge_shard(shard);
         assert_eq!(mem.shard_stats(shard).writes(MemoryKind::Pcm), 0);
         assert_eq!(mem.stats().writes(MemoryKind::Pcm), 2);
+    }
+
+    #[test]
+    fn fault_pump_fails_lines_and_retirement_remaps_to_dram() {
+        let fault = FaultConfig::accelerated(11, crate::lifetime::Endurance::Low10M)
+            .with_wear_multiplier(u64::MAX / 4)
+            .with_ecc_correctable_lines(0);
+        let mut mem = MemorySystem::new(MemoryConfig::architecture_independent().with_faults(fault));
+        let base = mem.reserve_extent("faulty", 1 << 20);
+        mem.map_pages(base, 2, MemoryKind::Pcm, 3);
+        mem.write_u64(base, 1, Phase::Mutator);
+        let events = mem.pump_faults();
+        assert!(
+            events.iter().any(|e| matches!(e, FaultEvent::LineFailed { .. })),
+            "extreme acceleration must fail the written line: {events:?}"
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::PageUncorrectable { .. })));
+        assert_eq!(mem.retire_page(base.page()), Some(MemoryKind::Pcm));
+        assert_eq!(mem.kind_of(base), MemoryKind::Dram, "retired page remapped");
+        let stats = mem.stats();
+        assert_eq!(stats.retired_pcm_pages, 1);
+        assert!(stats.failed_pcm_lines >= 1);
+        assert_eq!(stats.degraded_pcm_bytes, PAGE_SIZE as u64);
+        // Re-pumping after retirement is quiescent: the page is DRAM now.
+        assert!(mem.pump_faults().is_empty());
+        // Retiring an already-DRAM page does not migrate again.
+        assert_eq!(mem.retire_page(base.page()), None);
+        assert_eq!(mem.stats().retired_pcm_pages, 1);
+    }
+
+    #[test]
+    fn fault_free_system_reports_no_faults() {
+        let mut mem = small_system();
+        let base = mem.reserve_extent("clean", 1 << 20);
+        mem.map_pages(base, 1, MemoryKind::Pcm, 0);
+        mem.write_u64(base, 1, Phase::Mutator);
+        assert!(mem.pump_faults().is_empty());
+        assert!(mem.fault_model().is_none());
+        assert_eq!(mem.retire_page(base.page()), None);
+        let stats = mem.stats();
+        assert_eq!(stats.failed_pcm_lines, 0);
+        assert_eq!(stats.degraded_pcm_bytes, 0);
+        assert_eq!(stats.pcm_degradation(32 << 30), 0.0);
     }
 
     #[test]

@@ -42,6 +42,33 @@ impl KingsguardHeap {
         self.policy.rescue_written_objects()
     }
 
+    /// Returns `true` if the object at `addr` overlaps a page fenced for
+    /// retirement this collection (and must therefore be evacuated by the
+    /// trace, whatever its write bit says).
+    fn on_dying_page(&self, addr: Address, size: usize) -> bool {
+        if self.dying_pages.is_empty() {
+            return false;
+        }
+        let first = addr.page().0;
+        let last = addr.add(size.max(1) - 1).page().0;
+        (first..=last).any(|page| self.dying_pages.contains_key(&page))
+    }
+
+    /// Records one forced evacuation: counts it and remembers the object's
+    /// site on every dying page it overlapped, for the policy's
+    /// retirement feedback.
+    fn record_evacuation(&mut self, old_addr: Address, size: usize, site: SiteId) {
+        self.stats.fault_evacuated_objects += 1;
+        self.stats.fault_evacuated_bytes += size as u64;
+        let first = old_addr.page().0;
+        let last = old_addr.add(size.max(1) - 1).page().0;
+        for page in first..=last {
+            if let Some(sites) = self.dying_pages.get_mut(&page) {
+                sites.push(site);
+            }
+        }
+    }
+
     /// Records a nursery survivor with the site profiler.
     fn profile_nursery_survivor(&mut self, old_addr: Address, bytes: usize) {
         if self.profiler.is_none() {
@@ -589,6 +616,12 @@ impl KingsguardHeap {
         let phase = Phase::MajorGc;
         self.stats.major.collections += 1;
 
+        // Pump the PCM fault model while the heap sits at the safepoint:
+        // pages that just became uncorrectable are fenced now, before
+        // tracing, so the trace below evacuates every live object off them
+        // and the sweep can never hand their lines out again.
+        self.pump_faults_and_fence();
+
         self.telemetry.span_enter("gc.major.prepare");
         self.mature_primary.prepare_collection();
         if let Some(space) = self.mature_dram.as_mut() {
@@ -649,6 +682,9 @@ impl KingsguardHeap {
         self.remset_nursery.clear();
         self.remset_observer.clear();
         self.telemetry.span_exit();
+        // Every live object left the dying pages during the trace; remap
+        // them off PCM and tell the policy which sites were disturbed.
+        self.finish_page_retirement();
         self.sample_composition();
         self.update_peaks();
         // End-of-GC refresh point for adaptive policies: the rescue and
@@ -752,6 +788,7 @@ impl KingsguardHeap {
                 let shape = obj.shape(&mut self.mem, phase);
                 let size = shape.size();
                 let written = obj.is_written(&mut self.mem, phase);
+                let endangered = self.on_dying_page(obj.address(), size);
                 let rescue = self.uses_rescue()
                     && written
                     && self.mature_primary.kind() == MemoryKind::Pcm
@@ -773,6 +810,39 @@ impl KingsguardHeap {
                     self.stats.object_moved(obj.address(), dst);
                     self.stats.pcm_to_dram_rescues += 1;
                     self.stats.record_site_rescue(site);
+                    self.stats.major.bytes_copied += size as u64;
+                    self.stats.major.objects_copied += 1;
+                    self.mark_new_copy(new_obj, size, phase);
+                    if endangered {
+                        self.record_evacuation(obj.address(), size, site);
+                    }
+                    queue.push(new_obj);
+                    return new_obj;
+                }
+                if endangered {
+                    // Forced evacuation off a dying page: the object may be
+                    // unwritten (or the collector may not rescue at all —
+                    // KG-N, the PCM-only baseline), but its page is about
+                    // to be retired. Prefer DRAM when the topology has it;
+                    // otherwise a fresh PCM line is safe, since the fence
+                    // guarantees the copy cannot land back on the page.
+                    let site = self.stats.site_of(obj.address());
+                    let mut dst = None;
+                    if let Some(mature_dram) = self.mature_dram.as_mut() {
+                        dst = mature_dram.alloc_for_copy(&mut self.mem, size);
+                    }
+                    let dst = match dst {
+                        Some(dst) => dst,
+                        None => self
+                            .mature_primary
+                            .alloc_for_copy(&mut self.mem, size)
+                            .expect("mature space exhausted during page-retirement evacuation"),
+                    };
+                    self.mem.copy(obj.address(), dst, size, phase);
+                    let new_obj = ObjectRef::from_address(dst);
+                    obj.set_forwarding(&mut self.mem, new_obj, phase);
+                    self.record_evacuation(obj.address(), size, site);
+                    self.stats.object_moved(obj.address(), dst);
                     self.stats.major.bytes_copied += size as u64;
                     self.stats.major.objects_copied += 1;
                     self.mark_new_copy(new_obj, size, phase);
@@ -838,15 +908,16 @@ impl KingsguardHeap {
                     return obj;
                 }
                 let written = obj.is_written(&mut self.mem, phase);
+                let size = self
+                    .los_primary
+                    .size_of(obj.address())
+                    .unwrap_or_else(|| obj.size(&mut self.mem, phase));
+                let endangered = self.on_dying_page(obj.address(), size);
                 let move_to_dram = self.uses_rescue()
                     && written
                     && self.los_primary.kind() == MemoryKind::Pcm
                     && self.los_dram.is_some();
                 if move_to_dram {
-                    let size = self
-                        .los_primary
-                        .size_of(obj.address())
-                        .unwrap_or_else(|| obj.size(&mut self.mem, phase));
                     let dst = self
                         .los_dram
                         .as_mut()
@@ -865,6 +936,47 @@ impl KingsguardHeap {
                         .as_mut()
                         .expect("checked above")
                         .mark(&mut self.mem, new_obj, phase);
+                    if endangered {
+                        let site = self.stats.site_of(obj.address());
+                        self.record_evacuation(obj.address(), size, site);
+                    }
+                    queue.push(new_obj);
+                    return new_obj;
+                }
+                if endangered {
+                    // Forced evacuation of a large object overlapping a
+                    // dying page. Prefer the DRAM large space; fall back to
+                    // a fresh PCM run (the fenced page is carved out of the
+                    // free list, so the copy cannot overlap it).
+                    let site = self.stats.site_of(obj.address());
+                    let mut dst = None;
+                    if let Some(los_dram) = self.los_dram.as_mut() {
+                        dst = los_dram.alloc_raw(&mut self.mem, size);
+                    }
+                    let (dst, to_dram) = match dst {
+                        Some(dst) => (dst, true),
+                        None => (
+                            self.los_primary
+                                .alloc_raw(&mut self.mem, size)
+                                .expect("large object space exhausted during page-retirement evacuation"),
+                            false,
+                        ),
+                    };
+                    self.mem.copy(obj.address(), dst, size, phase);
+                    let new_obj = ObjectRef::from_address(dst);
+                    obj.set_forwarding(&mut self.mem, new_obj, phase);
+                    self.record_evacuation(obj.address(), size, site);
+                    self.stats.object_moved(obj.address(), dst);
+                    self.stats.major.bytes_copied += size as u64;
+                    self.stats.major.objects_copied += 1;
+                    if to_dram {
+                        self.los_dram
+                            .as_mut()
+                            .expect("checked above")
+                            .mark(&mut self.mem, new_obj, phase);
+                    } else {
+                        self.los_primary.mark(&mut self.mem, new_obj, phase);
+                    }
                     queue.push(new_obj);
                     return new_obj;
                 }
@@ -1264,6 +1376,67 @@ mod tests {
             0,
             "no mature object may live in DRAM under all-cold advice"
         );
+    }
+
+    #[test]
+    fn page_retirement_evacuates_live_objects_without_loss() {
+        use hybrid_mem::{Endurance, FaultConfig};
+        // Wear-accelerated to absurdity: one counted write exceeds any line
+        // budget, and a single failed line makes its page uncorrectable.
+        let fault = FaultConfig::new(0xFA11, Endurance::Mid30M)
+            .with_wear_multiplier(u64::MAX / 4)
+            .with_ecc_correctable_lines(0);
+        let mut h = KingsguardHeap::new(
+            HeapConfig::kg_n(),
+            MemoryConfig::architecture_independent().with_faults(fault),
+        );
+        let mut handles = Vec::new();
+        for i in 0..64u16 {
+            handles.push(h.alloc(ObjectShape::new(0, 128), i));
+        }
+        let big = h.alloc(ObjectShape::primitive(32 * 1024), 99);
+        h.collect_young(); // small objects now sit in mature PCM
+        for &handle in &handles {
+            h.write_prim(handle, 0, 64);
+        }
+        h.write_prim(big, 0, 64);
+        // Push every dirty line to the device so the pump sees the writes.
+        h.with_synced_memory(|mem| mem.flush_caches());
+        h.collect_full();
+        assert!(h.stats().fault_pages_retired > 0, "pages must have retired");
+        assert!(
+            h.stats().fault_evacuated_objects > 0,
+            "live objects must have been evacuated off the dying pages"
+        );
+        // The evacuation invariant: no live object was lost or corrupted.
+        for &handle in &handles {
+            let obj = h.resolve(handle);
+            assert!(!obj.is_null());
+            assert_eq!(obj.shape(&mut h.mem, Phase::Mutator), ObjectShape::new(0, 128));
+        }
+        assert_eq!(
+            h.resolve(big).shape(&mut h.mem, Phase::Mutator),
+            ObjectShape::primitive(32 * 1024)
+        );
+        let report = h.finish();
+        assert!(report.memory.retired_pcm_pages > 0);
+        assert!(report.memory.failed_pcm_lines > 0);
+        assert!(report.memory.degraded_pcm_bytes > 0);
+    }
+
+    #[test]
+    fn fault_free_runs_report_no_fault_statistics() {
+        let mut h = heap(HeapConfig::kg_w());
+        for i in 0..100u16 {
+            let handle = h.alloc(ObjectShape::new(0, 256), i);
+            h.write_prim(handle, 0, 32);
+        }
+        h.collect_full();
+        assert_eq!(h.stats().fault_pages_retired, 0);
+        assert_eq!(h.stats().fault_evacuated_objects, 0);
+        let report = h.finish();
+        assert_eq!(report.memory.failed_pcm_lines, 0);
+        assert_eq!(report.memory.retired_pcm_pages, 0);
     }
 
     #[test]

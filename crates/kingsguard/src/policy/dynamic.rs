@@ -195,6 +195,36 @@ impl PlacementPolicy for KgDynamicPolicy {
         }
     }
 
+    fn on_page_retired(&mut self, _page: u64, evacuated_sites: &[SiteId]) {
+        // Retirement feedback is a demotion signal: the evacuation parked
+        // the site's objects in DRAM without any placement decision, so it
+        // must not be mistaken for organic write evidence — instead it
+        // counts against the site's DRAM advice exactly like a demotion,
+        // un-learning advice whose objects keep wearing PCM pages out of
+        // reach of the normal rescue/demote cycle.
+        let mut sites: Vec<u32> = evacuated_sites
+            .iter()
+            .filter(|s| !s.is_unknown())
+            .map(|s| s.raw())
+            .collect();
+        sites.sort_unstable();
+        sites.dedup();
+        for site in sites {
+            let since = self.demotions_since_rescue.entry(site).or_insert(0);
+            *since += 1;
+            if *since >= self.params.revert_after_demotions && self.dram_sites.remove(&site) {
+                self.pcm_writes.insert(site, 0);
+                *since = 0;
+                self.reversions += 1;
+                self.events.push(AdaptationEvent {
+                    site,
+                    learned: false,
+                    trigger: AdaptationTrigger::PageRetirement,
+                });
+            }
+        }
+    }
+
     fn on_gc_feedback(&mut self, stats: &GcStats) {
         // A rescue proves the site produced a written PCM object: advise it
         // into DRAM and forgive its demotion history.
@@ -381,6 +411,40 @@ mod tests {
         );
         assert!(policy.drain_adaptation_events().is_empty(), "drained");
         assert_eq!(AdaptationTrigger::PcmWriteBurst.label(), "pcm-write-burst");
+    }
+
+    #[test]
+    fn page_retirement_acts_as_demotion_pressure() {
+        let mut policy = KgDynamicPolicy::with_params(KgDynamicParams {
+            promote_after_pcm_writes: 1,
+            revert_after_demotions: 2,
+        });
+        policy.on_gc_feedback(&feedback_with(&[(5, 1)], &[]));
+        assert_eq!(policy.hot_sites(), 1);
+        // First retirement touching the site: pressure, but advice holds
+        // (duplicate sites on one page count once).
+        policy.on_page_retired(100, &[SiteId(5), SiteId(5), SiteId(9)]);
+        assert_eq!(
+            policy.survivor_placement(SiteId(5), false),
+            SurvivorPlacement::AdvisedDram
+        );
+        // A second retirement crosses the threshold and revokes the advice.
+        policy.on_page_retired(101, &[SiteId(5)]);
+        assert_eq!(
+            policy.survivor_placement(SiteId(5), false),
+            SurvivorPlacement::AdvisedPcm
+        );
+        assert_eq!(policy.reversions(), 1);
+        let events = policy.drain_adaptation_events();
+        assert!(events.contains(&AdaptationEvent {
+            site: 5,
+            learned: false,
+            trigger: AdaptationTrigger::PageRetirement,
+        }));
+        assert_eq!(AdaptationTrigger::PageRetirement.label(), "page-retirement");
+        // Unadvised sites accumulate pressure but nothing is revoked.
+        policy.on_page_retired(102, &[SiteId(9)]);
+        assert_eq!(policy.reversions(), 1);
     }
 
     #[test]

@@ -230,6 +230,15 @@ pub trait PlacementPolicy: std::fmt::Debug + Send {
     /// regardless of batching or mutator count.
     fn on_gc_feedback(&mut self, _stats: &GcStats) {}
 
+    /// Graceful-degradation notification: a PCM heap page wore out, its live
+    /// objects were evacuated (`evacuated_sites` lists their allocation
+    /// sites, known sites only) and the page was fenced and remapped to
+    /// spare capacity. KG-D treats this as a demotion-like signal: forced
+    /// evacuation is not organic write evidence, and a site that wears PCM
+    /// pages out should not have its placement re-learned from the
+    /// evacuation traffic. The default ignores retirement.
+    fn on_page_retired(&mut self, _page: u64, _evacuated_sites: &[SiteId]) {}
+
     /// Online-adaptation counters of the policy, when it has any:
     /// `(promotions, reversions)` of learned per-site advice. Lets drivers
     /// and experiments observe adaptation (e.g. un-learning after a workload
@@ -260,6 +269,9 @@ pub enum AdaptationTrigger {
     /// A learned site's objects kept getting demoted as unwritten — the
     /// advice was un-learned.
     Demotions,
+    /// A PCM page holding a learned site's objects was retired; the forced
+    /// evacuation counts as demotion pressure against the advice.
+    PageRetirement,
 }
 
 impl AdaptationTrigger {
@@ -269,6 +281,7 @@ impl AdaptationTrigger {
             AdaptationTrigger::PcmWriteBurst => "pcm-write-burst",
             AdaptationTrigger::Rescue => "rescue",
             AdaptationTrigger::Demotions => "demotions",
+            AdaptationTrigger::PageRetirement => "page-retirement",
         }
     }
 }

@@ -17,8 +17,10 @@
 //! every event immediately, which pins the single-mutator behaviour
 //! bit-exactly.
 
+use std::collections::BTreeMap;
+
 use advice::{SiteId, SiteProfile, SiteProfiler};
-use hybrid_mem::{Address, MemoryConfig, MemoryKind, MemorySystem, Phase, ShardId};
+use hybrid_mem::{Address, FaultEvent, MemoryConfig, MemoryKind, MemorySystem, PageId, Phase, ShardId};
 use kingsguard_heap::object::{ObjectRef, ObjectShape};
 use kingsguard_heap::{
     CopySpace, Handle, ImmixSpace, LargeObjectSpace, MetadataSpace, RememberedSet, RootTable, SpaceId,
@@ -99,6 +101,12 @@ pub struct KingsguardHeap {
     /// Per-context mutator state (TLAB, store buffer, counter shard); slot 0
     /// is the built-in default context backing the legacy heap methods.
     pub(crate) mutators: Vec<MutatorState>,
+    /// PCM pages declared uncorrectable by the fault model during the
+    /// current full collection, with the allocation sites of the live
+    /// objects evacuated off each page so far. Fenced before tracing,
+    /// retired (remapped off PCM) after the sweep, then cleared; empty
+    /// outside a full collection and on fault-free runs.
+    pub(crate) dying_pages: BTreeMap<u64, Vec<SiteId>>,
     /// The (optional) heap-event record tap (see [`crate::tap`]).
     pub(crate) tap: EventTap,
     /// The metrics handle (disabled by default; see
@@ -231,6 +239,7 @@ impl KingsguardHeap {
             profiler: None,
             policy,
             mutators,
+            dying_pages: BTreeMap::new(),
             tap: EventTap::none(),
             telemetry: Telemetry::disabled(),
         }
@@ -365,6 +374,104 @@ impl KingsguardHeap {
         }
     }
 
+    // ------------------------------------------------------------------
+    // PCM fault pump and page retirement (see `hybrid_mem::fault`)
+    // ------------------------------------------------------------------
+
+    /// Pumps the PCM fault model at the start of a full collection (the
+    /// heap is at a safepoint, so per-line write counts are complete) and
+    /// fences every page that just crossed the uncorrectable threshold.
+    /// Heap pages (mature PCM, large PCM) are fenced inside their space so
+    /// neither the trace nor any later allocation can place an object on
+    /// them — the trace then force-evacuates the live objects still there —
+    /// and are retired after the sweep by [`Self::finish_page_retirement`].
+    /// Non-heap PCM pages (a PCM nursery, metadata) hold no mature objects
+    /// the trace must save, so they are remapped off PCM immediately (the
+    /// migration preserves contents). A no-op on fault-free runs.
+    pub(crate) fn pump_faults_and_fence(&mut self) {
+        if self.mem.fault_model().is_none() {
+            return;
+        }
+        let events = self.mem.pump_faults();
+        for event in events {
+            if let FaultEvent::PageUncorrectable { page, .. } = event {
+                let start = PageId(page).start();
+                if self.mature_primary.kind() == MemoryKind::Pcm && self.mature_primary.contains(start) {
+                    self.mature_primary.retire_page(start);
+                    self.dying_pages.insert(page, Vec::new());
+                } else if self.los_primary.kind() == MemoryKind::Pcm && self.los_primary.in_region(start) {
+                    self.los_primary.retire_page(start);
+                    self.dying_pages.insert(page, Vec::new());
+                } else {
+                    let moved = self.mem.retire_page(PageId(page));
+                    self.stats.fault_pages_retired += 1;
+                    self.emit_page_retired(page, 0, moved);
+                }
+            }
+        }
+        self.record_fault_telemetry();
+    }
+
+    /// Retires every page fenced by [`Self::pump_faults_and_fence`] once
+    /// the sweep has finished: the memory system remaps the page off PCM
+    /// (only dead bytes remain on it by now) and the policy hears which
+    /// sites were evacuated, so adaptive policies can treat retirement as
+    /// a demotion-like signal.
+    pub(crate) fn finish_page_retirement(&mut self) {
+        if self.dying_pages.is_empty() {
+            return;
+        }
+        let dying = std::mem::take(&mut self.dying_pages);
+        for (page, sites) in dying {
+            let moved = self.mem.retire_page(PageId(page));
+            self.stats.fault_pages_retired += 1;
+            self.policy.on_page_retired(page, &sites);
+            self.emit_page_retired(page, sites.len() as u64, moved);
+        }
+        self.record_fault_telemetry();
+    }
+
+    /// Emits the deterministic page-retirement telemetry event.
+    fn emit_page_retired(&mut self, page: u64, evacuated: u64, moved: Option<MemoryKind>) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let to = match moved {
+            Some(MemoryKind::Dram) => "dram",
+            Some(MemoryKind::Pcm) => "pcm",
+            None => "fenced",
+        };
+        self.telemetry.event("fault.page_retired", true, || {
+            vec![
+                ("page", Value::U64(page)),
+                ("evacuated_objects", Value::U64(evacuated)),
+                ("remapped_to", Value::Str(to.to_string())),
+            ]
+        });
+    }
+
+    /// Folds the fault model's cumulative counters into telemetry. A no-op
+    /// on fault-free runs, so their metrics reports stay byte-identical to
+    /// runs of builds without the fault subsystem.
+    pub(crate) fn record_fault_telemetry(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let Some(model) = self.mem.fault_model() else {
+            return;
+        };
+        let failed = model.failed_line_count();
+        let retired = model.retired_page_count();
+        let transient = model.transient_fault_count();
+        let degraded = model.degraded_bytes();
+        self.telemetry.counter_set("fault.lines_failed", failed);
+        self.telemetry.counter_set("fault.pages_retired", retired);
+        self.telemetry.counter_set("fault.transient_flips", transient);
+        self.telemetry.counter_set("fault.degraded_bytes", degraded);
+        self.telemetry
+            .counter_set("fault.evacuated_objects", self.stats.fault_evacuated_objects);
+    }
+
     /// Folds the end-of-run device, cache and throughput statistics into
     /// telemetry. The device counters come from the shard-merged memory
     /// statistics (exact at this point: every mutator reached its final
@@ -381,6 +488,7 @@ impl KingsguardHeap {
         );
         self.record_policy_adaptation();
         self.record_wear_snapshot();
+        self.record_fault_telemetry();
         let mem_stats = self.mem.stats();
         let t = &mut self.telemetry;
         t.counter_set("mem.reads.dram", mem_stats.reads(MemoryKind::Dram));
@@ -1157,6 +1265,11 @@ impl KingsguardHeap {
         self.debug_assert_mutators_drained();
         self.update_peaks();
         self.mem.flush_caches();
+        // Final fault pump: the cache flush just wrote its dirty lines back
+        // to the devices, so end-of-run failed-line counts are complete.
+        // Pages crossing the uncorrectable threshold here are not retired —
+        // no access follows — but their failed lines reach the report.
+        let _ = self.mem.pump_faults();
         self.finalize_telemetry();
         let site_profile = self.profiler.take().map(SiteProfiler::finish);
         RunReport {

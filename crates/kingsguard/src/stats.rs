@@ -88,6 +88,12 @@ pub struct GcStats {
     pub dram_to_pcm_demotions: u64,
     /// Written large objects moved from the PCM to the DRAM large space.
     pub large_pcm_to_dram_moves: u64,
+    /// Live objects force-evacuated off dying PCM pages before retirement.
+    pub fault_evacuated_objects: u64,
+    /// Bytes force-evacuated off dying PCM pages before retirement.
+    pub fault_evacuated_bytes: u64,
+    /// PCM pages retired (fenced and remapped) after uncorrectable wear.
+    pub fault_pages_retired: u64,
     /// Nursery survivors pretenured into mature DRAM by site advice (KG-A).
     pub advised_to_dram_objects: u64,
     /// Bytes pretenured into mature DRAM by site advice (KG-A).

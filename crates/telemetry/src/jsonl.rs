@@ -1052,6 +1052,62 @@ mod tests {
     }
 
     #[test]
+    fn hostile_inputs_error_without_panicking() {
+        let (meta, report) = sample_report();
+        let text = render_jsonl(&meta, &report);
+        let parse_survives = |input: String| {
+            std::panic::catch_unwind(move || {
+                let _ = TelemetryDoc::parse(&input);
+            })
+            .is_ok()
+        };
+        // Every prefix truncation parses to Ok or a descriptive Err — never
+        // a panic. A truncation that cuts a line mid-record must be an Err.
+        let header_len = text.lines().next().unwrap().len();
+        for cut in 0..text.len() {
+            let prefix = text[..cut].to_string();
+            assert!(parse_survives(prefix.clone()), "panic at truncation {cut}");
+            if !prefix.is_empty() && !prefix.ends_with('\n') {
+                let result = TelemetryDoc::parse(&prefix);
+                if let Err(err) = &result {
+                    assert!(!err.to_string().is_empty(), "cut {cut}: empty error message");
+                }
+                if cut < header_len {
+                    // A mid-header truncation can never be a valid document.
+                    assert!(result.is_err(), "cut {cut}: truncated header accepted");
+                }
+            }
+        }
+        // Every single-bit flip that stays valid UTF-8 parses without
+        // panicking (the outcome may legitimately be Ok when the flip lands
+        // in a value).
+        let bytes = text.as_bytes();
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.to_vec();
+                flipped[pos] ^= 1 << bit;
+                if let Ok(corrupt) = String::from_utf8(flipped) {
+                    assert!(parse_survives(corrupt), "panic at flip {pos}/{bit}");
+                }
+            }
+        }
+        // Targeted corruption keeps its descriptive messages.
+        let missing = TelemetryDoc::load(Path::new("/nonexistent/run.kgmetrics"));
+        assert!(matches!(missing, Err(TelemetryError::Io(_))));
+        let garbage_record = format!(
+            "{}{{\"t\":\"wat\"}}\n",
+            text.lines().next().unwrap().to_owned() + "\n"
+        );
+        match TelemetryDoc::parse(&garbage_record) {
+            Err(TelemetryError::Malformed { line, reason }) => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("wat"), "{reason}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn fmt_ns_is_adaptive() {
         assert_eq!(fmt_ns(850), "850ns");
         assert_eq!(fmt_ns(12_500), "12.5us");

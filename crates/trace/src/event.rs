@@ -137,6 +137,11 @@ pub struct TraceHeader {
     /// Hash of the workload's allocation-site map at recording time
     /// (`0` = unhashed), mirroring the `.kgprof` drift detection.
     pub site_map_hash: u64,
+    /// Seed of the PCM fault-injection schedule active while recording
+    /// (`0` = fault-free run; format v2+). Replays must run under the same
+    /// schedule for record-vs-replay bit-identity to hold, so this keys the
+    /// staleness check exactly like the site-map hash.
+    pub fault_seed: u64,
 }
 
 /// A fully decoded trace: header plus the event stream.

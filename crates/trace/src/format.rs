@@ -5,13 +5,14 @@
 //!
 //! ```text
 //! magic      8 bytes   "KGTRACE\0"
-//! version    u32 LE    current: 1
+//! version    u32 LE    current: 2
 //! workload   u32 LE length + UTF-8 bytes
 //! seed       u64 LE
 //! scale      u64 LE
 //! nursery    u64 LE    nursery bytes of the recording heap
 //! observer   u64 LE    observer-space bytes of the recording heap
 //! site-hash  u64 LE    site-map hash (0 = unhashed)
+//! fault-seed u64 LE    fault-schedule seed (0 = fault-free; v2+)
 //! count      u64 LE    number of events
 //! events     count × (opcode u8 + LEB128 operands)
 //! checksum   u64 LE    FNV-1a over every preceding byte
@@ -38,7 +39,9 @@ use crate::event::{Trace, TraceEvent, TraceHeader};
 pub const FORMAT_MAGIC: &[u8; 8] = b"KGTRACE\0";
 
 /// Current format version. Bump when the header or event layout changes.
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 added the fault-schedule seed to the header; version-1 files
+/// still parse (their fault seed reads as 0, i.e. fault-free).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Oldest version this build still reads.
 pub const FORMAT_MIN_VERSION: u32 = 1;
@@ -282,6 +285,7 @@ pub fn trace_to_bytes(trace: &Trace) -> Vec<u8> {
     push_u64(&mut out, trace.header.nursery_bytes);
     push_u64(&mut out, trace.header.observer_bytes);
     push_u64(&mut out, trace.header.site_map_hash);
+    push_u64(&mut out, trace.header.fault_seed);
     push_u64(&mut out, trace.events.len() as u64);
     for event in &trace.events {
         encode_event(&mut out, event);
@@ -494,6 +498,8 @@ pub fn parse_trace(bytes: &[u8]) -> Result<Trace, TraceError> {
         nursery_bytes: reader.u64()?,
         observer_bytes: reader.u64()?,
         site_map_hash: reader.u64()?,
+        // Version 1 predates fault injection: those traces are fault-free.
+        fault_seed: if version >= 2 { reader.u64()? } else { 0 },
     };
     let declared = reader.u64()?;
     let mut events = Vec::with_capacity(declared.min(1 << 24) as usize);
@@ -549,6 +555,7 @@ mod tests {
                 nursery_bytes: 256 * 1024,
                 observer_bytes: 512 * 1024,
                 site_map_hash: 0x00c3_e1f2_9b04_d877,
+                fault_seed: 0xDEAD_BEEF,
             },
             events: vec![
                 TraceEvent::Spawn {
@@ -648,10 +655,29 @@ mod tests {
                 nursery_bytes: 0,
                 observer_bytes: 0,
                 site_map_hash: 0,
+                fault_seed: 0,
             },
             events: Vec::new(),
         };
         assert_eq!(parse_trace(&trace_to_bytes(&trace)).unwrap(), trace);
+    }
+
+    #[test]
+    fn version1_traces_without_a_fault_seed_still_parse() {
+        // Reconstruct the v1 layout by hand: splice the fault-seed field
+        // out of a v2 file, stamp version 1 and re-checksum.
+        let mut trace = sample_trace();
+        trace.header.fault_seed = 0;
+        let v2 = trace_to_bytes(&trace);
+        let seed_at = 8 + 4 + 4 + trace.header.workload.len() + 40;
+        let mut v1: Vec<u8> = Vec::new();
+        v1.extend_from_slice(&v2[..seed_at]);
+        v1.extend_from_slice(&v2[seed_at + 8..v2.len() - 8]);
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let checksum = fnv1a(&v1);
+        v1.extend_from_slice(&checksum.to_le_bytes());
+        let parsed = parse_trace(&v1).unwrap();
+        assert_eq!(parsed, trace, "v1 parse must default the fault seed to 0");
     }
 
     #[test]
@@ -666,6 +692,30 @@ mod tests {
                 ),
                 "cut at {cut}: unexpected error {err:?}"
             );
+        }
+    }
+
+    #[test]
+    fn every_truncation_and_bit_flip_is_rejected() {
+        // Exhaustive hostile-input property: no prefix of a valid trace and
+        // no single-bit corruption of one may parse, and none may panic.
+        // Truncation trips the length/checksum checks; an in-place flip is
+        // always caught because it lands in either the content (checksum
+        // mismatch) or the checksum itself.
+        let bytes = trace_to_bytes(&sample_trace());
+        for cut in 0..bytes.len() {
+            let err = parse_trace(&bytes[..cut]).unwrap_err();
+            assert!(!err.to_string().is_empty(), "cut {cut}: empty error message");
+        }
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[pos] ^= 1 << bit;
+                assert!(
+                    parse_trace(&flipped).is_err(),
+                    "flip {pos}/{bit}: corrupt trace accepted"
+                );
+            }
         }
     }
 
@@ -711,8 +761,8 @@ mod tests {
         let trace = sample_trace();
         let mut bytes = trace_to_bytes(&trace);
         // Declare one event more than the stream holds. The count field sits
-        // after magic(8) + version(4) + name-len(4) + name + 5×u64.
-        let count_at = 8 + 4 + 4 + trace.header.workload.len() + 40;
+        // after magic(8) + version(4) + name-len(4) + name + 6×u64.
+        let count_at = 8 + 4 + 4 + trace.header.workload.len() + 48;
         let declared = trace.events.len() as u64 + 1;
         bytes[count_at..count_at + 8].copy_from_slice(&declared.to_le_bytes());
         let content_len = bytes.len() - 8;
@@ -737,12 +787,13 @@ mod tests {
                 nursery_bytes: 0,
                 observer_bytes: 0,
                 site_map_hash: 0,
+                fault_seed: 0,
             },
             events: Vec::new(),
         };
         let mut bytes = trace_to_bytes(&empty);
         bytes.truncate(bytes.len() - 8); // drop checksum
-        let count_at = 8 + 4 + 4 + 1 + 40;
+        let count_at = 8 + 4 + 4 + 1 + 48;
         bytes[count_at..count_at + 8].copy_from_slice(&1u64.to_le_bytes());
         bytes.push(OP_RELEASE);
         bytes.extend_from_slice(&[0xFF; 10]);

@@ -188,6 +188,14 @@ impl TraceRecorder {
             nursery_bytes: heap.config().nursery_bytes as u64,
             observer_bytes: heap.config().observer_bytes as u64,
             site_map_hash: meta.site_map_hash,
+            // Provenance of the fault environment comes from the heap
+            // itself: a replay must install the same schedule (or none) for
+            // the recorded stream to reproduce bit-identically.
+            fault_seed: heap
+                .memory()
+                .fault_model()
+                .map(|model| model.config().seed)
+                .unwrap_or(0),
         };
         let inner = Rc::new(RefCell::new(RecorderInner::default()));
         let tap_inner = Rc::clone(&inner);

@@ -451,6 +451,7 @@ mod tests {
                 nursery_bytes: HeapConfig::kg_n().nursery_bytes as u64,
                 observer_bytes: HeapConfig::kg_n().observer_bytes as u64,
                 site_map_hash: 0,
+                fault_seed: 0,
             },
             events: vec![TraceEvent::WritePrim {
                 ctx: 0,
