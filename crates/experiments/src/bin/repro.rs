@@ -21,6 +21,11 @@
 //!   telemetry file per run (GC-phase spans, pause histograms, cache and
 //!   wear snapshots); `repro metrics show|diff` renders one file or
 //!   compares two, failing when deterministic metrics drift.
+//! * `repro fleet [--tenants N]` runs the multi-tenant fleet comparison:
+//!   the same N tenant heap sessions placed round-robin vs wear-levelled
+//!   across the PCM device's regions, with the shared advice store
+//!   warm-starting repeat KG-D tenants. Exits non-zero if any tenant
+//!   session dies (each failure is a per-tenant report row, not a crash).
 //!
 //! Build with `--release`; full-scale runs of `all` take a few minutes.
 
@@ -140,6 +145,9 @@ fn run(parsed: &ParsedArgs, experiment: &str) -> ExitCode {
     if experiment == "metrics" {
         return run_metrics(parsed);
     }
+    if experiment == "fleet" {
+        return run_fleet(parsed, &hw);
+    }
 
     let run_one = |name: &str| -> Option<String> {
         match name {
@@ -204,7 +212,7 @@ fn run(parsed: &ParsedArgs, experiment: &str) -> ExitCode {
         cli::EXPERIMENTS
             .iter()
             .map(|(name, _)| *name)
-            .filter(|name| !matches!(*name, "all" | "trace" | "metrics"))
+            .filter(|name| !matches!(*name, "all" | "trace" | "metrics" | "fleet"))
             .collect()
     } else {
         vec![experiment]
@@ -237,6 +245,18 @@ fn run(parsed: &ParsedArgs, experiment: &str) -> ExitCode {
             failed.len(),
             failed.join(", ")
         );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_fleet(parsed: &ParsedArgs, hw: &ExperimentConfig) -> ExitCode {
+    let tenants = parsed.tenants.unwrap_or(experiments::fleet::DEFAULT_TENANTS);
+    let results = experiments::fleet::fleet_comparison(hw, tenants);
+    println!("{}", results.report());
+    let died = results.failures();
+    if died > 0 {
+        eprintln!("error: {died} tenant session(s) died; see the failure rows above");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -36,6 +36,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "faults",
         "PCM fault injection: endurance sweep, page retirement, survival",
     ),
+    (
+        "fleet",
+        "multi-tenant heap fleet: wear-levelled placement + advice warm starts",
+    ),
     ("trace", "heap-event traces: record | replay | diff"),
     ("metrics", ".kgmetrics telemetry files: show | diff"),
     ("all", "every figure and table above"),
@@ -90,6 +94,8 @@ pub struct ParsedArgs {
     pub jobs: usize,
     /// `--mutators K`, and whether the flag appeared at all.
     pub mutators: Option<usize>,
+    /// `--tenants N` (fleet experiment; defaults to 256 when absent).
+    pub tenants: Option<usize>,
     /// `--profile-dir DIR`.
     pub profile_dir: PathBuf,
     /// `--trace-dir DIR`.
@@ -117,6 +123,7 @@ impl Default for ParsedArgs {
             quick: false,
             jobs: 1,
             mutators: None,
+            tenants: None,
             profile_dir: PathBuf::from("target/site-profiles"),
             trace_dir: PathBuf::from("target/traces"),
             trace_dir_set: false,
@@ -169,6 +176,9 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, CliError> {
             "--mutators" => {
                 parsed.mutators = Some(parsed_value_of("--mutators", &mut iter, |&k: &usize| k > 0)?)
             }
+            "--tenants" => {
+                parsed.tenants = Some(parsed_value_of("--tenants", &mut iter, |&n: &usize| n > 0)?)
+            }
             "--profile-dir" => parsed.profile_dir = PathBuf::from(value_of("--profile-dir", &mut iter)?),
             "--trace-dir" => {
                 parsed.trace_dir = PathBuf::from(value_of("--trace-dir", &mut iter)?);
@@ -209,6 +219,7 @@ pub fn help_text() -> String {
          \x20 --quick           small smoke-test configuration (scale 2048)\n\
          \x20 --jobs N          fan per-benchmark runs over N worker threads (same results, same order)\n\
          \x20 --mutators K      drive workloads through K interleaved MutatorContexts (default 4)\n\
+         \x20 --tenants N       fleet experiment: tenant sessions per fleet (default 256)\n\
          \x20 --profile-dir DIR .kgprof site profiles for advise/adaptive (default target/site-profiles)\n\
          \x20 --trace-dir DIR   .kgtrace heap-event traces; with a figure/table experiment, makes the\n\
          \x20                   runs trace-backed: record on first use, replay after (default target/traces)\n\
@@ -240,6 +251,7 @@ pub fn help_text() -> String {
          \x20 repro trace replay --quick --verify --jobs 4\n\
          \x20 repro trace diff A.kgtrace B.kgtrace --collector KG-N\n\
          \x20 repro faults --quick --jobs 4\n\
+         \x20 repro fleet --quick --tenants 128 --jobs 4\n\
          \x20 repro fig11 --quick --telemetry-dir target/telemetry\n\
          \x20 repro metrics show target/telemetry/lusearch-KG-W.kgmetrics\n\
          \x20 repro metrics diff A.kgmetrics B.kgmetrics\n",
@@ -281,6 +293,16 @@ mod tests {
         assert!(parse(&["fig6", "--jobs", "0"]).is_err());
         assert!(parse(&["fig6", "--scale", "banana"]).is_err());
         assert!(parse(&["fig6", "--mutators", "-1"]).is_err());
+        assert!(parse(&["fleet", "--tenants", "0"]).is_err());
+        assert!(parse(&["fleet", "--tenants"]).is_err());
+    }
+
+    #[test]
+    fn tenants_flag_parses() {
+        let parsed = parse(&["fleet", "--tenants", "128", "--jobs", "2"]).unwrap();
+        assert_eq!(parsed.experiment.as_deref(), Some("fleet"));
+        assert_eq!(parsed.tenants, Some(128));
+        assert_eq!(parse(&["fleet"]).unwrap().tenants, None);
     }
 
     #[test]

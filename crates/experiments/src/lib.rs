@@ -47,6 +47,11 @@
 //! survival. Experiment cells are crash-isolated ([`run_jobs_reporting`]):
 //! one panicking (benchmark, collector) pair becomes a per-cell failure
 //! report instead of aborting its siblings.
+//!
+//! [`fleet`] scales all of the above from one heap to a server's worth
+//! (`repro fleet`): hundreds of tenant heap sessions over worker threads,
+//! compared under naive round-robin vs wear-levelled device placement,
+//! with the shared advice store warm-starting repeat KG-D tenants.
 
 pub mod adaptive;
 pub mod advise;
@@ -54,6 +59,7 @@ pub mod cli;
 pub mod composition;
 pub mod energy_time;
 pub mod faults;
+pub mod fleet;
 pub mod lifetime;
 pub mod mutators;
 pub mod report;
@@ -62,6 +68,7 @@ pub mod tables;
 pub mod traces;
 pub mod writes;
 
+pub use self::fleet::{fleet_comparison, FleetResults};
 pub use adaptive::{adaptive_comparison, AdaptiveResults};
 pub use advise::{profile_then_advise, profile_then_advise_jobs, AdviseResults};
 pub use faults::{fault_sweep, FaultResults};

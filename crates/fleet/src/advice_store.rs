@@ -1,0 +1,202 @@
+//! The fleet advice store: KG-D learnings shared across tenant sessions.
+//!
+//! A cold KG-D tenant starts from all-PCM placement and pays real PCM
+//! writes to re-learn what the previous tenant of the same workload already
+//! knew. The store closes that loop: when a KG-D session is recycled, the
+//! driver harvests its learned per-site advice
+//! ([`kingsguard::PlacementPolicy::advice_snapshot`]) and deposits it here,
+//! keyed by workload name and stamped with the site-map hash of the program
+//! version that produced it. Later tenants of the same workload warm-start
+//! from the snapshot ([`kingsguard::HeapConfig::kg_d_with`]).
+//!
+//! Staleness follows the `.kgprof` drift protocol ([`advice::SiteMapDrift`]):
+//! a snapshot whose site-map hash no longer matches the current program is
+//! *drifted*, not rejected — its advice is applied per-site, the rescue
+//! fallback catches mispredictions, and KG-D un-learns whatever no longer
+//! holds. A drifted warm start must therefore never end worse than the
+//! KG-N baseline (the warm-start correctness test pins exactly this).
+
+use std::collections::BTreeMap;
+
+use advice::{AdviceTable, SiteMapDrift};
+
+/// One deposited KG-D learning: the advice table a recycled session ended
+/// with, plus the provenance needed for drift detection.
+#[derive(Clone, Debug)]
+pub struct AdviceSnapshot {
+    /// Workload (benchmark) name the advice was learned on.
+    pub benchmark: String,
+    /// Site-map hash of the program version that learned it.
+    pub site_map_hash: u64,
+    /// The learned per-site placements.
+    pub table: AdviceTable,
+    /// Fleet-wide index of the tenant that deposited it.
+    pub source_tenant: usize,
+}
+
+/// Outcome of a warm-start lookup.
+#[derive(Clone, Debug)]
+pub enum AdviceLookup {
+    /// No snapshot for this workload: the tenant cold-starts.
+    Cold,
+    /// A snapshot exists; `drift` says whether its site map still matches.
+    /// Drifted advice is applied per-site (never rejected wholesale).
+    Warm {
+        /// The stored learning.
+        snapshot: AdviceSnapshot,
+        /// Hash comparison against the current program version.
+        drift: SiteMapDrift,
+    },
+}
+
+impl AdviceLookup {
+    /// `true` when the lookup warm-starts the tenant.
+    pub fn is_warm(&self) -> bool {
+        matches!(self, AdviceLookup::Warm { .. })
+    }
+}
+
+/// The shared store: latest snapshot per workload, plus hit accounting.
+#[derive(Clone, Debug, Default)]
+pub struct AdviceStore {
+    snapshots: BTreeMap<String, AdviceSnapshot>,
+    deposits: u64,
+    warm_hits: u64,
+    drifted_hits: u64,
+    misses: u64,
+}
+
+impl AdviceStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposits a recycled session's learned advice. The latest deposit per
+    /// workload wins — fleet arrival order is deterministic, so so is the
+    /// store's content. Empty tables are not deposited (a session that
+    /// learned nothing has nothing to warm-start a successor with).
+    pub fn deposit(&mut self, benchmark: &str, site_map_hash: u64, table: AdviceTable, source_tenant: usize) {
+        if table.is_empty() {
+            return;
+        }
+        self.deposits += 1;
+        self.snapshots.insert(
+            benchmark.to_string(),
+            AdviceSnapshot {
+                benchmark: benchmark.to_string(),
+                site_map_hash,
+                table,
+                source_tenant,
+            },
+        );
+    }
+
+    /// Looks up warm-start advice for a new tenant of `benchmark` on the
+    /// program version identified by `current_hash`.
+    pub fn lookup(&mut self, benchmark: &str, current_hash: u64) -> AdviceLookup {
+        match self.snapshots.get(benchmark) {
+            None => {
+                self.misses += 1;
+                AdviceLookup::Cold
+            }
+            Some(snapshot) => {
+                let drift = if snapshot.site_map_hash == current_hash {
+                    SiteMapDrift::Match
+                } else {
+                    SiteMapDrift::Drifted {
+                        stored: snapshot.site_map_hash,
+                        current: current_hash,
+                    }
+                };
+                if matches!(drift, SiteMapDrift::Drifted { .. }) {
+                    self.drifted_hits += 1;
+                } else {
+                    self.warm_hits += 1;
+                }
+                AdviceLookup::Warm {
+                    snapshot: snapshot.clone(),
+                    drift,
+                }
+            }
+        }
+    }
+
+    /// Workloads with a stored snapshot.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// `true` when nothing has been deposited yet.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// `(deposits, warm hits, drifted hits, misses)` counters.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (self.deposits, self.warm_hits, self.drifted_hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advice::{Placement, SiteId};
+
+    fn table(sites: &[u32]) -> AdviceTable {
+        AdviceTable::from_entries(
+            sites.iter().map(|&s| (SiteId(s), Placement::DramMature)),
+            Placement::PcmMature,
+        )
+    }
+
+    #[test]
+    fn cold_then_warm_then_latest_deposit_wins() {
+        let mut store = AdviceStore::new();
+        assert!(!store.lookup("lusearch", 42).is_warm());
+        store.deposit("lusearch", 42, table(&[3, 4]), 0);
+        store.deposit("lusearch", 42, table(&[5]), 7);
+        match store.lookup("lusearch", 42) {
+            AdviceLookup::Warm { snapshot, drift } => {
+                assert_eq!(drift, SiteMapDrift::Match);
+                assert_eq!(snapshot.source_tenant, 7, "latest deposit wins");
+                assert_eq!(snapshot.table.placement(SiteId(5)), Placement::DramMature);
+                assert_eq!(snapshot.table.placement(SiteId(3)), Placement::PcmMature);
+            }
+            AdviceLookup::Cold => panic!("deposited advice must warm-start"),
+        }
+        assert_eq!(store.counters(), (2, 1, 0, 1));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn mismatched_hash_is_drifted_not_rejected() {
+        let mut store = AdviceStore::new();
+        store.deposit("xalan", 0xAAAA, table(&[9]), 1);
+        match store.lookup("xalan", 0xBBBB) {
+            AdviceLookup::Warm { drift, snapshot } => {
+                assert_eq!(
+                    drift,
+                    SiteMapDrift::Drifted {
+                        stored: 0xAAAA,
+                        current: 0xBBBB
+                    }
+                );
+                assert!(
+                    !snapshot.table.is_empty(),
+                    "drifted advice still applies per-site"
+                );
+            }
+            AdviceLookup::Cold => panic!("drifted advice must not be rejected wholesale"),
+        }
+        assert_eq!(store.counters(), (1, 0, 1, 0));
+    }
+
+    #[test]
+    fn empty_tables_are_not_deposited() {
+        let mut store = AdviceStore::new();
+        store.deposit("pmd", 1, AdviceTable::all_cold(), 0);
+        assert!(store.is_empty());
+        assert!(!store.lookup("pmd", 1).is_warm());
+    }
+}

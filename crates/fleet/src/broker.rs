@@ -1,0 +1,160 @@
+//! The wear broker: fleet-level PCM placement for new tenants.
+//!
+//! Capacity is discovered and brokered centrally instead of statically
+//! owned per heap (the agent/controller split of device-plugin systems):
+//! at the start of every scheduling wave the broker snapshots each region's
+//! cumulative wear and damage from the [`crate::device::FleetDevice`] and
+//! assigns the wave's tenants to regions. Two strategies exist so the
+//! fleet experiment can quantify the difference:
+//!
+//! * [`PlacementStrategy::RoundRobin`] — the naive baseline: region =
+//!   tenant index mod region count. Deterministic arrival patterns pin
+//!   heavy workloads to the same regions wave after wave, concentrating
+//!   wear until their lines cross endurance budgets.
+//! * [`PlacementStrategy::WearLevelled`] — regions are ranked by damage
+//!   and cumulative wear (retired pages first: an ECC-uncorrectable page
+//!   is permanent capacity loss, so damaged regions are avoided before
+//!   merely worn ones), and the wave's tenants are dealt across the
+//!   least-worn *half*; the hot half rests until cumulative wear beneath
+//!   it catches up. Resting is what saves damaged pages: a page carrying
+//!   failed-but-still-ECC-correctable lines stops aging instead of being
+//!   pounded across the uncorrectable threshold.
+//!
+//! Placement for a whole wave is computed from wave-start state, never
+//! from mid-wave results — that is what keeps fleet runs bit-identical
+//! regardless of how many worker threads execute the wave.
+
+use crate::device::FleetDevice;
+
+/// How the broker maps new tenants onto device regions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Naive static assignment: `tenant_index % regions`.
+    RoundRobin,
+    /// Rank regions by (retired pages, failed lines, cumulative writes)
+    /// and deal the wave across the least-worn half; the hot half rests.
+    WearLevelled,
+}
+
+impl PlacementStrategy {
+    /// Stable label used in reports and `.kgmetrics` metadata.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementStrategy::RoundRobin => "round-robin",
+            PlacementStrategy::WearLevelled => "wear-levelled",
+        }
+    }
+}
+
+/// The broker: a strategy plus the per-wave ranking it derives.
+#[derive(Clone, Debug)]
+pub struct WearBroker {
+    strategy: PlacementStrategy,
+}
+
+impl WearBroker {
+    /// A broker using `strategy`.
+    pub fn new(strategy: PlacementStrategy) -> Self {
+        WearBroker { strategy }
+    }
+
+    /// The broker's strategy.
+    pub fn strategy(&self) -> PlacementStrategy {
+        self.strategy
+    }
+
+    /// Assigns regions to one wave of tenants from the device state at
+    /// wave start. `tenant_indices` are the global (fleet-wide) tenant
+    /// indices of the wave, in arrival order; the result is the region of
+    /// each, in the same order.
+    pub fn place_wave(&self, tenant_indices: &[usize], device: &FleetDevice) -> Vec<usize> {
+        let regions = device.region_count();
+        match self.strategy {
+            PlacementStrategy::RoundRobin => tenant_indices.iter().map(|&index| index % regions).collect(),
+            PlacementStrategy::WearLevelled => {
+                let mut ranked: Vec<usize> = (0..regions).collect();
+                ranked.sort_by_key(|&region| {
+                    let stats = device.stats(region);
+                    // Damage before wear: a retired page is permanent
+                    // capacity loss, a failed line is imminent retirement,
+                    // cumulative writes are the levelling signal proper.
+                    // Region index breaks ties deterministically.
+                    (
+                        stats.retired_pages,
+                        stats.failed_lines,
+                        stats.total_writes,
+                        region,
+                    )
+                });
+                // Deal the wave across the least-worn *half* only: the hot
+                // half rests this wave. That is the levelling lever proper —
+                // a region whose pages carry failed-but-still-correctable
+                // lines stops aging the moment it ranks hot, instead of
+                // being pounded across the ECC threshold; it rejoins once
+                // the rested rounds equalize cumulative wear beneath it.
+                let dealt = (regions / 2).max(1);
+                tenant_indices
+                    .iter()
+                    .enumerate()
+                    .map(|(offset, _)| ranked[offset % dealt])
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_mem::{Endurance, FaultConfig};
+
+    fn device() -> FleetDevice {
+        FleetDevice::new(1, 4, FaultConfig::new(1, Endurance::Mid30M))
+    }
+
+    #[test]
+    fn round_robin_ignores_wear() {
+        let mut device = device();
+        device.absorb(0, &[(0, 1_000_000)], 1.0);
+        let broker = WearBroker::new(PlacementStrategy::RoundRobin);
+        assert_eq!(broker.place_wave(&[0, 1, 2, 3, 4], &device), vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn wear_levelling_deals_least_worn_first() {
+        let mut device = device();
+        device.absorb(0, &[(0, 300)], 1.0);
+        device.absorb(1, &[(0, 100)], 1.0);
+        device.absorb(2, &[(0, 200)], 1.0);
+        // Ranked 3 (un-worn), 1 (100), 2 (200), 0 (300); the wave is dealt
+        // across the least-worn half {3, 1} while the hot half rests.
+        let broker = WearBroker::new(PlacementStrategy::WearLevelled);
+        assert_eq!(
+            broker.place_wave(&[10, 11, 12, 13, 14], &device),
+            vec![3, 1, 3, 1, 3]
+        );
+    }
+
+    #[test]
+    fn damaged_regions_rank_behind_merely_worn_ones() {
+        // Region 0: few writes but a retired page (heavy concentrated wear
+        // under extreme acceleration).
+        let mut damaged = FleetDevice::new(
+            1,
+            4,
+            FaultConfig::accelerated(1, Endurance::Low10M).with_wear_multiplier(1 << 22),
+        );
+        let page: Vec<(u64, u64)> = (0..16).map(|l| (l, 8)).collect();
+        damaged.absorb(0, &page, 1.0);
+        assert!(damaged.retired_page_count() > 0);
+        // Region 1: far more total writes but no damage.
+        damaged.absorb(1, &[(0, 1_000_000)], 1.0);
+        let broker = WearBroker::new(PlacementStrategy::WearLevelled);
+        let placement = broker.place_wave(&[0, 1, 2, 3], &damaged);
+        assert!(
+            !placement.contains(&0) && !placement.contains(&1),
+            "damaged and heavily worn regions must rest: {placement:?}"
+        );
+        assert_eq!(placement, vec![2, 3, 2, 3], "the clean half absorbs the wave");
+    }
+}

@@ -1,0 +1,47 @@
+//! Multi-tenant heap fleet: many Kingsguard heaps, one PCM device budget.
+//!
+//! The paper evaluates write-rationing GC on a single JVM, but production
+//! PCM economics play out across a server running thousands of short
+//! sessions for years: wear is a *fleet-management* problem, not a per-heap
+//! one. This crate runs hundreds-to-thousands of tenant
+//! [`kingsguard::KingsguardHeap`] + [`kingsguard::PlacementPolicy`] sessions
+//! over sharded OS worker threads in one process and adds the two services
+//! that only exist at fleet scope:
+//!
+//! * a **wear broker** ([`broker`]): the physical PCM device is divided
+//!   into regions ([`device::FleetDevice`]), every recycled session's
+//!   per-line write counts are absorbed into its region's cumulative wear,
+//!   and new tenants are placed on the least-worn regions — with retired
+//!   pages (ECC-uncorrectable, remapped away) counting as capacity loss
+//!   against a region. The naive alternative (static round-robin
+//!   assignment) keeps hammering whatever region a heavy workload happens
+//!   to hash to, and fails measurably more pages for the same traffic.
+//! * a **fleet advice store** ([`advice_store`]): what one KG-D tenant
+//!   learned online ([`kingsguard::PlacementPolicy::advice_snapshot`])
+//!   warm-starts later tenants of the same workload, keyed by the site-map
+//!   hash so stale snapshots take the same per-site drift-fallback path as
+//!   stale `.kgprof` files — applied site by site, un-learned by KG-D when
+//!   wrong, never trusted blindly.
+//!
+//! Everything is deterministic: tenants are scheduled in fixed *waves*
+//! (discretised arrival rounds), all placement and warm-start decisions for
+//! a wave are taken from fleet state at wave start, the wave's sessions fan
+//! over worker threads (crash-isolated — a panicking tenant becomes a
+//! per-tenant failure row, not a dead fleet), and their effects are
+//! absorbed back in tenant-index order. Results are therefore bit-identical
+//! for a fixed fleet seed regardless of worker-thread count, and two
+//! same-seed fleet runs produce `.kgmetrics` documents with zero
+//! deterministic drift.
+
+pub mod advice_store;
+pub mod broker;
+pub mod device;
+pub mod driver;
+
+pub use advice_store::{AdviceLookup, AdviceSnapshot, AdviceStore};
+pub use broker::{PlacementStrategy, WearBroker};
+pub use device::{FleetDevice, RegionStats};
+pub use driver::{
+    run_fleet, run_fleet_with_specs, FleetConfig, FleetOutcome, TenantFailure, TenantOutcome, TenantSpec,
+    TenantWorkload, WarmStart,
+};

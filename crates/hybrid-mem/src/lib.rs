@@ -65,4 +65,4 @@ pub use page_map::PageMap;
 pub use stats::{MemoryStats, PhaseWrites, ShardStats};
 pub use system::{AccessKind, MemoryConfig, MemoryKind, MemorySystem, Phase};
 pub use timing::{ExecutionModel, TimeBreakdown};
-pub use wear::WearTracker;
+pub use wear::{WearSummary, WearTracker};

@@ -44,6 +44,16 @@ impl WearTracker {
         }
     }
 
+    /// Builds a tracker from `(line, writes)` pairs as exported by
+    /// [`crate::MemorySystem::pcm_line_writes`] — the line ids only carry
+    /// ordering, the distribution statistics come from the counts. This is
+    /// the device-region rollup used by fleet-level wear brokers: each
+    /// region's cumulative pairs summarise to one [`WearSummary`] that can
+    /// be ranked against the other regions.
+    pub fn from_line_writes(pairs: &[(u64, u64)]) -> Self {
+        Self::from_counts(pairs.iter().map(|&(_, writes)| writes))
+    }
+
     /// Records the write count of one line.
     pub fn record(&mut self, writes: u64) {
         self.counts.push(writes);

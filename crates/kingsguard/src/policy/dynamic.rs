@@ -184,6 +184,20 @@ impl PlacementPolicy for KgDynamicPolicy {
         std::mem::take(&mut self.events)
     }
 
+    fn advice_snapshot(&self) -> Option<AdviceTable> {
+        if self.dram_sites.is_empty() {
+            return None;
+        }
+        let mut sites: Vec<u32> = self.dram_sites.iter().copied().collect();
+        sites.sort_unstable();
+        Some(AdviceTable::from_entries(
+            sites
+                .into_iter()
+                .map(|site| (SiteId(site), Placement::DramMature)),
+            Placement::PcmMature,
+        ))
+    }
+
     fn on_mature_write(&mut self, site: SiteId, kind: MemoryKind) {
         if kind != MemoryKind::Pcm {
             return;
@@ -324,6 +338,29 @@ mod tests {
             policy.survivor_placement(SiteId(8), false),
             SurvivorPlacement::AdvisedPcm
         );
+    }
+
+    #[test]
+    fn advice_snapshot_exports_learned_dram_sites() {
+        let mut policy = KgDynamicPolicy::new();
+        assert!(
+            policy.advice_snapshot().is_none(),
+            "a policy that learned nothing has nothing to warm-start with"
+        );
+        policy.on_gc_feedback(&feedback_with(&[(9, 1), (4, 1)], &[]));
+        let table = policy.advice_snapshot().expect("promoted sites export");
+        assert_eq!(table.placement(SiteId(9)), Placement::DramMature);
+        assert_eq!(table.placement(SiteId(4)), Placement::DramMature);
+        assert_eq!(
+            table.placement(SiteId(1)),
+            Placement::PcmMature,
+            "unadvised sites keep KG-D's all-PCM default"
+        );
+        // A reverted site drops back out of the snapshot.
+        policy.on_gc_feedback(&feedback_with(&[], &[(9, 2)]));
+        let table = policy.advice_snapshot().expect("site 4 is still advised");
+        assert_eq!(table.placement(SiteId(9)), Placement::PcmMature);
+        assert_eq!(table.placement(SiteId(4)), Placement::DramMature);
     }
 
     #[test]

@@ -40,7 +40,7 @@ mod dynamic;
 pub use builtin::{GenImmixPolicy, KgAdvicePolicy, KgNurseryPolicy, KgWritersPolicy};
 pub use dynamic::{KgDynamicParams, KgDynamicPolicy};
 
-use advice::SiteId;
+use advice::{AdviceTable, SiteId};
 use hybrid_mem::MemoryKind;
 
 use crate::config::{CollectorKind, HeapConfig};
@@ -255,6 +255,17 @@ pub trait PlacementPolicy: std::fmt::Debug + Send {
     /// default empty drain.
     fn drain_adaptation_events(&mut self) -> Vec<AdaptationEvent> {
         Vec::new()
+    }
+
+    /// Exports the policy's current per-site placement advice as a table
+    /// that can warm-start a later run ([`HeapConfig::kg_d_with`] /
+    /// [`HeapConfig::kg_a`]). Adaptive policies snapshot what they have
+    /// learned so far; policies with nothing transferable return `None`
+    /// (the default). Fleet drivers harvest this before
+    /// [`crate::KingsguardHeap::finish`] recycles a tenant and deposit it in
+    /// a shared advice store keyed by the workload's site-map hash.
+    fn advice_snapshot(&self) -> Option<AdviceTable> {
+        None
     }
 }
 

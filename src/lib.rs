@@ -13,6 +13,8 @@
 //! * [`workloads`] — synthetic models of the paper's Java benchmarks,
 //! * [`telemetry`] — low-overhead metrics: counters, histograms, GC-phase
 //!   spans and the `.kgmetrics` JSON-lines run reports,
+//! * [`fleet`] — the multi-tenant heap fleet: sharded driver, cross-heap
+//!   wear levelling and the shared KG-D advice store,
 //! * [`experiments`] — the harness that regenerates every table and figure
 //!   and runs the two-phase profile→advise pipeline.
 //!
@@ -20,6 +22,7 @@
 
 pub use advice;
 pub use experiments;
+pub use fleet;
 pub use hybrid_mem;
 pub use kingsguard;
 pub use kingsguard_heap;
