@@ -26,6 +26,8 @@
 //! The crate is dependency-free and knows nothing about the heap; the
 //! `kingsguard` runtime feeds it events and consumes its decisions.
 
+#![forbid(unsafe_code)]
+
 pub mod classify;
 pub mod format;
 pub mod profiler;

@@ -7,6 +7,8 @@
 //! benchmarking framework, so the workspace builds without network access;
 //! run them with `cargo bench`.
 
+#![forbid(unsafe_code)]
+
 pub use experiments;
 
 /// A minimal wall-clock benchmark harness: median-of-N timing with one

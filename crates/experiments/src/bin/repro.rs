@@ -61,7 +61,11 @@ fn main() -> ExitCode {
         eprintln!("{}", cli::help_text());
         return ExitCode::FAILURE;
     };
-    if experiment != "trace" && experiment != "metrics" && !parsed.positional.is_empty() {
+    if experiment != "trace"
+        && experiment != "metrics"
+        && experiment != "check"
+        && !parsed.positional.is_empty()
+    {
         eprintln!(
             "error: unexpected argument {:?} after experiment {experiment:?}\n\n{}",
             parsed.positional[0],
@@ -148,6 +152,9 @@ fn run(parsed: &ParsedArgs, experiment: &str) -> ExitCode {
     if experiment == "fleet" {
         return run_fleet(parsed, &hw);
     }
+    if experiment == "check" {
+        return run_check(parsed, &hw);
+    }
 
     let run_one = |name: &str| -> Option<String> {
         match name {
@@ -212,7 +219,7 @@ fn run(parsed: &ParsedArgs, experiment: &str) -> ExitCode {
         cli::EXPERIMENTS
             .iter()
             .map(|(name, _)| *name)
-            .filter(|name| !matches!(*name, "all" | "trace" | "metrics" | "fleet"))
+            .filter(|name| !matches!(*name, "all" | "trace" | "metrics" | "fleet" | "check"))
             .collect()
     } else {
         vec![experiment]
@@ -260,6 +267,40 @@ fn run_fleet(parsed: &ParsedArgs, hw: &ExperimentConfig) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+fn run_check(parsed: &ParsedArgs, hw: &ExperimentConfig) -> ExitCode {
+    match parsed.positional.first().map(String::as_str) {
+        None => {
+            let results = experiments::check_sweep(hw);
+            println!("{}", results.report());
+            let violations = results.violations();
+            if violations > 0 {
+                eprintln!("error: the sanitizer found {violations} invariant violation(s)");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        // Negative fixtures: exit 0 iff every fixture tripped exactly its
+        // expected violation (CI inverts this to prove detection).
+        Some("broken") => {
+            if parsed.positional.len() > 1 {
+                eprintln!("error: unexpected argument {:?}", parsed.positional[1]);
+                return ExitCode::FAILURE;
+            }
+            let results = experiments::broken_sweep();
+            println!("{}", results.report());
+            if !results.all_detected() {
+                eprintln!("error: some broken fixtures were not detected (or over-reported)");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown check mode: {other}\n\n{}", cli::help_text());
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn run_metrics(parsed: &ParsedArgs) -> ExitCode {
@@ -403,13 +444,50 @@ fn run_trace(parsed: &ParsedArgs, hw: &ExperimentConfig) -> ExitCode {
                 }
             }
         }
+        Some("check") => {
+            let Some(path) = parsed.positional.get(1) else {
+                eprintln!("usage: repro trace check <file.kgtrace>");
+                return ExitCode::FAILURE;
+            };
+            if parsed.positional.len() > 2 {
+                eprintln!("error: unexpected argument {:?}", parsed.positional[2]);
+                return ExitCode::FAILURE;
+            }
+            let recorded = match trace::load_trace(Path::new(path)) {
+                Ok(recorded) => recorded,
+                Err(err) => {
+                    eprintln!("error: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let analysis = check::analyze_trace(&recorded);
+            println!(
+                "trace {path}: workload {:?}, {} event(s), {} allocation(s)",
+                recorded.header.workload, analysis.events, analysis.allocations
+            );
+            print!("{}", check::render_race_report(&analysis));
+            // Races between recorded contexts are advisory (the recording
+            // heap interleaves contexts deterministically); grammar and
+            // lifetime violations mean the trace itself is unsound.
+            if !analysis.violations.is_empty() {
+                for violation in &analysis.violations {
+                    println!("{violation}");
+                }
+                eprintln!(
+                    "error: {} grammar/lifetime violation(s) in {path}",
+                    analysis.violations.len()
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
         Some(other) => {
             eprintln!("unknown trace mode: {other}\n\n{}", cli::help_text());
             ExitCode::FAILURE
         }
         None => {
             eprintln!(
-                "usage: repro trace <record|replay|diff> [flags]\n\n{}",
+                "usage: repro trace <record|replay|diff|check> [flags]\n\n{}",
                 cli::help_text()
             );
             ExitCode::FAILURE

@@ -40,8 +40,12 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "fleet",
         "multi-tenant heap fleet: wear-levelled placement + advice warm starts",
     ),
-    ("trace", "heap-event traces: record | replay | diff"),
+    ("trace", "heap-event traces: record | replay | diff | check"),
     ("metrics", ".kgmetrics telemetry files: show | diff"),
+    (
+        "check",
+        "shadow-heap sanitizer sweep (add `broken` to run the negative fixtures)",
+    ),
     ("all", "every figure and table above"),
 ];
 
@@ -55,6 +59,10 @@ pub const TRACE_MODES: &[(&str, &str)] = &[
     (
         "diff",
         "replay two trace files under one collector and compare writes + wear",
+    ),
+    (
+        "check",
+        "statically verify a .kgtrace: grammar, handle lifetimes, data races",
     ),
 ];
 
@@ -254,7 +262,10 @@ pub fn help_text() -> String {
          \x20 repro fleet --quick --tenants 128 --jobs 4\n\
          \x20 repro fig11 --quick --telemetry-dir target/telemetry\n\
          \x20 repro metrics show target/telemetry/lusearch-KG-W.kgmetrics\n\
-         \x20 repro metrics diff A.kgmetrics B.kgmetrics\n",
+         \x20 repro metrics diff A.kgmetrics B.kgmetrics\n\
+         \x20 repro check --quick --jobs 4\n\
+         \x20 repro check broken --quick          # negative fixtures: exit 0 iff all detected\n\
+         \x20 repro trace check run.kgtrace\n",
     );
     out
 }

@@ -52,9 +52,19 @@
 //! (`repro fleet`): hundreds of tenant heap sessions over worker threads,
 //! compared under naive round-robin vs wear-levelled device placement,
 //! with the shared advice store warm-starting repeat KG-D tenants.
+//!
+//! [`check`] wires the `kingsguard-check` sanitizer into the harness
+//! (`repro check`): the shadow-heap checker runs across every collector on
+//! synthetic and streaming workloads, and the deliberately broken mutators
+//! from [`workloads::broken`] prove each violation class is detected.
+//! `repro trace check` statically verifies a recorded `.kgtrace` (grammar,
+//! handle lifetimes, vector-clock race detection).
+
+#![forbid(unsafe_code)]
 
 pub mod adaptive;
 pub mod advise;
+pub mod check;
 pub mod cli;
 pub mod composition;
 pub mod energy_time;
@@ -68,6 +78,7 @@ pub mod tables;
 pub mod traces;
 pub mod writes;
 
+pub use self::check::{broken_sweep, check_sweep, run_benchmark_checked, BrokenResults, CheckResults};
 pub use self::fleet::{fleet_comparison, FleetResults};
 pub use adaptive::{adaptive_comparison, AdaptiveResults};
 pub use advise::{profile_then_advise, profile_then_advise_jobs, AdviseResults};

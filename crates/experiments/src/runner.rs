@@ -277,7 +277,7 @@ pub(crate) fn heap_config_for(
     base
 }
 
-fn finalize(
+pub(crate) fn finalize(
     profile: &BenchmarkProfile,
     collector: String,
     heap: KingsguardHeap,
@@ -467,7 +467,7 @@ pub fn trace_fault_schedule_current(recorded: &trace::Trace, config: &Experiment
 /// trace, recording it first (passively, so the recording run doubles as
 /// this collector's result) when none exists or the existing file is
 /// unreadable or stale.
-fn drive_workload(
+pub(crate) fn drive_workload(
     profile: &BenchmarkProfile,
     heap: &mut KingsguardHeap,
     heap_config: &HeapConfig,

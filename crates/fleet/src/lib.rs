@@ -33,6 +33,8 @@
 //! same-seed fleet runs produce `.kgmetrics` documents with zero
 //! deterministic drift.
 
+#![forbid(unsafe_code)]
+
 pub mod advice_store;
 pub mod broker;
 pub mod device;

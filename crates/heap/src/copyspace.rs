@@ -50,6 +50,12 @@ impl CopySpace {
         self.bump.limit().diff(self.bump.base())
     }
 
+    /// Base address of this space's reserved region (for passive
+    /// inspection; see the `kingsguard-check` sanitizer).
+    pub fn base(&self) -> hybrid_mem::Address {
+        self.bump.base()
+    }
+
     /// Bytes currently allocated (since the last reset).
     pub fn used_bytes(&self) -> usize {
         self.bump.used_bytes()

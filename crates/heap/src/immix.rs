@@ -391,6 +391,20 @@ impl ImmixSpace {
         self.blocks.iter().map(|b| b.retired.count_ones() as usize).sum()
     }
 
+    /// Returns `true` if any byte of `[addr, addr + size)` lies on a line
+    /// retired by [`ImmixSpace::retire_page`]. Objects never span blocks, so
+    /// the whole extent is resolved within `addr`'s block. Passive — used by
+    /// the sanitizer's retired-page-emptiness check.
+    pub fn overlaps_retired(&self, addr: Address, size: usize) -> bool {
+        if !self.contains(addr) {
+            return false;
+        }
+        let (index, first) = self.line_of(addr);
+        let (_, last) = self.line_of(addr.add(size.saturating_sub(1)));
+        let block = &self.blocks[index];
+        (first..=last).any(|line| block.retired & (1u128 << line) != 0)
+    }
+
     /// Sweeps the space at the end of a major collection: occupied lines
     /// become exactly the marked lines (plus any retired lines, which stay
     /// fenced forever), blocks are classified, completely free blocks are

@@ -22,6 +22,8 @@
 //! The collectors themselves (GenImmix, KG-N, KG-W) live in the `kingsguard`
 //! crate.
 
+#![forbid(unsafe_code)]
+
 pub mod bump;
 pub mod copyspace;
 pub mod immix;
@@ -37,7 +39,10 @@ pub use copyspace::CopySpace;
 pub use immix::ImmixSpace;
 pub use los::LargeObjectSpace;
 pub use metadata::MetadataSpace;
-pub use object::{ObjectRef, ObjectShape, HEADER_BYTES, LARGE_OBJECT_THRESHOLD, REF_SLOT_BYTES};
+pub use object::{
+    decode_info_word, status_word_is_forwarded, ObjectRef, ObjectShape, HEADER_BYTES, INFO_WORD_OFFSET,
+    LARGE_OBJECT_THRESHOLD, REF_SLOT_BYTES, STATUS_WORD_OFFSET,
+};
 pub use remset::RememberedSet;
 pub use roots::{Handle, RootTable};
 pub use space::{SpaceId, SpaceUsage};

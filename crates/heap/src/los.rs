@@ -202,6 +202,15 @@ impl LargeObjectSpace {
         self.retired_pages.len()
     }
 
+    /// Returns `true` if any page of `[addr, addr + size)` has been fenced
+    /// by [`LargeObjectSpace::retire_page`]. Passive — used by the
+    /// sanitizer's retired-page-emptiness check.
+    pub fn overlaps_retired(&self, addr: Address, size: usize) -> bool {
+        let first = addr.align_down(PAGE_SIZE);
+        let pages = (addr.diff(first) + size.max(1)).div_ceil(PAGE_SIZE);
+        (0..pages).any(|i| self.retired_pages.contains(&first.add(i * PAGE_SIZE).page().0))
+    }
+
     /// Allocates and initialises a large object of `shape`.
     ///
     /// Returns `None` if the space cannot hold the object.

@@ -38,6 +38,32 @@ const STATUS_OFFSET: usize = 0;
 const INFO_OFFSET: usize = 8;
 const WRITE_WORD_OFFSET: usize = 16;
 
+/// Byte offset of the status word within the header (for passive
+/// inspection via [`hybrid_mem::MemorySystem::peek_u64`]).
+pub const STATUS_WORD_OFFSET: usize = STATUS_OFFSET;
+
+/// Byte offset of the info word within the header (for passive inspection).
+pub const INFO_WORD_OFFSET: usize = INFO_OFFSET;
+
+/// Decodes a raw info word into the object's shape and type id — the
+/// inverse of the encoding written by [`ObjectRef::initialize`]. The
+/// `kingsguard-check` sanitizer peeks the word from the backing store and
+/// decodes it host-side so header validation adds no simulated traffic.
+pub fn decode_info_word(info: u64) -> (ObjectShape, u16) {
+    let type_id = (info >> 48) as u16;
+    let ref_slots = ((info >> 32) & 0xffff) as u16;
+    let payload_bytes = (info & 0xffff_ffff) as u32;
+    (ObjectShape::new(ref_slots, payload_bytes), type_id)
+}
+
+/// Returns `true` if a raw status word has the forwarded bit set (the
+/// object's contents have been evacuated and the header now holds a
+/// forwarding pointer). A live, reachable object must never carry this bit
+/// outside a collection.
+pub fn status_word_is_forwarded(status: u64) -> bool {
+    status & FORWARDED_BIT != 0
+}
+
 const MARK_BIT: u64 = 1 << 63;
 const FORWARDED_BIT: u64 = 1 << 62;
 const SMALL_BIT: u64 = 1 << 61;

@@ -60,6 +60,12 @@ impl Tlab {
     pub fn limit(&self) -> Address {
         self.limit
     }
+
+    /// Current bump cursor (diagnostic). Equal to the window's base address
+    /// immediately after carving, before any allocation.
+    pub fn cursor(&self) -> Address {
+        self.cursor
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,8 @@
 //! assert!(stats.writes(MemoryKind::Pcm) >= 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod address;
 pub mod backing;
 pub mod cache;

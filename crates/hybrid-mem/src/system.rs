@@ -459,6 +459,38 @@ impl MemorySystem {
         self.backing.write_u64(addr, value);
     }
 
+    /// Reads a `u64` at `addr` **without** simulating the access: no cache
+    /// lookup, no device traffic, no wear, no counters. Returns `None` if
+    /// the page containing `addr` is not mapped.
+    ///
+    /// Every simulated write is written through to the backing store
+    /// ([`MemorySystem::write_u64`] and friends), so a peek always observes
+    /// the current architectural value. This is the inspection primitive the
+    /// heap sanitizer (`kingsguard-check`) uses to walk live objects without
+    /// perturbing the statistics it is validating.
+    pub fn peek_u64(&self, addr: Address) -> Option<u64> {
+        if !self.page_map.is_mapped(addr) {
+            return None;
+        }
+        Some(self.backing.read_u64(addr))
+    }
+
+    /// Writes a `u64` directly into the backing store, bypassing the cache
+    /// model, traffic accounting and wear tracking.
+    ///
+    /// This deliberately violates the simulation's bookkeeping — it exists
+    /// only so broken-fixture tests can corrupt heap memory behind the
+    /// write barrier's back and prove the sanitizer notices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page containing `addr` is not mapped.
+    #[doc(hidden)]
+    pub fn debug_poke_u64_for_test(&mut self, addr: Address, value: u64) {
+        assert!(self.page_map.is_mapped(addr), "poke of unmapped address {addr}");
+        self.backing.write_u64(addr, value);
+    }
+
     /// Reads `buf.len()` bytes starting at `addr`.
     pub fn read_bytes(&mut self, addr: Address, buf: &mut [u8], phase: Phase) {
         if buf.is_empty() {

@@ -23,6 +23,7 @@ use kingsguard_heap::Handle;
 
 use crate::policy::SurvivorPlacement;
 use crate::runtime::{KingsguardHeap, Location};
+use crate::sanitizer::CheckPoint;
 use crate::stats::CompositionSample;
 use crate::tap::{CollectKind, HeapEvent};
 
@@ -88,7 +89,7 @@ impl KingsguardHeap {
     /// collectors it is always a nursery collection. A full-heap collection
     /// follows if the mature spaces exceed the heap budget.
     pub fn collect_young(&mut self) {
-        self.tap.emit(|| HeapEvent::Collect {
+        self.emit_event(|| HeapEvent::Collect {
             kind: CollectKind::Young,
         });
         self.collect_young_impl();
@@ -121,7 +122,7 @@ impl KingsguardHeap {
 
     /// Collects the nursery only.
     pub fn collect_nursery(&mut self) {
-        self.tap.emit(|| HeapEvent::Collect {
+        self.emit_event(|| HeapEvent::Collect {
             kind: CollectKind::Nursery,
         });
         self.collect_nursery_impl();
@@ -129,6 +130,7 @@ impl KingsguardHeap {
 
     pub(crate) fn collect_nursery_impl(&mut self) {
         self.enter_safepoint();
+        self.run_checkpoint(CheckPoint::PreCollect(CollectKind::Nursery));
         self.telemetry.span_enter("gc.nursery");
         let phase = Phase::NurseryGc;
         self.stats.nursery.collections += 1;
@@ -194,6 +196,7 @@ impl KingsguardHeap {
         let pause_ns = self.telemetry.span_exit();
         self.telemetry.record("gc.pause_ns", pause_ns);
         self.telemetry.record("gc.pause.nursery_ns", pause_ns);
+        self.run_checkpoint(CheckPoint::PostCollect(CollectKind::Nursery));
     }
 
     /// Collects the nursery and observer space together (KG-W only).
@@ -202,7 +205,7 @@ impl KingsguardHeap {
     ///
     /// Panics if called on a configuration without an observer space.
     pub fn collect_observer(&mut self) {
-        self.tap.emit(|| HeapEvent::Collect {
+        self.emit_event(|| HeapEvent::Collect {
             kind: CollectKind::Observer,
         });
         self.collect_observer_impl();
@@ -214,6 +217,7 @@ impl KingsguardHeap {
             self.observer.is_some(),
             "observer collection requires an observer-space policy (KG-W)"
         );
+        self.run_checkpoint(CheckPoint::PreCollect(CollectKind::Observer));
         self.telemetry.span_enter("gc.observer");
         let phase = Phase::ObserverGc;
         self.stats.observer.collections += 1;
@@ -403,6 +407,7 @@ impl KingsguardHeap {
         let pause_ns = self.telemetry.span_exit();
         self.telemetry.record("gc.pause_ns", pause_ns);
         self.telemetry.record("gc.pause.observer_ns", pause_ns);
+        self.run_checkpoint(CheckPoint::PostCollect(CollectKind::Observer));
     }
 
     /// Traces one object during a nursery collection (and the nursery part
@@ -604,7 +609,7 @@ impl KingsguardHeap {
 
     /// Full-heap collection.
     pub fn collect_full(&mut self) {
-        self.tap.emit(|| HeapEvent::Collect {
+        self.emit_event(|| HeapEvent::Collect {
             kind: CollectKind::Full,
         });
         self.collect_full_impl();
@@ -612,6 +617,7 @@ impl KingsguardHeap {
 
     pub(crate) fn collect_full_impl(&mut self) {
         self.enter_safepoint();
+        self.run_checkpoint(CheckPoint::PreCollect(CollectKind::Full));
         self.telemetry.span_enter("gc.major");
         let phase = Phase::MajorGc;
         self.stats.major.collections += 1;
@@ -697,6 +703,7 @@ impl KingsguardHeap {
         // Major collections are rare: a good cadence for wear-distribution
         // snapshots (and the heap is at a safepoint, so counts are complete).
         self.record_wear_snapshot();
+        self.run_checkpoint(CheckPoint::PostCollect(CollectKind::Full));
     }
 
     /// Traces one object during a full-heap collection, applying the

@@ -44,11 +44,14 @@
 //! assert!(report.gc.nursery.collections > 0 || report.gc.bytes_allocated < 256 * 1024);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod collect;
 pub mod config;
 pub mod mutator;
 pub mod policy;
 pub mod runtime;
+pub mod sanitizer;
 pub mod stats;
 pub mod tap;
 
@@ -59,6 +62,7 @@ pub use policy::{
     KgDynamicPolicy, KgNurseryPolicy, KgWritersPolicy, LargePlacement, PlacementPolicy, SurvivorPlacement,
     Topology,
 };
-pub use runtime::{KingsguardHeap, RunReport};
+pub use runtime::{KingsguardHeap, Location, RunReport};
+pub use sanitizer::{CheckPoint, HeapSanitizer, MutatorSnapshot, SanitizerNote, ShardConservation};
 pub use stats::{CollectionCounters, CompositionSample, GcStats, WriteTarget};
 pub use tap::{CollectKind, HeapEvent};

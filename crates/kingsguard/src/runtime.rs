@@ -29,13 +29,16 @@ use kingsguard_heap::{
 use crate::config::HeapConfig;
 use crate::mutator::{MutatorConfig, MutatorContext, MutatorState, WriteEvent};
 use crate::policy::{self, BarrierMode, LargePlacement, PlacementPolicy};
+use crate::sanitizer::{CheckPoint, HeapSanitizer, MutatorSnapshot, ShardConservation};
 use crate::stats::{GcStats, WriteTarget};
 use crate::tap::{EventTap, HeapEvent};
 use telemetry::{Telemetry, TelemetryReport, Value};
 
-/// Where an address lives within the heap.
+/// Where an address lives within the heap. Exposed read-only through
+/// [`KingsguardHeap::location_of`] for passive inspection (the
+/// `kingsguard-check` sanitizer).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum Location {
+pub enum Location {
     /// In the nursery region.
     Nursery,
     /// In the observer-space region (KG-W only).
@@ -109,6 +112,13 @@ pub struct KingsguardHeap {
     pub(crate) dying_pages: BTreeMap<u64, Vec<SiteId>>,
     /// The (optional) heap-event record tap (see [`crate::tap`]).
     pub(crate) tap: EventTap,
+    /// The (optional) installed invariant checker (see [`crate::sanitizer`]).
+    /// Passive like the tap; can be installed alongside one.
+    pub(crate) sanitizer: Option<Box<dyn HeapSanitizer>>,
+    /// Test-only corruption switch: when set, draining a store buffer drops
+    /// its events instead of replaying the barrier bookkeeping. See
+    /// [`KingsguardHeap::debug_skip_barrier_bookkeeping_for_test`].
+    pub(crate) skip_barrier_bookkeeping: bool,
     /// The metrics handle (disabled by default; see
     /// [`KingsguardHeap::enable_telemetry`]). Purely host-side: it never
     /// issues simulated memory traffic, so enabling it cannot change any
@@ -241,6 +251,8 @@ impl KingsguardHeap {
             mutators,
             dying_pages: BTreeMap::new(),
             tap: EventTap::none(),
+            sanitizer: None,
+            skip_barrier_bookkeeping: false,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -271,7 +283,7 @@ impl KingsguardHeap {
     /// periodic hook so hook-driven baselines replay at the recorded stream
     /// positions.
     pub fn trace_hook_marker(&mut self, allocated_bytes: u64, total_bytes: u64, elapsed_ms: u64) {
-        self.tap.emit(|| HeapEvent::HookMark {
+        self.emit_event(|| HeapEvent::HookMark {
             allocated_bytes,
             total_bytes,
             elapsed_ms,
@@ -281,6 +293,73 @@ impl KingsguardHeap {
     /// The placement policy governing this heap.
     pub fn policy(&self) -> &dyn PlacementPolicy {
         self.policy.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Sanitizer hooks (see `crate::sanitizer` and the `kingsguard-check`
+    // crate)
+    // ------------------------------------------------------------------
+
+    /// Installs an invariant checker: a passive observer of the heap-event
+    /// stream that additionally verifies heap invariants at every
+    /// safepoint/GC checkpoint (see [`crate::sanitizer`]). At most one is
+    /// installed; a second call replaces the first. The sanitizer and the
+    /// record tap can be installed simultaneously.
+    pub fn set_sanitizer(&mut self, sanitizer: Box<dyn HeapSanitizer>) {
+        self.sanitizer = Some(sanitizer);
+    }
+
+    /// Removes and returns the installed sanitizer, if any.
+    pub fn take_sanitizer(&mut self) -> Option<Box<dyn HeapSanitizer>> {
+        self.sanitizer.take()
+    }
+
+    /// Returns `true` while a sanitizer is installed.
+    pub fn has_sanitizer(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// Emits one mutator-visible heap event to the record tap and the
+    /// installed sanitizer. `make` is only evaluated when at least one
+    /// observer is installed, so unobserved hot paths pay two branches.
+    #[inline]
+    pub(crate) fn emit_event(&mut self, make: impl FnOnce() -> HeapEvent) {
+        match self.sanitizer.as_mut() {
+            None => self.tap.emit(make),
+            Some(sanitizer) => {
+                let event = make();
+                self.tap.call(&event);
+                sanitizer.on_event(&event);
+            }
+        }
+    }
+
+    /// Runs the installed sanitizer's checks at `point` (a no-op without
+    /// one) and surfaces each returned violation note as a deterministic
+    /// `check.violation` telemetry event plus the `check.violations`
+    /// counter.
+    pub(crate) fn run_checkpoint(&mut self, point: CheckPoint) {
+        let Some(mut sanitizer) = self.sanitizer.take() else {
+            return;
+        };
+        let notes = sanitizer.at_checkpoint(point, self);
+        self.sanitizer = Some(sanitizer);
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_add("check.checkpoints", 1);
+            if !notes.is_empty() {
+                self.telemetry.counter_add("check.violations", notes.len() as u64);
+            }
+        }
+        for note in notes {
+            let point_label = point.label();
+            self.telemetry.event("check.violation", true, move || {
+                vec![
+                    ("kind", Value::Str(note.kind.to_string())),
+                    ("at", Value::Str(point_label.to_string())),
+                    ("detail", Value::Str(note.detail)),
+                ]
+            });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -567,6 +646,12 @@ impl KingsguardHeap {
     /// insertions, write bits, write demographics — is silently missing from
     /// collector statistics. The synced-memory accessor and the trace replay
     /// driver call this so such undercounts fail fast in debug builds.
+    ///
+    /// The `kingsguard-check` sanitizer promotes both assertions into
+    /// release-mode checkpoint checks with typed violations
+    /// (`ssb-not-drained` / `shard-not-merged`), built on the same
+    /// [`MutatorSnapshot`] data this
+    /// reads; the debug asserts stay as the zero-dependency fast path.
     pub fn debug_assert_mutators_drained(&self) {
         if cfg!(debug_assertions) {
             for (index, state) in self.mutators.iter().enumerate() {
@@ -614,13 +699,13 @@ impl KingsguardHeap {
             let shard = self.mutators[index].shard;
             let stats = self.mem.shard_stats(shard);
             self.mutators[index] = MutatorState::new(config, shard, (stats.cache_hits, stats.cache_misses));
-            self.tap.emit(|| HeapEvent::MutatorSpawned { ctx: index, config });
+            self.emit_event(|| HeapEvent::MutatorSpawned { ctx: index, config });
             return MutatorContext { index };
         }
         let shard = self.mem.register_mutator_shard();
         self.mutators.push(MutatorState::new(config, shard, (0, 0)));
         let index = self.mutators.len() - 1;
-        self.tap.emit(|| HeapEvent::MutatorSpawned { ctx: index, config });
+        self.emit_event(|| HeapEvent::MutatorSpawned { ctx: index, config });
         MutatorContext { index }
     }
 
@@ -628,7 +713,7 @@ impl KingsguardHeap {
     /// buffer, merges its counter shard, drops its TLAB and marks its slot
     /// for reuse. Safepoints skip retired slots.
     pub fn retire_mutator(&mut self, ctx: MutatorContext) {
-        self.tap.emit(|| HeapEvent::MutatorRetired { ctx: ctx.index });
+        self.emit_event(|| HeapEvent::MutatorRetired { ctx: ctx.index });
         self.drain_mutator(ctx.index);
         self.mutators[ctx.index].tlab = None;
         self.mutators[ctx.index].retired = true;
@@ -646,8 +731,9 @@ impl KingsguardHeap {
     /// and write bits; call it manually before reading mid-run statistics
     /// that must include batched contexts' buffered events.
     pub fn safepoint(&mut self) {
-        self.tap.emit(|| HeapEvent::Safepoint);
+        self.emit_event(|| HeapEvent::Safepoint);
         self.enter_safepoint();
+        self.run_checkpoint(CheckPoint::Safepoint);
     }
 
     /// The safepoint body, shared by the public (tap-reported) entry point
@@ -688,6 +774,12 @@ impl KingsguardHeap {
     /// Replays and clears one context's buffered write-barrier events.
     fn drain_mutator_events(&mut self, m: usize) {
         if self.mutators[m].ssb.is_empty() {
+            return;
+        }
+        if self.skip_barrier_bookkeeping {
+            // Broken-fixture path: drop the events without replaying the
+            // barrier halves, so remembered sets silently miss edges.
+            self.mutators[m].ssb.clear();
             return;
         }
         self.mem.set_active_shard(self.mutators[m].shard);
@@ -812,7 +904,7 @@ impl KingsguardHeap {
             self.stats.record_site(obj.address(), site);
         }
         let handle = self.roots.add(obj);
-        self.tap.emit(|| HeapEvent::Alloc {
+        self.emit_event(|| HeapEvent::Alloc {
             ctx: m,
             handle,
             ref_slots: shape.ref_slots,
@@ -846,6 +938,9 @@ impl KingsguardHeap {
             }
             let chunk = self.mutators[m].config.tlab_bytes;
             if let Some(tlab) = self.nursery.carve_tlab(&mut self.mem, size, chunk) {
+                if let Some(sanitizer) = self.sanitizer.as_mut() {
+                    sanitizer.on_tlab_carve(m, tlab.cursor().raw(), tlab.remaining_bytes());
+                }
                 self.mutators[m].tlab = Some(tlab);
                 continue;
             }
@@ -924,7 +1019,7 @@ impl KingsguardHeap {
     /// Unregisters a root. The object it referenced becomes garbage unless it
     /// is reachable from another root.
     pub fn release(&mut self, handle: Handle) {
-        self.tap.emit(|| HeapEvent::Release { handle });
+        self.emit_event(|| HeapEvent::Release { handle });
         self.roots.remove(handle);
     }
 
@@ -945,7 +1040,7 @@ impl KingsguardHeap {
     }
 
     pub(crate) fn mutator_write_ref(&mut self, m: usize, src: Handle, slot: usize, target: Option<Handle>) {
-        self.tap.emit(|| HeapEvent::WriteRef {
+        self.emit_event(|| HeapEvent::WriteRef {
             ctx: m,
             src,
             slot,
@@ -990,7 +1085,7 @@ impl KingsguardHeap {
     }
 
     pub(crate) fn mutator_write_prim(&mut self, m: usize, src: Handle, offset: usize, len: usize) {
-        self.tap.emit(|| HeapEvent::WritePrim {
+        self.emit_event(|| HeapEvent::WritePrim {
             ctx: m,
             src,
             offset,
@@ -1030,7 +1125,7 @@ impl KingsguardHeap {
     }
 
     pub(crate) fn mutator_read_ref(&mut self, m: usize, src: Handle, slot: usize) -> Option<ObjectRef> {
-        self.tap.emit(|| HeapEvent::ReadRef { ctx: m, src, slot });
+        self.emit_event(|| HeapEvent::ReadRef { ctx: m, src, slot });
         self.mem.set_active_shard(self.mutators[m].shard);
         let src_obj = self.roots.get(src);
         self.stats.work.mutator_ops += 1;
@@ -1049,7 +1144,7 @@ impl KingsguardHeap {
     }
 
     pub(crate) fn mutator_read_prim(&mut self, m: usize, src: Handle, offset: usize, len: usize) {
-        self.tap.emit(|| HeapEvent::ReadPrim {
+        self.emit_event(|| HeapEvent::ReadPrim {
             ctx: m,
             src,
             offset,
@@ -1188,6 +1283,205 @@ impl KingsguardHeap {
         Location::Other
     }
 
+    // ------------------------------------------------------------------
+    // Passive inspection (sanitizer support; see `crate::sanitizer`)
+    //
+    // None of these methods issues simulated memory traffic: the heap's own
+    // statistics are bit-identical whether or not they are ever called.
+    // ------------------------------------------------------------------
+
+    /// Which heap space `addr` lies in (passive).
+    pub fn location_of(&self, addr: Address) -> Location {
+        self.locate(addr)
+    }
+
+    /// Reads the `u64` at `addr` directly from the backing store — no cache
+    /// lookup, no traffic, no wear. `None` if the page is unmapped. See
+    /// [`MemorySystem::peek_u64`].
+    pub fn peek_u64(&self, addr: Address) -> Option<u64> {
+        self.mem.peek_u64(addr)
+    }
+
+    /// Snapshot of the root table: every live `(handle, object address)`
+    /// pair in handle-index order (passive, deterministic).
+    pub fn roots_snapshot(&self) -> Vec<(Handle, Address)> {
+        self.roots.iter().map(|(h, obj)| (h, obj.address())).collect()
+    }
+
+    /// The slots currently in the nursery remembered set, ascending
+    /// (passive; does not drain the set).
+    pub fn remset_nursery_slots(&self) -> Vec<Address> {
+        self.remset_nursery.iter().collect()
+    }
+
+    /// The slots currently in the observer remembered set, ascending
+    /// (passive; empty for collectors without an observer space).
+    pub fn remset_observer_slots(&self) -> Vec<Address> {
+        self.remset_observer.iter().collect()
+    }
+
+    /// Returns `true` if this heap has an observer space (KG-W).
+    pub fn has_observer_space(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// The nursery's reserved region as `(base, capacity)` (passive).
+    pub fn nursery_region(&self) -> (Address, usize) {
+        (self.nursery.base(), self.nursery.capacity())
+    }
+
+    /// Returns `true` if `addr` lies in the observer space's region
+    /// (always `false` without one).
+    pub fn in_observer_region(&self, addr: Address) -> bool {
+        self.observer.as_ref().is_some_and(|o| o.in_region(addr))
+    }
+
+    /// Drain-discipline snapshot of every live mutator context (passive).
+    /// At a checkpoint each context must report zero pending events and a
+    /// zero (merged) counter shard — the typed promotion of the
+    /// [`KingsguardHeap::debug_assert_mutators_drained`] debug assertions.
+    pub fn mutator_snapshots(&self) -> Vec<MutatorSnapshot> {
+        self.mutators
+            .iter()
+            .enumerate()
+            .filter(|(_, state)| !state.retired)
+            .map(|(ctx, state)| {
+                let shard = self.mem.shard_stats(state.shard);
+                MutatorSnapshot {
+                    ctx,
+                    pending_events: state.ssb.len(),
+                    shard_reads: shard.reads,
+                    shard_writes: shard.writes,
+                }
+            })
+            .collect()
+    }
+
+    /// Compares the memory controller's folded totals against the heap's
+    /// own shard accounting (base shard + every mutator shard, including
+    /// retired slots). The two sides travel independent code paths; a
+    /// difference means a counter shard leaked out of the heap's
+    /// bookkeeping (passive).
+    pub fn shard_conservation(&self) -> ShardConservation {
+        let stats = self.mem.stats();
+        let mut folded = self.mem.shard_stats(ShardId::BASE);
+        for state in &self.mutators {
+            let shard = self.mem.shard_stats(state.shard);
+            for kind in 0..2 {
+                folded.reads[kind] += shard.reads[kind];
+                folded.writes[kind] += shard.writes[kind];
+            }
+        }
+        ShardConservation {
+            total_reads: [stats.reads(MemoryKind::Dram), stats.reads(MemoryKind::Pcm)],
+            total_writes: [stats.writes(MemoryKind::Dram), stats.writes(MemoryKind::Pcm)],
+            shard_reads: folded.reads,
+            shard_writes: folded.writes,
+        }
+    }
+
+    /// Returns `true` if any byte of `[addr, addr + size)` lies on a page
+    /// or line fenced by PCM retirement in any space (passive). After a
+    /// full collection no live object may overlap such memory.
+    pub fn overlaps_retired_memory(&self, addr: Address, size: usize) -> bool {
+        if self.mature_primary.overlaps_retired(addr, size) {
+            return true;
+        }
+        if let Some(mature_dram) = &self.mature_dram {
+            if mature_dram.overlaps_retired(addr, size) {
+                return true;
+            }
+        }
+        if self.los_primary.in_region(addr) && self.los_primary.overlaps_retired(addr, size) {
+            return true;
+        }
+        if let Some(los_dram) = &self.los_dram {
+            if los_dram.in_region(addr) && los_dram.overlaps_retired(addr, size) {
+                return true;
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Deliberate corruption (broken-fixture support)
+    //
+    // Hidden test-only helpers that break heap invariants on purpose so the
+    // broken-fixture suite can prove the sanitizer catches each violation
+    // class. Never call these outside fixtures.
+    // ------------------------------------------------------------------
+
+    /// Empties both remembered sets, silently dropping every remembered
+    /// old-to-young edge.
+    #[doc(hidden)]
+    pub fn debug_clear_remsets_for_test(&mut self) {
+        self.remset_nursery.clear();
+        self.remset_observer.clear();
+    }
+
+    /// Pokes `value` into reference slot `slot` of the object behind
+    /// `handle`, bypassing the write barrier, the traffic accounting and
+    /// the tap/sanitizer event stream.
+    #[doc(hidden)]
+    pub fn debug_corrupt_ref_slot_for_test(&mut self, handle: Handle, slot: usize, value: u64) {
+        let obj = self.roots.get(handle);
+        self.mem.debug_poke_u64_for_test(obj.ref_slot(slot), value);
+    }
+
+    /// Switches the drop-barrier-bookkeeping corruption on or off: while
+    /// on, store-buffer drains discard their events instead of replaying
+    /// the generational and monitoring barrier halves.
+    #[doc(hidden)]
+    pub fn debug_skip_barrier_bookkeeping_for_test(&mut self, on: bool) {
+        self.skip_barrier_bookkeeping = on;
+    }
+
+    /// Inflates the reference-write statistic by one without a matching
+    /// mutator event, modelling a barrier path whose bookkeeping drifted
+    /// from the event stream.
+    #[doc(hidden)]
+    pub fn debug_forge_write_stats_for_test(&mut self) {
+        self.stats.reference_writes += 1;
+    }
+
+    /// Fences the page under the (live) object behind `handle` inside its
+    /// space, without scheduling the evacuation a real fault would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is not in a mature or large space.
+    #[doc(hidden)]
+    pub fn debug_retire_live_page_for_test(&mut self, handle: Handle) {
+        let addr = self.roots.get(handle).address();
+        let start = addr.page().start();
+        match self.locate(addr) {
+            Location::MaturePrimary => self.mature_primary.retire_page(start),
+            Location::MatureDram => {
+                if let Some(space) = self.mature_dram.as_mut() {
+                    space.retire_page(start);
+                }
+            }
+            Location::LargePrimary => self.los_primary.retire_page(start),
+            Location::LargeDram => {
+                if let Some(space) = self.los_dram.as_mut() {
+                    space.retire_page(start);
+                }
+            }
+            other => panic!("cannot retire a page in {other:?}"),
+        }
+    }
+
+    /// Reports two overlapping TLAB carves to the sanitizer without
+    /// performing them.
+    #[doc(hidden)]
+    pub fn debug_overlapping_tlab_carves_for_test(&mut self) {
+        let (base, _) = self.nursery_region();
+        if let Some(sanitizer) = self.sanitizer.as_mut() {
+            sanitizer.on_tlab_carve(0, base.raw(), 256);
+            sanitizer.on_tlab_carve(1, base.raw() + 128, 256);
+        }
+    }
+
     /// Bytes of mature + large heap currently residing in PCM.
     pub fn pcm_heap_bytes(&self) -> u64 {
         let mut total = 0u64;
@@ -1263,6 +1557,7 @@ impl KingsguardHeap {
     pub fn finish(mut self) -> RunReport {
         self.enter_safepoint();
         self.debug_assert_mutators_drained();
+        self.run_checkpoint(CheckPoint::Finish);
         self.update_peaks();
         self.mem.flush_caches();
         // Final fault pump: the cache flush just wrote its dirty lines back

@@ -1,0 +1,123 @@
+//! Sanitizer hook points: a second passive observer beside the record tap.
+//!
+//! A *sanitizer* is an invariant checker installed on a heap (see the
+//! `kingsguard-check` crate for the implementation). It observes the same
+//! mutator-visible event stream as the [`crate::tap`] — so it can maintain a
+//! shadow copy of the object graph — plus two things the tap never sees:
+//! TLAB carves (for the overlap check) and *checkpoints*, the safepoint/GC
+//! boundaries at which heap invariants must hold and at which the sanitizer
+//! gets read access to the heap to verify them.
+//!
+//! Hooks MUST be passive: a checkpoint receives `&KingsguardHeap` and the
+//! heap's inspection API ([`crate::KingsguardHeap::peek_u64`] and friends)
+//! never issues simulated memory traffic, so a sanitized run is bit-identical
+//! to an unsanitized one. Unlike the tap, the sanitizer and the tap can be
+//! installed simultaneously — the heap fans each event out to both.
+
+use crate::runtime::KingsguardHeap;
+use crate::tap::{CollectKind, HeapEvent};
+
+/// Where in the run a sanitizer checkpoint fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckPoint {
+    /// An explicit mutator safepoint ([`KingsguardHeap::safepoint`]), after
+    /// every store buffer has drained and every counter shard has merged.
+    Safepoint,
+    /// Entry of a collection, after the safepoint drain and **before** any
+    /// tracing — the point at which the remembered sets must already cover
+    /// every old-to-young edge the trace is about to rely on.
+    PreCollect(CollectKind),
+    /// Exit of a collection, after survivors were evacuated and spaces
+    /// reset/swept — the point at which no live reference may dangle and no
+    /// live object may remain on a retired page.
+    PostCollect(CollectKind),
+    /// [`KingsguardHeap::finish`], after the final safepoint.
+    Finish,
+}
+
+impl CheckPoint {
+    /// Short label for reports ("safepoint", "pre-nursery", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            CheckPoint::Safepoint => "safepoint",
+            CheckPoint::PreCollect(CollectKind::Young) => "pre-young",
+            CheckPoint::PreCollect(CollectKind::Nursery) => "pre-nursery",
+            CheckPoint::PreCollect(CollectKind::Observer) => "pre-observer",
+            CheckPoint::PreCollect(CollectKind::Full) => "pre-full",
+            CheckPoint::PostCollect(CollectKind::Young) => "post-young",
+            CheckPoint::PostCollect(CollectKind::Nursery) => "post-nursery",
+            CheckPoint::PostCollect(CollectKind::Observer) => "post-observer",
+            CheckPoint::PostCollect(CollectKind::Full) => "post-full",
+            CheckPoint::Finish => "finish",
+        }
+    }
+}
+
+/// A violation notice returned from a checkpoint, in the heap's vocabulary.
+/// The heap surfaces each note as a deterministic `check.violation`
+/// telemetry event; the `kingsguard-check` crate keeps the fully typed
+/// [`CheckViolation`](https://docs.rs/kingsguard-check) alongside.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SanitizerNote {
+    /// Short machine-readable kind, e.g. `"remset-incomplete"`.
+    pub kind: &'static str,
+    /// Human-readable description carrying the provenance.
+    pub detail: String,
+}
+
+/// A passive invariant checker installable on a [`KingsguardHeap`] (at most
+/// one at a time, like the tap). See the module docs for the passivity
+/// contract. `Debug` is required because the heap (which owns the installed
+/// box) derives it.
+pub trait HeapSanitizer: std::fmt::Debug {
+    /// Observes one mutator-visible heap event (the same stream, in the same
+    /// program order, as the record tap).
+    fn on_event(&mut self, event: &HeapEvent);
+
+    /// Observes a TLAB window of `len` bytes carved at address `start` for
+    /// mutator context `ctx`.
+    fn on_tlab_carve(&mut self, ctx: usize, start: u64, len: usize);
+
+    /// Runs invariant checks at `point` with passive read access to the
+    /// heap, returning a note per newly found violation.
+    fn at_checkpoint(&mut self, point: CheckPoint, heap: &KingsguardHeap) -> Vec<SanitizerNote>;
+}
+
+/// Passive snapshot of one live mutator context's drain-discipline state,
+/// taken by [`KingsguardHeap::mutator_snapshots`]. At a checkpoint the store
+/// buffer must be empty and the counter shard merged (zero).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MutatorSnapshot {
+    /// The context's slot index.
+    pub ctx: usize,
+    /// Buffered, not-yet-replayed store-barrier events.
+    pub pending_events: usize,
+    /// Unmerged device reads in the context's counter shard (DRAM, PCM).
+    pub shard_reads: [u64; 2],
+    /// Unmerged device writes in the context's counter shard (DRAM, PCM).
+    pub shard_writes: [u64; 2],
+}
+
+/// The monolithic device totals next to the heap's own shard accounting
+/// (base shard plus every mutator shard), from
+/// [`KingsguardHeap::shard_conservation`]. The two sides are computed along
+/// independent paths through the memory controller; any difference means a
+/// counter shard leaked out of the heap's bookkeeping.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardConservation {
+    /// Folded controller totals: device reads (DRAM, PCM).
+    pub total_reads: [u64; 2],
+    /// Folded controller totals: device writes (DRAM, PCM).
+    pub total_writes: [u64; 2],
+    /// Base shard + per-mutator shards: device reads (DRAM, PCM).
+    pub shard_reads: [u64; 2],
+    /// Base shard + per-mutator shards: device writes (DRAM, PCM).
+    pub shard_writes: [u64; 2],
+}
+
+impl ShardConservation {
+    /// Returns `true` when both sides agree exactly.
+    pub fn holds(&self) -> bool {
+        self.total_reads == self.shard_reads && self.total_writes == self.shard_writes
+    }
+}

@@ -185,6 +185,15 @@ impl EventTap {
             tap(&make());
         }
     }
+
+    /// Invokes the tap on an already-constructed event (the fan-out path
+    /// shared with the sanitizer; see `KingsguardHeap::emit_event`).
+    #[inline]
+    pub(crate) fn call(&mut self, event: &HeapEvent) {
+        if let Some(tap) = self.0.as_mut() {
+            tap(event);
+        }
+    }
 }
 
 impl fmt::Debug for EventTap {

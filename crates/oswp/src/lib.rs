@@ -19,6 +19,8 @@
 //! any collector; the paper (and our reproduction) runs it under the
 //! unmodified generational Immix collector with a PCM-only heap layout.
 
+#![forbid(unsafe_code)]
+
 pub mod multi_queue;
 pub mod wp;
 

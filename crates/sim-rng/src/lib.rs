@@ -9,6 +9,8 @@
 //! workspace builds without any external dependency while runs stay
 //! bit-for-bit reproducible for a given seed.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Types that can be sampled uniformly from the generator's raw 64-bit

@@ -25,6 +25,8 @@
 //! versioned `.kgmetrics` JSON-lines format via [`jsonl`], which also
 //! parses, renders and diffs the files for regression triage.
 
+#![forbid(unsafe_code)]
+
 mod hist;
 pub mod jsonl;
 

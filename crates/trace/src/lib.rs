@@ -63,6 +63,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod format;
 pub mod record;

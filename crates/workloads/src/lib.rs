@@ -20,12 +20,16 @@
 //! live and *where writes land*, reproducing those distributions reproduces
 //! the collector behaviour the paper reports, at a configurable scale.
 
+#![forbid(unsafe_code)]
+
+pub mod broken;
 pub mod mutator;
 pub mod profile;
 pub mod profiles;
 pub mod sites;
 pub mod streaming;
 
+pub use broken::{BrokenFixture, ALL_FIXTURES};
 pub use mutator::{MutatorProgress, SyntheticMutator, WorkloadConfig};
 pub use profile::{BenchmarkProfile, Suite};
 pub use profiles::{all_benchmarks, benchmark, simulated_benchmarks};

@@ -20,6 +20,8 @@
 //!
 //! See `README.md` for a tour.
 
+#![forbid(unsafe_code)]
+
 pub use advice;
 pub use experiments;
 pub use fleet;

@@ -1,0 +1,147 @@
+//! Sanitizer and trace-verifier integration suite.
+//!
+//! Three guarantees the `kingsguard-check` subsystem makes:
+//!
+//! 1. **Soundness of detection** — every deliberately broken mutator in
+//!    [`workloads::broken`] trips *exactly* its intended violation class,
+//!    with provenance, and nothing else.
+//! 2. **Passivity** — installing the sanitizer changes no simulated metric:
+//!    a sanitized run is bit-identical to an unsanitized one for all six
+//!    collectors (the shadow checker reads through the passive inspection
+//!    API only).
+//! 3. **Determinism of the static analyzer** — `repro trace check` over a
+//!    freshly recorded multi-mutator trace produces a bit-identical race
+//!    report across analyses *and* across re-recordings.
+
+use experiments::runner::{run_benchmark, ExperimentConfig};
+use experiments::traces::{config_for, REPLAY_COLLECTORS};
+use hybrid_mem::MemoryKind;
+use kingsguard::{HeapConfig, KingsguardHeap};
+use workloads::{benchmark, StreamingConfig, StreamingWorkload, ALL_FIXTURES};
+
+#[test]
+fn broken_fixtures_trip_exactly_their_expected_violations() {
+    for &fixture in &ALL_FIXTURES {
+        let report = experiments::check::run_broken_fixture(fixture);
+        assert_eq!(
+            report.kinds(),
+            fixture.expected_kinds(),
+            "fixture {} reported {:#?}",
+            fixture.name(),
+            report.violations
+        );
+        // Every violation carries provenance: the rendered form names the
+        // offending object/handle and the checkpoint, never an empty
+        // placeholder, and the telemetry note mirrors the typed kind.
+        for violation in &report.violations {
+            let rendered = violation.to_string();
+            assert!(!rendered.is_empty());
+            assert_eq!(violation.note().kind, violation.kind());
+        }
+    }
+}
+
+#[test]
+fn sanitizer_is_passive_and_clean_for_every_collector() {
+    let config = ExperimentConfig::quick();
+    let profile = benchmark("lusearch").expect("lusearch profile");
+    for label in REPLAY_COLLECTORS {
+        let base = run_benchmark(&profile, config_for(label), &config);
+        let (checked, report) = experiments::run_benchmark_checked(&profile, config_for(label), &config);
+        assert!(
+            report.is_clean(),
+            "{label}: sanitizer found violations on a healthy run: {:#?}",
+            report.violations
+        );
+        assert!(report.checkpoints > 0, "{label}: no checkpoints ran");
+        assert!(report.objects_verified > 0, "{label}: no objects verified");
+        for kind in [MemoryKind::Dram, MemoryKind::Pcm] {
+            assert_eq!(
+                base.memory.writes(kind),
+                checked.memory.writes(kind),
+                "{label}: sanitizer perturbed {kind:?} writes"
+            );
+            assert_eq!(
+                base.memory.reads(kind),
+                checked.memory.reads(kind),
+                "{label}: sanitizer perturbed {kind:?} reads"
+            );
+        }
+        assert_eq!(
+            base.gc.pcm_to_dram_rescues, checked.gc.pcm_to_dram_rescues,
+            "{label}"
+        );
+        assert_eq!(
+            base.gc.dram_to_pcm_demotions, checked.gc.dram_to_pcm_demotions,
+            "{label}"
+        );
+    }
+}
+
+#[test]
+fn streaming_workload_is_violation_free_for_every_collector() {
+    let config = ExperimentConfig::quick();
+    for label in REPLAY_COLLECTORS {
+        let report = experiments::check::run_streaming_checked(config_for(label), &config);
+        assert!(
+            report.is_clean(),
+            "{label}: streaming violations: {:#?}",
+            report.violations
+        );
+        assert!(report.checkpoints > 0, "{label}: no checkpoints ran");
+    }
+}
+
+fn record_streaming_trace(mutators: usize) -> trace::Trace {
+    let mut heap = KingsguardHeap::new(
+        HeapConfig::kg_n().with_heap_budget(512 * 1024),
+        hybrid_mem::MemoryConfig::architecture_independent(),
+    );
+    let workload = StreamingWorkload::new(StreamingConfig {
+        mutators,
+        ..Default::default()
+    });
+    let (_, recorded) = workload.record(&mut heap);
+    heap.finish();
+    recorded
+}
+
+#[test]
+fn multi_mutator_race_report_is_deterministic() {
+    let recorded = record_streaming_trace(4);
+    let first = check::analyze_trace(&recorded);
+    assert!(
+        first.violations.is_empty(),
+        "recorded trace is grammatically sound: {:#?}",
+        first.violations
+    );
+    assert_eq!(first.mutators, 5, "4 spawned contexts + the base context");
+    assert!(first.sync_points > 0);
+
+    // Same trace, second analysis: bit-identical report.
+    let second = check::analyze_trace(&recorded);
+    assert_eq!(
+        check::render_race_report(&first),
+        check::render_race_report(&second)
+    );
+
+    // Fresh heap, fresh recording: still bit-identical.
+    let rerecorded = record_streaming_trace(4);
+    let third = check::analyze_trace(&rerecorded);
+    assert_eq!(
+        check::render_race_report(&first),
+        check::render_race_report(&third)
+    );
+}
+
+#[test]
+fn single_mutator_trace_has_no_races() {
+    let recorded = record_streaming_trace(1);
+    let analysis = check::analyze_trace(&recorded);
+    assert!(analysis.violations.is_empty(), "{:#?}", analysis.violations);
+    assert!(
+        analysis.races.is_empty(),
+        "a single-context stream cannot race: {:#?}",
+        analysis.races
+    );
+}
