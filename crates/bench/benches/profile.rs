@@ -1,0 +1,135 @@
+//! Per-stage throughput benchmark of the sampled hot-path profiler.
+//!
+//! Drives the touch-heavy KG-W workload with the hot-path profiler enabled
+//! at the default cadence and reports, for each memory-system stage, the
+//! exact event count, the extrapolated self-time and the event throughput.
+//! The `*_per_sec` leaves are the perf-regression gate: `repro bench diff`
+//! treats every numeric leaf whose path contains `per_sec` as a
+//! higher-is-better throughput and flags drops beyond the tolerance.
+//! Emits `BENCH_profile.json` at the workspace root.
+//! Run with `cargo bench -p kingsguard-bench --bench profile`.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use hybrid_mem::MemoryConfig;
+use kingsguard::{HeapConfig, KingsguardHeap, RunReport};
+use kingsguard_heap::ObjectShape;
+use telemetry::{TouchProfile, DEFAULT_SAMPLE_EVERY};
+
+/// Wall-clock samples; the minimum is reported (the standard way to strip
+/// scheduler noise from a deterministic workload).
+const SAMPLES: u32 = 5;
+
+/// One run of the touch-heavy workload with the profiler recording. Line
+/// wear tracking is on so all five stages (including wear) see events.
+fn run_workload() -> (Duration, RunReport, TouchProfile) {
+    let mut memory = MemoryConfig::architecture_independent();
+    memory.track_line_writes = true;
+    let mut heap = KingsguardHeap::new(HeapConfig::kg_w(), memory);
+    heap.enable_hot_path_profiler(DEFAULT_SAMPLE_EVERY);
+    let start = Instant::now();
+    for round in 0..200u64 {
+        let keeper = heap.alloc(ObjectShape::new(2, 64), 1);
+        for i in 0..50u64 {
+            let scratch = heap.alloc(ObjectShape::new(1, 48), 2);
+            heap.write_ref(keeper, (i % 2) as usize, Some(scratch));
+            heap.write_prim(scratch, 0, 16);
+            heap.write_prim(keeper, 8, 8);
+            heap.release(scratch);
+        }
+        heap.release(keeper);
+        if round % 25 == 24 {
+            heap.collect_young();
+        }
+        if round % 100 == 99 {
+            heap.collect_full();
+        }
+    }
+    let elapsed = start.elapsed();
+    let profile = heap.hot_path_profile().expect("profiler enabled");
+    (elapsed, heap.finish(), profile)
+}
+
+/// Deterministic digest of a run: simulated state only, no host timing.
+fn digest(report: &RunReport) -> String {
+    format!("{:?} | {:?}", report.memory, report.gc)
+}
+
+/// Event counts per stage — must be bit-identical across repetitions.
+fn event_counts(profile: &TouchProfile) -> Vec<u64> {
+    profile.stages.iter().map(|s| s.events).collect()
+}
+
+fn main() {
+    println!("profiled touch-path workload, best of {SAMPLES} samples...");
+    let (_, warmup_report, warmup_profile) = run_workload();
+    let mut best = Duration::MAX;
+    let mut best_profile = warmup_profile.clone();
+    for _ in 0..SAMPLES {
+        let (elapsed, report, profile) = run_workload();
+        assert_eq!(
+            digest(&report),
+            digest(&warmup_report),
+            "the workload must be deterministic across repetitions"
+        );
+        assert_eq!(
+            event_counts(&profile),
+            event_counts(&warmup_profile),
+            "per-stage event counts must be bit-identical across repetitions"
+        );
+        if elapsed < best {
+            best = elapsed;
+            best_profile = profile;
+        }
+    }
+
+    let wall_ns = best.as_nanos() as u64;
+    let touches = best_profile.touches;
+    assert!(touches > 0, "the workload must issue touches");
+    assert!(
+        best_profile.sampled_touches > 0,
+        "the default cadence must sample at least one touch"
+    );
+    let touches_per_sec = touches as f64 / best.as_secs_f64().max(1e-9);
+
+    let mut stage_entries = Vec::new();
+    println!(
+        "{:<18} {:>12} {:>12} {:>16}",
+        "stage", "events", "self-ms", "events/sec"
+    );
+    for stage in &best_profile.stages {
+        let self_ns = stage.estimated_self_ns();
+        let events_per_sec = if self_ns > 0 {
+            stage.events as f64 / (self_ns as f64 / 1e9)
+        } else {
+            0.0
+        };
+        println!(
+            "{:<18} {:>12} {:>12.3} {:>16.0}",
+            stage.stage.label(),
+            stage.events,
+            self_ns as f64 / 1e6,
+            events_per_sec
+        );
+        stage_entries.push(format!(
+            "    \"{}\": {{ \"events\": {}, \"self_ns\": {}, \"events_per_sec\": {:.1} }}",
+            stage.stage.label(),
+            stage.events,
+            self_ns,
+            events_per_sec
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"profile\",\n  \"samples\": {SAMPLES},\n  \
+         \"sample_every\": {},\n  \"wall_ns\": {wall_ns},\n  \"touches\": {touches},\n  \
+         \"touches_per_sec\": {touches_per_sec:.1},\n  \"stages\": {{\n{}\n  }}\n}}\n",
+        best_profile.sample_every,
+        stage_entries.join(",\n"),
+    );
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_profile.json");
+    std::fs::write(&out, &json).unwrap_or_else(|err| panic!("cannot write {}: {err}", out.display()));
+    println!("{json}");
+    println!("wrote {}", out.display());
+}

@@ -1,10 +1,12 @@
 //! Enabled-vs-disabled overhead benchmark of the telemetry subsystem.
 //!
 //! Drives the same touch-heavy workload (allocation, ref/prim write
-//! barriers, nursery and full collections) through a KG-W heap twice — once
-//! with the telemetry handle disabled, once enabled — asserting the
-//! simulated results stay bit-identical and the enabled wall-clock overhead
-//! stays under 10%. Emits `BENCH_telemetry.json` at the workspace root.
+//! barriers, nursery and full collections) through a KG-W heap three times —
+//! with both telemetry and the hot-path profiler disabled, with the
+//! telemetry handle enabled, and with the sampled hot-path profiler enabled
+//! at the default cadence — asserting the simulated results stay
+//! bit-identical in every mode and both enabled modes keep their wall-clock
+//! overhead under 10%. Emits `BENCH_telemetry.json` at the workspace root.
 //! Run with `cargo bench -p kingsguard-bench --bench telemetry`.
 
 use std::path::PathBuf;
@@ -13,21 +15,27 @@ use std::time::{Duration, Instant};
 use hybrid_mem::MemoryConfig;
 use kingsguard::{HeapConfig, KingsguardHeap, RunReport};
 use kingsguard_heap::ObjectShape;
+use telemetry::DEFAULT_SAMPLE_EVERY;
 
 /// Wall-clock samples per mode; the minimum is reported (the standard way
 /// to strip scheduler noise from a deterministic workload).
 const SAMPLES: u32 = 7;
 /// The acceptance bar from the telemetry design: enabled-mode overhead on
-/// the touch fast path must stay below this percentage.
+/// the touch fast path must stay below this percentage. The same bar
+/// applies to the sampled hot-path profiler at its default cadence.
 const MAX_OVERHEAD_PERCENT: f64 = 10.0;
 
 /// One run of the touch-heavy workload. The loop is dominated by the write
 /// barrier + simulated-memory fast path that telemetry must not slow down;
 /// the periodic collections exercise the span/histogram instrumentation.
-fn run_workload(enable_telemetry: bool) -> (Duration, RunReport) {
+/// `profiler_cadence` enables the sampled hot-path profiler.
+fn run_workload(enable_telemetry: bool, profiler_cadence: Option<u64>) -> (Duration, RunReport) {
     let mut heap = KingsguardHeap::new(HeapConfig::kg_w(), MemoryConfig::architecture_independent());
     if enable_telemetry {
         heap.enable_telemetry();
+    }
+    if let Some(cadence) = profiler_cadence {
+        heap.enable_hot_path_profiler(cadence);
     }
     let start = Instant::now();
     for round in 0..200u64 {
@@ -57,11 +65,12 @@ fn digest(report: &RunReport) -> String {
     format!("{:?} | {:?}", report.memory, report.gc)
 }
 
-fn best_of(enable_telemetry: bool) -> (Duration, RunReport) {
-    let (_, warmup) = run_workload(enable_telemetry); // warm-up, result kept for identity checks
+fn best_of(enable_telemetry: bool, profiler_cadence: Option<u64>) -> (Duration, RunReport) {
+    // Warm-up run; result kept for identity checks.
+    let (_, warmup) = run_workload(enable_telemetry, profiler_cadence);
     let mut best = Duration::MAX;
     for _ in 0..SAMPLES {
-        let (elapsed, report) = run_workload(enable_telemetry);
+        let (elapsed, report) = run_workload(enable_telemetry, profiler_cadence);
         assert_eq!(
             digest(&report),
             digest(&warmup),
@@ -72,10 +81,20 @@ fn best_of(enable_telemetry: bool) -> (Duration, RunReport) {
     (best, warmup)
 }
 
+/// Enabled-over-disabled wall-clock overhead, in percent.
+fn overhead_percent(disabled: Duration, enabled: Duration) -> f64 {
+    if disabled.is_zero() {
+        0.0
+    } else {
+        (enabled.as_secs_f64() / disabled.as_secs_f64() - 1.0) * 100.0
+    }
+}
+
 fn main() {
     println!("touch-path workload, best of {SAMPLES} samples per mode...");
-    let (disabled_time, disabled_report) = best_of(false);
-    let (enabled_time, enabled_report) = best_of(true);
+    let (disabled_time, disabled_report) = best_of(false, None);
+    let (enabled_time, enabled_report) = best_of(true, None);
+    let (profiler_time, profiler_report) = best_of(false, Some(DEFAULT_SAMPLE_EVERY));
 
     assert!(
         disabled_report.telemetry.is_none(),
@@ -90,32 +109,42 @@ fn main() {
         digest(&enabled_report),
         "telemetry must not perturb the simulated results"
     );
+    assert_eq!(
+        digest(&disabled_report),
+        digest(&profiler_report),
+        "the hot-path profiler must not perturb the simulated results"
+    );
     assert!(
         enabled.hist("gc.pause_ns").is_some_and(|h| h.count > 0),
         "enabled run must have recorded GC pauses"
     );
 
-    let overhead_percent = if disabled_time.is_zero() {
-        0.0
-    } else {
-        (enabled_time.as_secs_f64() / disabled_time.as_secs_f64() - 1.0) * 100.0
-    };
+    let telemetry_overhead = overhead_percent(disabled_time, enabled_time);
+    let profiler_overhead = overhead_percent(disabled_time, profiler_time);
     println!(
-        "disabled: {disabled_time:>12?}   enabled: {enabled_time:>12?}   overhead: {overhead_percent:+.2}%"
+        "disabled: {disabled_time:>12?}   telemetry: {enabled_time:>12?} ({telemetry_overhead:+.2}%)   \
+         profiler: {profiler_time:>12?} ({profiler_overhead:+.2}%)"
     );
     assert!(
-        overhead_percent < MAX_OVERHEAD_PERCENT,
-        "telemetry overhead {overhead_percent:.2}% exceeds the {MAX_OVERHEAD_PERCENT}% bar"
+        telemetry_overhead < MAX_OVERHEAD_PERCENT,
+        "telemetry overhead {telemetry_overhead:.2}% exceeds the {MAX_OVERHEAD_PERCENT}% bar"
+    );
+    assert!(
+        profiler_overhead < MAX_OVERHEAD_PERCENT,
+        "profiler overhead {profiler_overhead:.2}% exceeds the {MAX_OVERHEAD_PERCENT}% bar"
     );
 
     let pauses = enabled.hist("gc.pause_ns").expect("checked above");
     let json = format!(
         "{{\n  \"bench\": \"telemetry\",\n  \"samples\": {SAMPLES},\n  \
          \"disabled_ns\": {},\n  \"enabled_ns\": {},\n  \
-         \"overhead_percent\": {overhead_percent:.3},\n  \"max_overhead_percent\": {MAX_OVERHEAD_PERCENT},\n  \
+         \"overhead_percent\": {telemetry_overhead:.3},\n  \"max_overhead_percent\": {MAX_OVERHEAD_PERCENT},\n  \
+         \"profiler_ns\": {},\n  \"profiler_sample_every\": {DEFAULT_SAMPLE_EVERY},\n  \
+         \"profiler_overhead_percent\": {profiler_overhead:.3},\n  \
          \"bit_identical\": true,\n  \"gc_pauses\": {},\n  \"spans_balanced\": {}\n}}\n",
         disabled_time.as_nanos(),
         enabled_time.as_nanos(),
+        profiler_time.as_nanos(),
         pauses.count,
         enabled.spans.iter().all(|s| s.count > 0),
     );

@@ -1,0 +1,237 @@
+//! The perf-regression gate: `repro bench diff`.
+//!
+//! Compares two `BENCH_*.json` reports (the files `cargo bench` writes at
+//! the workspace root) on their throughput metrics. Every numeric leaf
+//! whose dotted path contains `per_sec` is treated as a
+//! higher-is-better throughput: the candidate regresses when it falls more
+//! than the tolerance band below the baseline. Other shared numeric
+//! leaves are reported for context but never gate. Metrics present on one
+//! side only are flagged so a silently dropped benchmark cannot pass.
+
+use std::path::Path;
+
+use telemetry::Json;
+
+use crate::report::TextTable;
+
+/// Default tolerance band, in percent: a throughput metric may fall this
+/// far below the baseline before it counts as a regression.
+pub const DEFAULT_TOLERANCE_PCT: f64 = 15.0;
+
+/// One compared metric.
+#[derive(Clone, Debug)]
+pub struct MetricRow {
+    /// Dotted path of the numeric leaf (e.g. `stages.page-map.events_per_sec`).
+    pub metric: String,
+    /// Baseline value.
+    pub a: f64,
+    /// Candidate value.
+    pub b: f64,
+    /// Whether this metric gates (its path contains `per_sec`).
+    pub gating: bool,
+    /// Whether the candidate regressed beyond the tolerance band.
+    pub regressed: bool,
+}
+
+/// Results of comparing two bench reports.
+#[derive(Clone, Debug)]
+pub struct BenchDiff {
+    /// Tolerance band in percent.
+    pub tolerance_pct: f64,
+    /// Compared metrics, in baseline path order.
+    pub rows: Vec<MetricRow>,
+    /// Metric paths present in exactly one file.
+    pub unmatched: Vec<String>,
+}
+
+impl BenchDiff {
+    /// Gating metrics that regressed beyond the tolerance band.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regressed).count()
+    }
+
+    /// `true` when the candidate passes: no regressions and no unmatched
+    /// metrics.
+    pub fn passes(&self) -> bool {
+        self.regressions() == 0 && self.unmatched.is_empty()
+    }
+
+    /// Formatted report.
+    pub fn report(&self) -> String {
+        let mut table = TextTable::new(
+            &format!(
+                "Bench diff: candidate vs baseline (tolerance {:.0}% on *per_sec* metrics)",
+                self.tolerance_pct
+            ),
+            &["metric", "baseline", "candidate", "delta-%", "verdict"],
+        );
+        for row in &self.rows {
+            let delta = if row.a != 0.0 {
+                (row.b - row.a) / row.a * 100.0
+            } else {
+                0.0
+            };
+            table.row(vec![
+                row.metric.clone(),
+                format!("{:.2}", row.a),
+                format!("{:.2}", row.b),
+                format!("{delta:+.1}"),
+                if row.regressed {
+                    "REGRESSED".to_string()
+                } else if row.gating {
+                    "ok".to_string()
+                } else {
+                    "info".to_string()
+                },
+            ]);
+        }
+        let mut out = table.render();
+        for path in &self.unmatched {
+            out.push_str(&format!("metric {path} is present in only one file\n"));
+        }
+        out.push_str(&format!(
+            "\n{} gating metric(s), {} regression(s)\n",
+            self.rows.iter().filter(|r| r.gating).count(),
+            self.regressions()
+        ));
+        out
+    }
+}
+
+/// Collects every numeric leaf of `json` as `(dotted path, value)`, in
+/// document order. Array elements are addressed by index.
+fn numeric_leaves(json: &Json, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match json {
+        Json::Num(value) => out.push((prefix.to_string(), *value)),
+        Json::Obj(fields) => {
+            for (key, value) in fields {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                numeric_leaves(value, &path, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (index, value) in items.iter().enumerate() {
+                numeric_leaves(value, &format!("{prefix}[{index}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compares two parsed bench reports.
+pub fn diff_bench_json(a: &Json, b: &Json, tolerance_pct: f64) -> BenchDiff {
+    let mut leaves_a = Vec::new();
+    let mut leaves_b = Vec::new();
+    numeric_leaves(a, "", &mut leaves_a);
+    numeric_leaves(b, "", &mut leaves_b);
+    let lookup_b: std::collections::BTreeMap<&str, f64> = leaves_b
+        .iter()
+        .map(|(path, value)| (path.as_str(), *value))
+        .collect();
+    let mut rows = Vec::new();
+    let mut unmatched = Vec::new();
+    for (path, value_a) in &leaves_a {
+        let Some(&value_b) = lookup_b.get(path.as_str()) else {
+            unmatched.push(path.clone());
+            continue;
+        };
+        let gating = path.contains("per_sec");
+        let regressed = gating && value_b < value_a * (1.0 - tolerance_pct / 100.0);
+        rows.push(MetricRow {
+            metric: path.clone(),
+            a: *value_a,
+            b: value_b,
+            gating,
+            regressed,
+        });
+    }
+    let matched: std::collections::BTreeSet<&str> = rows.iter().map(|r| r.metric.as_str()).collect();
+    for (path, _) in &leaves_b {
+        if !matched.contains(path.as_str()) {
+            unmatched.push(path.clone());
+        }
+    }
+    BenchDiff {
+        tolerance_pct,
+        rows,
+        unmatched,
+    }
+}
+
+/// Loads and compares two `BENCH_*.json` files.
+pub fn diff_bench_files(path_a: &Path, path_b: &Path, tolerance_pct: f64) -> Result<BenchDiff, String> {
+    let load = |path: &Path| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|err| format!("{}: {err}", path.display()))?;
+        Json::parse(&text).map_err(|err| format!("{}: {err}", path.display()))
+    };
+    Ok(diff_bench_json(&load(path_a)?, &load(path_b)?, tolerance_pct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+        "schema": "kingsguard-bench-profile",
+        "stages": {
+            "page-map": {"events": 1000, "events_per_sec": 50000.0},
+            "cache-model": {"events": 1000, "events_per_sec": 80000.0}
+        },
+        "replay": {"events_per_sec": 12000.0}
+    }"#;
+
+    #[test]
+    fn self_compare_has_zero_drift() {
+        let json = Json::parse(BASELINE).unwrap();
+        let diff = diff_bench_json(&json, &json, DEFAULT_TOLERANCE_PCT);
+        assert!(diff.passes(), "{}", diff.report());
+        assert_eq!(diff.regressions(), 0);
+        assert!(diff.rows.iter().filter(|r| r.gating).count() >= 3);
+    }
+
+    #[test]
+    fn detects_a_twenty_percent_slowdown() {
+        let baseline = Json::parse(BASELINE).unwrap();
+        let slowed = Json::parse(&BASELINE.replace("50000.0", "40000.0")).unwrap();
+        let diff = diff_bench_json(&baseline, &slowed, DEFAULT_TOLERANCE_PCT);
+        assert_eq!(diff.regressions(), 1, "{}", diff.report());
+        assert!(!diff.passes());
+        let row = diff.rows.iter().find(|r| r.regressed).unwrap();
+        assert_eq!(row.metric, "stages.page-map.events_per_sec");
+        // The same slowdown passes with a looser band.
+        assert!(diff_bench_json(&baseline, &slowed, 25.0).passes());
+    }
+
+    #[test]
+    fn event_counts_do_not_gate_but_missing_metrics_fail() {
+        let baseline = Json::parse(BASELINE).unwrap();
+        // Halved event count: informational only.
+        let fewer = Json::parse(&BASELINE.replace("\"events\": 1000", "\"events\": 500")).unwrap();
+        assert!(diff_bench_json(&baseline, &fewer, DEFAULT_TOLERANCE_PCT).passes());
+        // A dropped metric fails even though nothing regressed.
+        let dropped =
+            Json::parse(&BASELINE.replace("\"replay\": {\"events_per_sec\": 12000.0}", "\"replay\": {}"))
+                .unwrap();
+        let diff = diff_bench_json(&baseline, &dropped, DEFAULT_TOLERANCE_PCT);
+        assert!(!diff.passes());
+        assert_eq!(diff.unmatched, vec!["replay.events_per_sec".to_string()]);
+    }
+
+    #[test]
+    fn file_roundtrip_works() {
+        let dir = std::env::temp_dir().join(format!("kgbenchdiff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path_a = dir.join("a.json");
+        let path_b = dir.join("b.json");
+        std::fs::write(&path_a, BASELINE).unwrap();
+        std::fs::write(&path_b, BASELINE.replace("12000.0", "9000.0")).unwrap();
+        let diff = diff_bench_files(&path_a, &path_b, DEFAULT_TOLERANCE_PCT).unwrap();
+        assert_eq!(diff.regressions(), 1);
+        assert!(diff_bench_files(&path_a, &dir.join("missing.json"), 15.0).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -21,6 +21,15 @@
 //!   telemetry file per run (GC-phase spans, pause histograms, cache and
 //!   wear snapshots); `repro metrics show|diff` renders one file or
 //!   compares two, failing when deterministic metrics drift.
+//!   `repro metrics export <file> --chrome|--folded` converts any
+//!   `.kgmetrics` file to a Chrome `trace_event` timeline (chrome://tracing,
+//!   Perfetto) or collapsed stacks (flamegraph.pl, speedscope).
+//! * `repro profile` replays one recorded trace under every collector with
+//!   the sampled hot-path profiler on and prints the per-stage simulator
+//!   cost table (events, self-time, share of wall-clock, events/sec);
+//!   `repro bench diff A.json B.json` compares two `BENCH_*.json` reports
+//!   and exits non-zero when any `*per_sec*` throughput falls more than
+//!   the tolerance band (default 15%) below the baseline.
 //! * `repro fleet [--tenants N]` runs the multi-tenant fleet comparison:
 //!   the same N tenant heap sessions placed round-robin vs wear-levelled
 //!   across the PCM device's regions, with the shared advice store
@@ -64,6 +73,7 @@ fn main() -> ExitCode {
     if experiment != "trace"
         && experiment != "metrics"
         && experiment != "check"
+        && experiment != "bench"
         && !parsed.positional.is_empty()
     {
         eprintln!(
@@ -88,7 +98,9 @@ fn validate_dirs(parsed: &ParsedArgs, experiment: &str) -> Result<(), String> {
     let trace_mode = (experiment == "trace")
         .then(|| parsed.positional.first().map(String::as_str))
         .flatten();
-    let needs_trace_dir = parsed.trace_dir_set || matches!(trace_mode, Some("record") | Some("replay"));
+    let needs_trace_dir = parsed.trace_dir_set
+        || experiment == "profile"
+        || matches!(trace_mode, Some("record") | Some("replay"));
     if needs_trace_dir {
         ensure_writable_dir(&parsed.trace_dir, "--trace-dir")?;
     }
@@ -148,6 +160,12 @@ fn run(parsed: &ParsedArgs, experiment: &str) -> ExitCode {
     }
     if experiment == "metrics" {
         return run_metrics(parsed);
+    }
+    if experiment == "profile" {
+        return run_profile(parsed, &hw);
+    }
+    if experiment == "bench" {
+        return run_bench(parsed);
     }
     if experiment == "fleet" {
         return run_fleet(parsed, &hw);
@@ -219,7 +237,12 @@ fn run(parsed: &ParsedArgs, experiment: &str) -> ExitCode {
         cli::EXPERIMENTS
             .iter()
             .map(|(name, _)| *name)
-            .filter(|name| !matches!(*name, "all" | "trace" | "metrics" | "fleet" | "check"))
+            .filter(|name| {
+                !matches!(
+                    *name,
+                    "all" | "trace" | "metrics" | "fleet" | "check" | "profile" | "bench"
+                )
+            })
             .collect()
     } else {
         vec![experiment]
@@ -303,12 +326,80 @@ fn run_check(parsed: &ParsedArgs, hw: &ExperimentConfig) -> ExitCode {
     }
 }
 
+fn run_profile(parsed: &ParsedArgs, hw: &ExperimentConfig) -> ExitCode {
+    // Like the trace experiment, the profiler replays traces recorded in
+    // architecture-independent mode; strip the trace-backing flag so the
+    // replays themselves are direct.
+    let config = ExperimentConfig {
+        trace_dir: None,
+        ..hw.clone()
+    };
+    let dir = parsed.trace_dir.clone();
+    let sample_every = parsed.sample_every.unwrap_or(telemetry::DEFAULT_SAMPLE_EVERY);
+    let benchmark = workloads::benchmark(experiments::profile::DEFAULT_BENCHMARK)
+        .expect("default profile benchmark exists");
+    let results = experiments::hot_path_profile(&config, &benchmark, &dir, sample_every);
+    println!("{}", results.report());
+    if results.min_coverage() < 0.9 {
+        eprintln!(
+            "error: attributed time covers only {:.0}% of the replay wall-clock",
+            results.min_coverage() * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_bench(parsed: &ParsedArgs) -> ExitCode {
+    match parsed.positional.first().map(String::as_str) {
+        Some("diff") => {
+            let (Some(path_a), Some(path_b)) = (parsed.positional.get(1), parsed.positional.get(2)) else {
+                eprintln!("usage: repro bench diff <a.json> <b.json> [--tolerance PCT]");
+                return ExitCode::FAILURE;
+            };
+            if parsed.positional.len() > 3 {
+                eprintln!("error: unexpected argument {:?}", parsed.positional[3]);
+                return ExitCode::FAILURE;
+            }
+            let tolerance = parsed.tolerance.unwrap_or(experiments::DEFAULT_TOLERANCE_PCT);
+            match experiments::diff_bench_files(Path::new(path_a), Path::new(path_b), tolerance) {
+                Ok(diff) => {
+                    println!("{}", diff.report());
+                    if diff.passes() {
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!(
+                            "error: {} throughput regression(s) beyond {tolerance:.0}% \
+                             ({} unmatched metric(s))",
+                            diff.regressions(),
+                            diff.unmatched.len()
+                        );
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(err) => {
+                    eprintln!("error: {err}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown bench mode: {other}\n\n{}", cli::help_text());
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: repro bench diff <a.json> <b.json> [--tolerance PCT]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run_metrics(parsed: &ParsedArgs) -> ExitCode {
     let mode = parsed.positional.first().map(String::as_str);
     match mode {
         Some("show") => {
             let Some(path) = parsed.positional.get(1) else {
-                eprintln!("usage: repro metrics show <file.kgmetrics>");
+                eprintln!("usage: repro metrics show <file.kgmetrics> [--top N]");
                 return ExitCode::FAILURE;
             };
             if parsed.positional.len() > 2 {
@@ -317,7 +408,7 @@ fn run_metrics(parsed: &ParsedArgs) -> ExitCode {
             }
             match telemetry::TelemetryDoc::load(Path::new(path)) {
                 Ok(doc) => {
-                    println!("{}", doc.summary());
+                    println!("{}", doc.summary_top(parsed.top));
                     ExitCode::SUCCESS
                 }
                 Err(err) => {
@@ -325,6 +416,43 @@ fn run_metrics(parsed: &ParsedArgs) -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+        Some("export") => {
+            let Some(path) = parsed.positional.get(1) else {
+                eprintln!("usage: repro metrics export <file.kgmetrics> <--chrome|--folded> [--out PATH]");
+                return ExitCode::FAILURE;
+            };
+            if parsed.positional.len() > 2 {
+                eprintln!("error: unexpected argument {:?}", parsed.positional[2]);
+                return ExitCode::FAILURE;
+            }
+            if parsed.chrome == parsed.folded {
+                eprintln!("error: pass exactly one of --chrome or --folded");
+                return ExitCode::FAILURE;
+            }
+            let doc = match telemetry::TelemetryDoc::load(Path::new(path)) {
+                Ok(doc) => doc,
+                Err(err) => {
+                    eprintln!("error: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let rendered = if parsed.chrome {
+                telemetry::chrome_trace(&doc)
+            } else {
+                telemetry::folded_stacks(&doc)
+            };
+            match &parsed.out {
+                Some(out) => {
+                    if let Err(err) = std::fs::write(out, &rendered) {
+                        eprintln!("error: {}: {err}", out.display());
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {} bytes to {}", rendered.len(), out.display());
+                }
+                None => print!("{rendered}"),
+            }
+            ExitCode::SUCCESS
         }
         Some("diff") => {
             let (Some(path_a), Some(path_b)) = (parsed.positional.get(1), parsed.positional.get(2)) else {

@@ -41,7 +41,15 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "multi-tenant heap fleet: wear-levelled placement + advice warm starts",
     ),
     ("trace", "heap-event traces: record | replay | diff | check"),
-    ("metrics", ".kgmetrics telemetry files: show | diff"),
+    ("metrics", ".kgmetrics telemetry files: show | diff | export"),
+    (
+        "profile",
+        "hot-path profiler: per-stage simulator cost under every collector (replayed)",
+    ),
+    (
+        "bench",
+        "BENCH_*.json perf baselines: diff <a> <b> flags >15% throughput regressions",
+    ),
     (
         "check",
         "shadow-heap sanitizer sweep (add `broken` to run the negative fixtures)",
@@ -68,10 +76,17 @@ pub const TRACE_MODES: &[(&str, &str)] = &[
 
 /// Modes of the `metrics` experiment.
 pub const METRICS_MODES: &[(&str, &str)] = &[
-    ("show", "render one .kgmetrics telemetry file as a human summary"),
+    (
+        "show",
+        "render one .kgmetrics telemetry file as a human summary (--top N ranks)",
+    ),
     (
         "diff",
         "compare two .kgmetrics files; exits non-zero on deterministic drift",
+    ),
+    (
+        "export",
+        "export a .kgmetrics file as a Chrome trace (--chrome) or collapsed stacks (--folded)",
     ),
 ];
 
@@ -88,7 +103,7 @@ impl fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 /// Parsed command line.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ParsedArgs {
     /// The experiment name (first positional), if any.
     pub experiment: Option<String>,
@@ -118,6 +133,18 @@ pub struct ParsedArgs {
     pub verify: bool,
     /// `--collector NAME` (trace replay/diff).
     pub collector: Option<String>,
+    /// `--sample-every N` (profile experiment: time every Nth touch).
+    pub sample_every: Option<u64>,
+    /// `--tolerance PCT` (bench diff: allowed throughput drop in percent).
+    pub tolerance: Option<f64>,
+    /// `--top N` (metrics show: rows per section).
+    pub top: Option<usize>,
+    /// `--chrome` (metrics export: Chrome trace_event JSON).
+    pub chrome: bool,
+    /// `--folded` (metrics export: collapsed-stack lines).
+    pub folded: bool,
+    /// `--out PATH` (metrics export: write here instead of stdout).
+    pub out: Option<PathBuf>,
     /// `--help` / `-h`.
     pub help: bool,
 }
@@ -139,6 +166,12 @@ impl Default for ParsedArgs {
             telemetry_dir_set: false,
             verify: false,
             collector: None,
+            sample_every: None,
+            tolerance: None,
+            top: None,
+            chrome: false,
+            folded: false,
+            out: None,
             help: false,
         }
     }
@@ -197,6 +230,18 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, CliError> {
                 parsed.telemetry_dir_set = true;
             }
             "--collector" => parsed.collector = Some(value_of("--collector", &mut iter)?.clone()),
+            "--sample-every" => {
+                parsed.sample_every = Some(parsed_value_of("--sample-every", &mut iter, |&n: &u64| n > 0)?)
+            }
+            "--tolerance" => {
+                parsed.tolerance = Some(parsed_value_of("--tolerance", &mut iter, |&t: &f64| {
+                    t.is_finite() && t >= 0.0
+                })?)
+            }
+            "--top" => parsed.top = Some(parsed_value_of("--top", &mut iter, |&n: &usize| n > 0)?),
+            "--chrome" => parsed.chrome = true,
+            "--folded" => parsed.folded = true,
+            "--out" => parsed.out = Some(PathBuf::from(value_of("--out", &mut iter)?)),
             // Legacy experiment aliases, kept working.
             "--profile-then-advise" if parsed.experiment.is_none() => {
                 parsed.experiment = Some("advise".to_string())
@@ -235,6 +280,12 @@ pub fn help_text() -> String {
          \x20                   back with `repro metrics show|diff`)\n\
          \x20 --verify          trace replay: also run live and check bit-identity + speedup\n\
          \x20 --collector NAME  trace replay/diff: restrict to one collector (e.g. KG-N)\n\
+         \x20 --sample-every N  profile: time every Nth touch (default 64; counts are always exact)\n\
+         \x20 --tolerance PCT   bench diff: allowed throughput drop in percent (default 15)\n\
+         \x20 --top N           metrics show: rows per section, ranked by self-time/value\n\
+         \x20 --chrome          metrics export: Chrome trace_event JSON (chrome://tracing, Perfetto)\n\
+         \x20 --folded          metrics export: collapsed stacks (flamegraph.pl / speedscope)\n\
+         \x20 --out PATH        metrics export: write to PATH instead of stdout\n\
          \x20 --help, -h        this text\n\
          \n\
          experiments:\n",
@@ -261,8 +312,11 @@ pub fn help_text() -> String {
          \x20 repro faults --quick --jobs 4\n\
          \x20 repro fleet --quick --tenants 128 --jobs 4\n\
          \x20 repro fig11 --quick --telemetry-dir target/telemetry\n\
-         \x20 repro metrics show target/telemetry/lusearch-KG-W.kgmetrics\n\
+         \x20 repro metrics show target/telemetry/lusearch-KG-W.kgmetrics --top 10\n\
          \x20 repro metrics diff A.kgmetrics B.kgmetrics\n\
+         \x20 repro metrics export run.kgmetrics --chrome --out run.trace.json\n\
+         \x20 repro profile --quick --sample-every 16\n\
+         \x20 repro bench diff BENCH_profile.json BENCH_profile.new.json --tolerance 15\n\
          \x20 repro check --quick --jobs 4\n\
          \x20 repro check broken --quick          # negative fixtures: exit 0 iff all detected\n\
          \x20 repro trace check run.kgtrace\n",
@@ -329,6 +383,39 @@ mod tests {
         let parsed = parse(&["metrics", "diff", "a.kgmetrics", "b.kgmetrics"]).unwrap();
         assert_eq!(parsed.experiment.as_deref(), Some("metrics"));
         assert_eq!(parsed.positional, vec!["diff", "a.kgmetrics", "b.kgmetrics"]);
+    }
+
+    #[test]
+    fn profiler_and_bench_flags_parse() {
+        let parsed = parse(&["profile", "--quick", "--sample-every", "16"]).unwrap();
+        assert_eq!(parsed.experiment.as_deref(), Some("profile"));
+        assert_eq!(parsed.sample_every, Some(16));
+        assert!(parse(&["profile", "--sample-every", "0"]).is_err());
+        let parsed = parse(&["bench", "diff", "a.json", "b.json", "--tolerance", "12.5"]).unwrap();
+        assert_eq!(parsed.experiment.as_deref(), Some("bench"));
+        assert_eq!(parsed.positional, vec!["diff", "a.json", "b.json"]);
+        assert_eq!(parsed.tolerance, Some(12.5));
+        assert!(parse(&["bench", "diff", "a", "b", "--tolerance", "nan"]).is_err());
+        assert!(parse(&["bench", "diff", "a", "b", "--tolerance", "-3"]).is_err());
+    }
+
+    #[test]
+    fn metrics_export_flags_parse() {
+        let parsed = parse(&[
+            "metrics",
+            "export",
+            "run.kgmetrics",
+            "--chrome",
+            "--out",
+            "t.json",
+        ])
+        .unwrap();
+        assert_eq!(parsed.positional, vec!["export", "run.kgmetrics"]);
+        assert!(parsed.chrome && !parsed.folded);
+        assert_eq!(parsed.out, Some(PathBuf::from("t.json")));
+        let parsed = parse(&["metrics", "show", "run.kgmetrics", "--top", "5"]).unwrap();
+        assert_eq!(parsed.top, Some(5));
+        assert!(parse(&["metrics", "show", "x", "--top", "0"]).is_err());
     }
 
     #[test]

@@ -64,6 +64,7 @@
 
 pub mod adaptive;
 pub mod advise;
+pub mod benchdiff;
 pub mod check;
 pub mod cli;
 pub mod composition;
@@ -72,14 +73,17 @@ pub mod faults;
 pub mod fleet;
 pub mod lifetime;
 pub mod mutators;
+pub mod profile;
 pub mod report;
 pub mod runner;
 pub mod tables;
 pub mod traces;
 pub mod writes;
 
+pub use self::benchdiff::{diff_bench_files, BenchDiff, DEFAULT_TOLERANCE_PCT};
 pub use self::check::{broken_sweep, check_sweep, run_benchmark_checked, BrokenResults, CheckResults};
 pub use self::fleet::{fleet_comparison, FleetResults};
+pub use self::profile::{hot_path_profile, hot_path_profile_default, ProfileResults};
 pub use adaptive::{adaptive_comparison, AdaptiveResults};
 pub use advise::{profile_then_advise, profile_then_advise_jobs, AdviseResults};
 pub use faults::{fault_sweep, FaultResults};

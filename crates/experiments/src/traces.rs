@@ -52,7 +52,7 @@ pub fn config_for(label: &str) -> HeapConfig {
     }
 }
 
-fn sized_config(label: &str, profile: &BenchmarkProfile, config: &ExperimentConfig) -> HeapConfig {
+pub(crate) fn sized_config(label: &str, profile: &BenchmarkProfile, config: &ExperimentConfig) -> HeapConfig {
     config_for(label).with_heap_budget(profile.scaled_heap_bytes(config.scale).max(2 << 20) as usize)
 }
 

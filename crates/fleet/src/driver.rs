@@ -23,7 +23,7 @@ use advice::AdviceTable;
 use hybrid_mem::timing::ExecutionModel;
 use hybrid_mem::{Endurance, FaultConfig, MemoryConfig, MemoryKind, WearSummary};
 use kingsguard::{HeapConfig, KingsguardHeap};
-use telemetry::{HistogramSummary, TelemetryReport};
+use telemetry::{HistogramSummary, TelemetryEvent, TelemetryReport, Value};
 use trace::{Trace, TraceReplayer};
 use workloads::{
     benchmark, site_map_hash, StreamingConfig, StreamingWorkload, SyntheticMutator, WorkloadConfig,
@@ -334,6 +334,28 @@ pub struct WarmColdRow {
     pub warm_rate: f64,
 }
 
+/// Deterministic aggregates of one arrival wave: how the fleet's load and
+/// device damage grew round by round. Every field is a pure function of
+/// the simulation (no wall-clock), so the series is bit-identical for any
+/// `--jobs` fan-out and survives `repro metrics diff`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaveSummary {
+    /// Wave index (0-based arrival round).
+    pub wave: usize,
+    /// Sessions the wave ran (completed + died).
+    pub sessions: usize,
+    /// Sessions that died in this wave.
+    pub died: usize,
+    /// Heap events the wave's sessions drove.
+    pub touch_events: u64,
+    /// Bytes the wave's sessions wrote to PCM.
+    pub pcm_bytes: u64,
+    /// Device lines permanently failed by the end of the wave (cumulative).
+    pub failed_lines: u64,
+    /// Device pages retired by the end of the wave (cumulative).
+    pub retired_pages: u64,
+}
+
 /// Everything a fleet run produced.
 #[derive(Clone, Debug)]
 pub struct FleetOutcome {
@@ -378,6 +400,8 @@ pub struct FleetOutcome {
     pub drifted_warm_starts: u64,
     /// KG-D tenants that cold-started.
     pub cold_starts: u64,
+    /// Per-wave deterministic aggregates, in arrival order.
+    pub wave_series: Vec<WaveSummary>,
 }
 
 impl FleetOutcome {
@@ -477,13 +501,36 @@ impl FleetOutcome {
             gauges.push(("fleet.years_to_first_ue".into(), years, true));
         }
         gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        // One deterministic event per arrival wave: the per-wave load plus
+        // the device's cumulative damage, so a `.kgmetrics` reader can plot
+        // fleet growth over rounds. No wall-clock fields — the series must
+        // stay bit-identical across `--jobs` fan-outs.
+        let events = self
+            .wave_series
+            .iter()
+            .enumerate()
+            .map(|(seq, wave)| TelemetryEvent {
+                seq: seq as u64,
+                name: "fleet.wave".to_string(),
+                deterministic: true,
+                fields: vec![
+                    ("wave".to_string(), Value::U64(wave.wave as u64)),
+                    ("sessions".to_string(), Value::U64(wave.sessions as u64)),
+                    ("died".to_string(), Value::U64(wave.died as u64)),
+                    ("touch_events".to_string(), Value::U64(wave.touch_events)),
+                    ("pcm_bytes".to_string(), Value::U64(wave.pcm_bytes)),
+                    ("failed_lines".to_string(), Value::U64(wave.failed_lines)),
+                    ("retired_pages".to_string(), Value::U64(wave.retired_pages)),
+                ],
+            })
+            .collect();
         TelemetryReport {
             elapsed_ns: (self.modeled_s * 1e9) as u64,
             counters,
             gauges,
             hists: vec![("gc.pause_ns".to_string(), self.pauses.clone())],
             spans: Vec::new(),
-            events: Vec::new(),
+            events,
         }
     }
 }
@@ -708,8 +755,9 @@ pub fn run_fleet_with_specs(config: &FleetConfig, specs: Vec<TenantSpec>) -> Fle
     let mut modeled_s = 0.0f64;
     let mut pcm_bytes = 0u64;
     let (mut warm_starts, mut drifted_warm_starts, mut cold_starts) = (0u64, 0u64, 0u64);
+    let mut wave_series: Vec<WaveSummary> = Vec::new();
 
-    for wave in specs.chunks(config.wave.max(1)) {
+    for (wave_index, wave) in specs.chunks(config.wave.max(1)).enumerate() {
         // Record any `.kgtrace` sessions this wave replays (inline, in the
         // driver thread, so recording order is deterministic).
         for spec in wave {
@@ -766,6 +814,15 @@ pub fn run_fleet_with_specs(config: &FleetConfig, specs: Vec<TenantSpec>) -> Fle
             })
             .collect();
         let results = run_wave(&plans, config.jobs, |plan| run_session(plan, &traces));
+        let mut summary = WaveSummary {
+            wave: wave_index,
+            sessions: plans.len(),
+            died: 0,
+            touch_events: 0,
+            pcm_bytes: 0,
+            failed_lines: 0,
+            retired_pages: 0,
+        };
         // Absorb wave effects in tenant-index order.
         for (plan, slot) in plans.iter().zip(results) {
             match slot {
@@ -783,9 +840,12 @@ pub fn run_fleet_with_specs(config: &FleetConfig, specs: Vec<TenantSpec>) -> Fle
                     touch_events += session.outcome.touch_events;
                     modeled_s += session.outcome.elapsed_s;
                     pcm_bytes += session.outcome.pcm_bytes;
+                    summary.touch_events += session.outcome.touch_events;
+                    summary.pcm_bytes += session.outcome.pcm_bytes;
                     outcomes.push(session.outcome);
                 }
                 Err(message) => {
+                    summary.died += 1;
                     failures.push(TenantFailure {
                         index: plan.spec.index,
                         benchmark: plan.spec.workload.benchmark_name().to_string(),
@@ -809,6 +869,9 @@ pub fn run_fleet_with_specs(config: &FleetConfig, specs: Vec<TenantSpec>) -> Fle
                 }
             }
         }
+        summary.failed_lines = device.failed_line_count();
+        summary.retired_pages = device.retired_page_count();
+        wave_series.push(summary);
     }
 
     FleetOutcome {
@@ -832,6 +895,7 @@ pub fn run_fleet_with_specs(config: &FleetConfig, specs: Vec<TenantSpec>) -> Fle
         warm_starts,
         drifted_warm_starts,
         cold_starts,
+        wave_series,
     }
 }
 
@@ -878,6 +942,10 @@ mod tests {
         assert_eq!(a.pcm_bytes, b.pcm_bytes);
         assert_eq!(a.modeled_s.to_bits(), b.modeled_s.to_bits());
         assert_eq!(
+            a.wave_series, b.wave_series,
+            "per-wave series must be jobs-invariant"
+        );
+        assert_eq!(
             (
                 a.warm_starts,
                 a.drifted_warm_starts,
@@ -912,6 +980,39 @@ mod tests {
         assert!(one.outcomes.iter().any(|o| o.collector == "KG-N"));
         assert!(one.outcomes.iter().any(|o| o.collector == "KG-W"));
         assert!(one.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn wave_series_tracks_arrival_rounds_and_reaches_the_report() {
+        let config = small_config();
+        let outcome = run_fleet(&config);
+        let waves = outcome.outcomes.len().div_ceil(config.wave.max(1));
+        assert_eq!(outcome.wave_series.len(), waves);
+        for (index, wave) in outcome.wave_series.iter().enumerate() {
+            assert_eq!(wave.wave, index);
+            assert!(wave.sessions > 0);
+        }
+        // Per-wave loads sum to the fleet totals; cumulative damage counts
+        // never decrease and end at the device's final state.
+        let touch: u64 = outcome.wave_series.iter().map(|w| w.touch_events).sum();
+        let bytes: u64 = outcome.wave_series.iter().map(|w| w.pcm_bytes).sum();
+        assert_eq!(touch, outcome.touch_events);
+        assert_eq!(bytes, outcome.pcm_bytes);
+        for pair in outcome.wave_series.windows(2) {
+            assert!(pair[1].failed_lines >= pair[0].failed_lines);
+            assert!(pair[1].retired_pages >= pair[0].retired_pages);
+        }
+        assert_eq!(
+            outcome.wave_series.last().unwrap().failed_lines,
+            outcome.failed_lines
+        );
+        // The synthesized telemetry report carries one deterministic
+        // `fleet.wave` event per wave.
+        let report = outcome.fleet_report();
+        let wave_events: Vec<_> = report.events.iter().filter(|e| e.name == "fleet.wave").collect();
+        assert_eq!(wave_events.len(), waves);
+        assert!(wave_events.iter().all(|e| e.deterministic));
+        assert!(wave_events[0].fields.iter().any(|(key, _)| key == "touch_events"));
     }
 
     #[test]

@@ -45,5 +45,5 @@ pub use broker::{PlacementStrategy, WearBroker};
 pub use device::{FleetDevice, RegionStats};
 pub use driver::{
     run_fleet, run_fleet_with_specs, FleetConfig, FleetOutcome, TenantFailure, TenantOutcome, TenantSpec,
-    TenantWorkload, WarmStart,
+    TenantWorkload, WarmStart, WaveSummary,
 };

@@ -161,14 +161,35 @@ impl MemoryController {
 
     /// Records a device write of one cache line belonging to `page`.
     pub fn record_write(&mut self, kind: MemoryKind, phase: Phase, line: u64) {
+        self.record_write_counters(kind, phase, line);
+        if self.track_lines {
+            self.record_line_wear(line);
+        }
+    }
+
+    /// The counter half of [`Self::record_write`]: per-kind/phase tallies
+    /// and the per-page write count, without the per-line wear update. The
+    /// instrumented hot path calls the halves separately so the profiler
+    /// can attribute wear tracking as its own stage; composed they are
+    /// exactly `record_write`.
+    pub fn record_write_counters(&mut self, kind: MemoryKind, phase: Phase, line: u64) {
         let shard = &mut self.shards[self.active];
         shard.writes[kind as usize] += 1;
         shard.phase_writes[kind as usize].add(phase, 1);
         let page = line * CACHE_LINE_SIZE as u64 / PAGE_SIZE as u64;
         *shard.page_writes.entry(page).or_insert(0) += 1;
-        if self.track_lines {
-            *shard.line_writes.entry(line).or_insert(0) += 1;
-        }
+    }
+
+    /// The wear half of [`Self::record_write`]: bumps `line`'s write count.
+    /// Callers must gate on [`Self::tracks_lines`].
+    pub fn record_line_wear(&mut self, line: u64) {
+        let shard = &mut self.shards[self.active];
+        *shard.line_writes.entry(line).or_insert(0) += 1;
+    }
+
+    /// `true` when per-cache-line write tracking is enabled.
+    pub fn tracks_lines(&self) -> bool {
+        self.track_lines
     }
 
     /// Records the device traffic of the OS migrating one page from `from`
@@ -408,5 +429,29 @@ mod tests {
     fn activating_an_unregistered_shard_panics() {
         let mut mc = MemoryController::new(false);
         mc.set_active_shard(ShardId(3));
+    }
+
+    #[test]
+    fn record_write_split_composes_to_record_write() {
+        // The profiled touch path calls the two halves separately so wear
+        // tracking is attributable as its own stage; together they must
+        // equal the combined entry point exactly.
+        let mut whole = MemoryController::new(true);
+        let mut split = MemoryController::new(true);
+        for line in [0u64, 1, 1, 7, 512] {
+            whole.record_write(MemoryKind::Pcm, Phase::Mutator, line);
+            split.record_write_counters(MemoryKind::Pcm, Phase::Mutator, line);
+            assert!(split.tracks_lines());
+            split.record_line_wear(line);
+        }
+        assert_eq!(whole.writes(MemoryKind::Pcm), split.writes(MemoryKind::Pcm));
+        assert_eq!(
+            whole.line_writes().collect::<HashMap<_, _>>(),
+            split.line_writes().collect::<HashMap<_, _>>()
+        );
+        assert_eq!(
+            whole.page_write_count(PageId(0)),
+            split.page_write_count(PageId(0))
+        );
     }
 }

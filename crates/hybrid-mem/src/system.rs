@@ -7,6 +7,10 @@
 //! of the touched page, runs the access through the cache hierarchy and
 //! accounts the resulting device traffic.
 
+use std::time::Instant;
+
+use telemetry::{Stage, StageTotals, TouchMode, TouchProfile, TouchProfiler};
+
 use crate::address::{align_up_usize, Address, PageId, CACHE_LINE_SIZE, LINE_SIZE, PAGE_SIZE};
 use crate::backing::ChunkedMemory;
 use crate::cache::{CacheConfig, CacheHierarchy, MemEvent};
@@ -167,6 +171,7 @@ pub struct MemorySystem {
     cache: CacheHierarchy,
     controller: MemoryController,
     fault: Option<FaultModel>,
+    profiler: TouchProfiler,
     next_extent: u64,
     extents: Vec<(String, Address, usize)>,
     event_buf: Vec<MemEvent>,
@@ -192,6 +197,7 @@ impl MemorySystem {
             controller: MemoryController::new(config.track_line_writes || config.fault.is_some()),
             cache,
             fault: config.fault.map(FaultModel::new),
+            profiler: TouchProfiler::disabled(),
             config,
             backing: ChunkedMemory::new(),
             page_map: PageMap::new(),
@@ -410,29 +416,145 @@ impl MemorySystem {
         }
     }
 
-    fn touch(&mut self, addr: Address, len: usize, kind: AccessKind, phase: Phase) {
+    // ------------------------------------------------------------------
+    // Hot-path profiling
+    // ------------------------------------------------------------------
+
+    /// Enables the sampled hot-path profiler: every touch is counted per
+    /// stage and every `sample_every`-th touch is timed stage by stage
+    /// (see [`telemetry::TouchProfiler`]). The profiler only observes host
+    /// time — simulated traffic, wear and statistics are bit-identical
+    /// with it on or off.
+    pub fn enable_touch_profiler(&mut self, sample_every: u64) {
+        self.profiler = TouchProfiler::enabled(sample_every, Phase::COUNT);
+    }
+
+    /// `true` when the hot-path profiler is recording.
+    pub fn touch_profiler_enabled(&self) -> bool {
+        self.profiler.is_enabled()
+    }
+
+    /// Snapshots the hot-path profile; `None` when the profiler is off.
+    pub fn touch_profile(&self) -> Option<TouchProfile> {
+        self.profiler.profile()
+    }
+
+    /// Runs one backing-store operation, counting (and, after a sampled
+    /// touch, timing) it as the [`Stage::BackingStore`] stage.
+    #[inline]
+    fn run_backing<R>(&mut self, sampled: bool, op: impl FnOnce(&mut ChunkedMemory) -> R) -> R {
+        if self.profiler.is_enabled() {
+            let start = sampled.then(Instant::now);
+            let result = op(&mut self.backing);
+            self.profiler
+                .backing_op(1, start.map(|t| t.elapsed().as_nanos() as u64));
+            result
+        } else {
+            op(&mut self.backing)
+        }
+    }
+
+    /// Accounts one tagged access of `len` bytes: cache simulation per
+    /// touched line, then device accounting per memory-side event. Returns
+    /// `true` when the hot-path profiler sampled (timed) this touch, so
+    /// the access wrappers know to time the subsequent backing-store work.
+    ///
+    /// The three arms run the *same* simulation — the counting arm adds
+    /// per-stage event tallies (batched into one profiler call), the
+    /// sampled arm additionally brackets each stage with `Instant::now()`.
+    /// Only the `Off` arm is ever taken when the profiler is disabled, so
+    /// unprofiled runs pay exactly one branch.
+    fn touch(&mut self, addr: Address, len: usize, kind: AccessKind, phase: Phase) -> bool {
         debug_assert!(len > 0);
         let first = addr.cache_line();
         let last = addr.add(len - 1).cache_line();
-        for line in first..=last {
-            self.event_buf.clear();
-            self.cache
-                .access(line, kind == AccessKind::Write, phase, &mut self.event_buf);
-            for event in self.event_buf.drain(..) {
-                let line_addr = Address::new(event.line * CACHE_LINE_SIZE as u64);
-                // A flushed line may belong to a page that has since been
-                // unmapped (space released); attribute it to PCM-free DRAM? No:
-                // charge it to the kind it had when mapped, falling back to the
-                // page map; unmapped pages are charged to DRAM-free... They are
-                // simply skipped because the space no longer exists.
-                let Some(info) = self.page_map.info(line_addr) else {
-                    continue;
-                };
-                if event.write {
-                    self.controller.record_write(info.kind, event.phase, event.line);
-                } else {
-                    self.controller.record_read(info.kind, event.phase);
+        match self.profiler.begin_touch(phase as usize) {
+            TouchMode::Off => {
+                for line in first..=last {
+                    self.event_buf.clear();
+                    self.cache
+                        .access(line, kind == AccessKind::Write, phase, &mut self.event_buf);
+                    for event in self.event_buf.drain(..) {
+                        let line_addr = Address::new(event.line * CACHE_LINE_SIZE as u64);
+                        // A flushed line may belong to a page that has since been
+                        // unmapped (space released); attribute it to PCM-free DRAM? No:
+                        // charge it to the kind it had when mapped, falling back to the
+                        // page map; unmapped pages are charged to DRAM-free... They are
+                        // simply skipped because the space no longer exists.
+                        let Some(info) = self.page_map.info(line_addr) else {
+                            continue;
+                        };
+                        if event.write {
+                            self.controller.record_write(info.kind, event.phase, event.line);
+                        } else {
+                            self.controller.record_read(info.kind, event.phase);
+                        }
+                    }
                 }
+                false
+            }
+            TouchMode::Counting => {
+                let mut totals = StageTotals::default();
+                for line in first..=last {
+                    self.event_buf.clear();
+                    self.cache
+                        .access(line, kind == AccessKind::Write, phase, &mut self.event_buf);
+                    totals.add(Stage::CacheModel, 1);
+                    for event in self.event_buf.drain(..) {
+                        let line_addr = Address::new(event.line * CACHE_LINE_SIZE as u64);
+                        totals.add(Stage::PageMap, 1);
+                        let Some(info) = self.page_map.info(line_addr) else {
+                            continue;
+                        };
+                        totals.add(Stage::LineBookkeeping, 1);
+                        if event.write {
+                            self.controller
+                                .record_write_counters(info.kind, event.phase, event.line);
+                            if self.controller.tracks_lines() {
+                                totals.add(Stage::WearTracking, 1);
+                                self.controller.record_line_wear(event.line);
+                            }
+                        } else {
+                            self.controller.record_read(info.kind, event.phase);
+                        }
+                    }
+                }
+                self.profiler.finish_touch(&totals, false);
+                false
+            }
+            TouchMode::Sampled => {
+                let mut totals = StageTotals::default();
+                for line in first..=last {
+                    self.event_buf.clear();
+                    let cache_start = Instant::now();
+                    self.cache
+                        .access(line, kind == AccessKind::Write, phase, &mut self.event_buf);
+                    totals.add_timed(Stage::CacheModel, 1, cache_start.elapsed().as_nanos() as u64);
+                    for event in self.event_buf.drain(..) {
+                        let line_addr = Address::new(event.line * CACHE_LINE_SIZE as u64);
+                        let map_start = Instant::now();
+                        let info = self.page_map.info(line_addr);
+                        totals.add_timed(Stage::PageMap, 1, map_start.elapsed().as_nanos() as u64);
+                        let Some(info) = info else {
+                            continue;
+                        };
+                        let book_start = Instant::now();
+                        if event.write {
+                            self.controller
+                                .record_write_counters(info.kind, event.phase, event.line);
+                        } else {
+                            self.controller.record_read(info.kind, event.phase);
+                        }
+                        totals.add_timed(Stage::LineBookkeeping, 1, book_start.elapsed().as_nanos() as u64);
+                        if event.write && self.controller.tracks_lines() {
+                            let wear_start = Instant::now();
+                            self.controller.record_line_wear(event.line);
+                            totals.add_timed(Stage::WearTracking, 1, wear_start.elapsed().as_nanos() as u64);
+                        }
+                    }
+                }
+                self.profiler.finish_touch(&totals, true);
+                true
             }
         }
     }
@@ -444,8 +566,8 @@ impl MemorySystem {
     /// Panics if the page containing `addr` is not mapped.
     pub fn read_u64(&mut self, addr: Address, phase: Phase) -> u64 {
         assert!(self.page_map.is_mapped(addr), "read of unmapped address {addr}");
-        self.touch(addr, 8, AccessKind::Read, phase);
-        self.backing.read_u64(addr)
+        let sampled = self.touch(addr, 8, AccessKind::Read, phase);
+        self.run_backing(sampled, |backing| backing.read_u64(addr))
     }
 
     /// Writes a `u64` at `addr` on behalf of `phase`.
@@ -455,8 +577,8 @@ impl MemorySystem {
     /// Panics if the page containing `addr` is not mapped.
     pub fn write_u64(&mut self, addr: Address, value: u64, phase: Phase) {
         assert!(self.page_map.is_mapped(addr), "write of unmapped address {addr}");
-        self.touch(addr, 8, AccessKind::Write, phase);
-        self.backing.write_u64(addr, value);
+        let sampled = self.touch(addr, 8, AccessKind::Write, phase);
+        self.run_backing(sampled, |backing| backing.write_u64(addr, value));
     }
 
     /// Reads a `u64` at `addr` **without** simulating the access: no cache
@@ -496,8 +618,8 @@ impl MemorySystem {
         if buf.is_empty() {
             return;
         }
-        self.touch(addr, buf.len(), AccessKind::Read, phase);
-        self.backing.read_bytes(addr, buf);
+        let sampled = self.touch(addr, buf.len(), AccessKind::Read, phase);
+        self.run_backing(sampled, |backing| backing.read_bytes(addr, buf));
     }
 
     /// Writes `buf` starting at `addr`.
@@ -505,8 +627,8 @@ impl MemorySystem {
         if buf.is_empty() {
             return;
         }
-        self.touch(addr, buf.len(), AccessKind::Write, phase);
-        self.backing.write_bytes(addr, buf);
+        let sampled = self.touch(addr, buf.len(), AccessKind::Write, phase);
+        self.run_backing(sampled, |backing| backing.write_bytes(addr, buf));
     }
 
     /// Copies `len` bytes from `src` to `dst` on behalf of `phase`,
@@ -515,9 +637,11 @@ impl MemorySystem {
         if len == 0 {
             return;
         }
-        self.touch(src, len, AccessKind::Read, phase);
-        self.touch(dst, len, AccessKind::Write, phase);
-        self.backing.copy(src, dst, len);
+        let sampled_src = self.touch(src, len, AccessKind::Read, phase);
+        let sampled_dst = self.touch(dst, len, AccessKind::Write, phase);
+        self.run_backing(sampled_src || sampled_dst, |backing| {
+            backing.copy(src, dst, len);
+        });
     }
 
     /// Zeroes `len` bytes starting at `addr` (nursery zeroing, block reset).
@@ -525,8 +649,8 @@ impl MemorySystem {
         if len == 0 {
             return;
         }
-        self.touch(addr, len, AccessKind::Write, phase);
-        self.backing.fill(addr, len, 0);
+        let sampled = self.touch(addr, len, AccessKind::Write, phase);
+        self.run_backing(sampled, |backing| backing.fill(addr, len, 0));
     }
 
     /// Writes a single conceptual store without touching backing bytes.
@@ -780,5 +904,91 @@ mod tests {
         mem.account_write(base, Phase::Runtime);
         assert_eq!(mem.read_u64(base, Phase::Mutator), 42);
         assert_eq!(mem.stats().phase_writes(MemoryKind::Dram).get(Phase::Runtime), 1);
+    }
+
+    /// Mixed read/write/copy/zero workload spanning DRAM and PCM pages,
+    /// used to compare profiled against unprofiled runs.
+    fn drive_mixed_workload(mem: &mut MemorySystem) {
+        let base = mem.reserve_extent("work", 1 << 20);
+        mem.map_pages(base, 2, MemoryKind::Dram, 0);
+        mem.map_pages(base.add(2 * PAGE_SIZE), 2, MemoryKind::Pcm, 0);
+        for i in 0..200u64 {
+            let slot = base.add((i as usize % 64) * 8);
+            mem.write_u64(slot, i, Phase::Mutator);
+            let _ = mem.read_u64(slot, Phase::Mutator);
+        }
+        mem.write_bytes(base, &[3u8; 256], Phase::NurseryGc);
+        mem.copy(base, base.add(2 * PAGE_SIZE), 256, Phase::NurseryGc);
+        mem.zero(base.add(PAGE_SIZE), 512, Phase::MajorGc);
+        mem.account_read(base, Phase::Runtime);
+        mem.account_write(base, Phase::Runtime);
+        mem.flush_caches();
+    }
+
+    #[test]
+    fn touch_profiler_does_not_perturb_simulation() {
+        let mut config = MemoryConfig::hybrid();
+        config.track_line_writes = true;
+        let mut plain = MemorySystem::new(config.clone());
+        drive_mixed_workload(&mut plain);
+        let mut profiled = MemorySystem::new(config);
+        profiled.enable_touch_profiler(3);
+        drive_mixed_workload(&mut profiled);
+        assert_eq!(
+            format!("{:?}", plain.stats()),
+            format!("{:?}", profiled.stats()),
+            "simulation must be bit-identical with the profiler on"
+        );
+        assert_eq!(plain.pcm_line_writes(), profiled.pcm_line_writes());
+        assert!(plain.touch_profile().is_none());
+        assert!(profiled.touch_profile().is_some());
+    }
+
+    #[test]
+    fn touch_profiler_counts_stage_events() {
+        let mut mem = small_system();
+        // Huge cadence: every touch takes the counting arm, none are timed.
+        mem.enable_touch_profiler(1 << 40);
+        let base = mem.reserve_extent("count", 1 << 20);
+        mem.map_pages(base, 1, MemoryKind::Pcm, 0);
+        for i in 0..10u64 {
+            mem.write_u64(base.add(i as usize * 8), i, Phase::Mutator);
+        }
+        let profile = mem.touch_profile().expect("profiler enabled");
+        assert_eq!(profile.touches, 10);
+        assert_eq!(profile.sampled_touches, 0);
+        let events = |stage: Stage| profile.stages.iter().find(|s| s.stage == stage).unwrap().events;
+        // Uncached mode: one cache-model pass, one page-map lookup and one
+        // bookkeeping record per touched line; no line tracking configured.
+        assert_eq!(events(Stage::CacheModel), 10);
+        assert_eq!(events(Stage::PageMap), 10);
+        assert_eq!(events(Stage::LineBookkeeping), 10);
+        assert_eq!(events(Stage::WearTracking), 0);
+        assert_eq!(events(Stage::BackingStore), 10);
+        assert_eq!(profile.phases[Phase::Mutator as usize].touches, 10);
+    }
+
+    #[test]
+    fn sampled_touches_cover_every_event_at_cadence_one() {
+        let mut config = MemoryConfig::architecture_independent();
+        config.track_line_writes = true;
+        let mut mem = MemorySystem::new(config);
+        mem.enable_touch_profiler(1);
+        let base = mem.reserve_extent("sampled", 1 << 20);
+        mem.map_pages(base, 1, MemoryKind::Pcm, 0);
+        for i in 0..20u64 {
+            mem.write_u64(base.add(i as usize * 8), i, Phase::ObserverGc);
+        }
+        let profile = mem.touch_profile().expect("profiler enabled");
+        assert_eq!(profile.touches, 20);
+        assert_eq!(profile.sampled_touches, 20);
+        for stage in profile.stages {
+            assert_eq!(
+                stage.events, stage.sampled_events,
+                "cadence 1 must time every {} event",
+                stage.stage
+            );
+        }
+        assert_eq!(profile.phases[Phase::ObserverGc as usize].sampled_touches, 20);
     }
 }

@@ -32,7 +32,7 @@ use crate::policy::{self, BarrierMode, LargePlacement, PlacementPolicy};
 use crate::sanitizer::{CheckPoint, HeapSanitizer, MutatorSnapshot, ShardConservation};
 use crate::stats::{GcStats, WriteTarget};
 use crate::tap::{EventTap, HeapEvent};
-use telemetry::{Telemetry, TelemetryReport, Value};
+use telemetry::{Stage, Telemetry, TelemetryReport, TouchProfile, Value};
 
 /// Where an address lives within the heap. Exposed read-only through
 /// [`KingsguardHeap::location_of`] for passive inspection (the
@@ -595,6 +595,40 @@ impl KingsguardHeap {
         if elapsed_s > 0.0 {
             t.timing_gauge("touch.events_per_sec", events as f64 / elapsed_s);
         }
+        if let Some(profile) = self.mem.touch_profile() {
+            self.merge_touch_profile(&profile);
+        }
+    }
+
+    /// Folds a hot-path [`TouchProfile`] into the run's telemetry: one span
+    /// per memory-system stage under a synthetic `touch` parent, one span
+    /// per execution phase under `hotpath`, and deterministic `profile.*`
+    /// counters for the exact event tallies. Span counts and the counters
+    /// survive `repro metrics diff` (they are cadence-deterministic); the
+    /// extrapolated nanoseconds are timing fields and do not.
+    fn merge_touch_profile(&mut self, profile: &TouchProfile) {
+        let t = &mut self.telemetry;
+        t.counter_set("profile.sample_every", profile.sample_every);
+        t.counter_set("profile.touches", profile.touches);
+        t.counter_set("profile.sampled_touches", profile.sampled_touches);
+        let mut stage_total_ns = 0u64;
+        for stage in &profile.stages {
+            let self_ns = stage.estimated_self_ns();
+            stage_total_ns += self_ns;
+            t.counter_set(stage_event_counter(stage.stage), stage.events);
+            t.span_record(stage.stage.span_name(), stage.events, self_ns, self_ns);
+        }
+        t.span_record("touch", profile.touches, stage_total_ns, 0);
+        let mut phase_total_ns = 0u64;
+        for phase in &profile.phases {
+            if phase.touches == 0 {
+                continue;
+            }
+            let ns = phase.estimated_ns();
+            phase_total_ns += ns;
+            t.span_record(phase_span_name(phase.phase), phase.touches, ns, ns);
+        }
+        t.span_record("hotpath", profile.touches, phase_total_ns, 0);
     }
 
     /// Enables per-site profiling for this run. The gathered
@@ -608,6 +642,25 @@ impl KingsguardHeap {
     /// Returns `true` if this run is collecting a site profile.
     pub fn is_profiling(&self) -> bool {
         self.profiler.is_some()
+    }
+
+    /// Enables the sampled hot-path profiler on the memory system: every
+    /// touch is counted per simulator stage and every `sample_every`-th
+    /// touch is timed (see [`telemetry::TouchProfiler`]). Like telemetry
+    /// and site profiling, this observes host time only — the simulation
+    /// stays bit-identical with it on or off. The gathered profile is
+    /// merged into the run's telemetry report at
+    /// [`KingsguardHeap::finish`] and is also available live through
+    /// [`KingsguardHeap::hot_path_profile`]. Pass
+    /// [`telemetry::DEFAULT_SAMPLE_EVERY`] unless you have a reason not to.
+    pub fn enable_hot_path_profiler(&mut self, sample_every: u64) {
+        self.mem.enable_touch_profiler(sample_every);
+    }
+
+    /// Snapshots the hot-path profile gathered so far; `None` unless
+    /// [`KingsguardHeap::enable_hot_path_profiler`] was called.
+    pub fn hot_path_profile(&self) -> Option<TouchProfile> {
+        self.mem.touch_profile()
     }
 
     /// The heap configuration.
@@ -1576,6 +1629,31 @@ impl KingsguardHeap {
     }
 }
 
+/// Telemetry counter holding the exact (cadence-independent) event count
+/// for a hot-path stage.
+fn stage_event_counter(stage: Stage) -> &'static str {
+    match stage {
+        Stage::PageMap => "profile.events.page-map",
+        Stage::CacheModel => "profile.events.cache-model",
+        Stage::LineBookkeeping => "profile.events.line-bookkeeping",
+        Stage::BackingStore => "profile.events.backing-store",
+        Stage::WearTracking => "profile.events.wear-tracking",
+    }
+}
+
+/// Span name for per-phase hot-path attribution. Indexed by the profiler's
+/// phase slot, which is `Phase as usize`.
+fn phase_span_name(phase: usize) -> &'static str {
+    match phase {
+        0 => "hotpath.application",
+        1 => "hotpath.nursery-GC",
+        2 => "hotpath.observer-GC",
+        3 => "hotpath.major-GC",
+        4 => "hotpath.runtime",
+        _ => "hotpath.unknown",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1940,5 +2018,59 @@ mod tests {
         let report = heap.finish();
         assert_eq!(report.gc.objects_allocated, 50);
         assert!(report.memory.total_writes() > 0);
+    }
+
+    fn drive_allocation_churn(heap: &mut KingsguardHeap) {
+        for i in 0..300u32 {
+            let h = heap.alloc(ObjectShape::new(1, 64), (i % 7) as u16);
+            heap.write_prim(h, 0, 16);
+            if i % 3 == 0 {
+                heap.release(h);
+            }
+        }
+        heap.collect_young();
+    }
+
+    #[test]
+    fn hot_path_profile_merges_into_telemetry() {
+        let mut heap = heap(HeapConfig::kg_w());
+        heap.enable_telemetry();
+        heap.enable_hot_path_profiler(8);
+        drive_allocation_churn(&mut heap);
+        let live = heap.hot_path_profile().expect("profiler enabled");
+        assert!(live.touches > 0);
+        let report = heap.finish().telemetry.expect("telemetry enabled");
+        let touches = report.counter("profile.touches").unwrap();
+        assert!(
+            touches >= live.touches,
+            "finish() may add touches, never lose them"
+        );
+        let has_span = |name: &str| report.spans.iter().any(|s| s.name == name);
+        for stage in Stage::ALL {
+            assert!(
+                report.counter(stage_event_counter(stage)).is_some(),
+                "missing event counter for {stage}"
+            );
+            assert!(has_span(stage.span_name()), "missing span for {stage}");
+        }
+        assert!(has_span("touch"));
+        assert!(has_span("hotpath.application"));
+        assert!(has_span("hotpath.nursery-GC"));
+    }
+
+    #[test]
+    fn hot_path_profiler_keeps_runs_bit_identical() {
+        let run = |profiled: bool| {
+            let mut heap = heap(HeapConfig::kg_w());
+            if profiled {
+                heap.enable_hot_path_profiler(4);
+            }
+            drive_allocation_churn(&mut heap);
+            heap.finish()
+        };
+        let plain = run(false);
+        let profiled = run(true);
+        assert_eq!(format!("{:?}", plain.gc), format!("{:?}", profiled.gc));
+        assert_eq!(format!("{:?}", plain.memory), format!("{:?}", profiled.memory));
     }
 }

@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
 
+use crate::json::Json;
 use crate::{HistogramSummary, SpanSummary, TelemetryEvent, TelemetryReport, Value};
 
 /// Schema name stamped into the header line.
@@ -86,7 +87,7 @@ impl From<std::io::Error> for TelemetryError {
 // ---------------------------------------------------------------------------
 // Rendering
 
-fn json_escape(value: &str) -> String {
+pub(crate) fn json_escape(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
     for c in value.chars() {
         match c {
@@ -104,7 +105,7 @@ fn json_escape(value: &str) -> String {
 
 /// Renders `value` as a JSON number (`{:?}` on `f64` round-trips; the rare
 /// non-finite value becomes `null` and parses back as missing).
-fn json_f64(value: f64) -> String {
+pub(crate) fn json_f64(value: f64) -> String {
     if value.is_finite() {
         format!("{value:?}")
     } else {
@@ -204,243 +205,11 @@ pub fn write_jsonl(path: &Path, meta: &RunMeta, report: &TelemetryReport) -> Res
 // ---------------------------------------------------------------------------
 // Parsing
 
-/// Minimal JSON value for the hand-rolled (dependency-free) parser.
-#[derive(Clone, Debug, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn str_field(&self, key: &str) -> Option<&str> {
-        match self.get(key)? {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn num_field(&self, key: &str) -> Option<f64> {
-        match self.get(key)? {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    fn u64_field(&self, key: &str) -> Option<u64> {
-        let n = self.num_field(key)?;
-        if n >= 0.0 && n.fract() == 0.0 {
-            Some(n as u64)
-        } else {
-            None
-        }
-    }
-
-    fn bool_field(&self, key: &str) -> Option<bool> {
-        match self.get(key)? {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn eat(&mut self, expected: u8) -> Result<(), String> {
-        if self.peek() == Some(expected) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", expected as char, self.pos))
-        }
-    }
-
-    fn eat_literal(&mut self, literal: &str) -> Result<(), String> {
-        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
-            self.pos += literal.len();
-            Ok(())
-        } else {
-            Err(format!("expected '{literal}' at byte {}", self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.eat_literal("true").map(|_| Json::Bool(true)),
-            Some(b'f') => self.eat_literal("false").map(|_| Json::Bool(false)),
-            Some(b'n') => self.eat_literal("null").map(|_| Json::Null),
-            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
-            Some(b) => Err(format!("unexpected byte '{}' at {}", b as char, self.pos)),
-            None => Err("unexpected end of input".to_string()),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.eat(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.eat(b':')?;
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.eat(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.eat(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".to_string()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
-                            let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
-                        }
-                        _ => return Err("bad escape".to_string()),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 character (the input is a &str, so
-                    // the bytes are valid UTF-8).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).unwrap();
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while let Some(b) = self.peek() {
-            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("bad number '{text}'"))
-    }
-}
-
 fn parse_json_line(line: &str, line_no: usize) -> Result<Json, TelemetryError> {
-    let mut parser = Parser::new(line);
-    let value = parser.value().map_err(|reason| TelemetryError::Malformed {
+    Json::parse(line).map_err(|reason| TelemetryError::Malformed {
         line: line_no,
         reason,
-    })?;
-    parser.skip_ws();
-    if parser.pos != parser.bytes.len() {
-        return Err(TelemetryError::Malformed {
-            line: line_no,
-            reason: "trailing garbage after JSON value".to_string(),
-        });
-    }
-    Ok(value)
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -627,6 +396,15 @@ impl TelemetryDoc {
 
     /// Human-readable rendering for `repro metrics show`.
     pub fn summary(&self) -> String {
+        self.summary_top(None)
+    }
+
+    /// Like [`Self::summary`], but `top = Some(n)` keeps the output
+    /// readable on large (e.g. fleet) files: counters sort by value,
+    /// spans by self time and histograms by sample count — descending,
+    /// truncated to the `n` largest — instead of dumping everything in
+    /// name order.
+    pub fn summary_top(&self, top: Option<usize>) -> String {
         let mut out = String::new();
         out.push_str(&format!(
             "telemetry run: {} / {} (seed {}, scale {}), schema v{}, elapsed {}\n",
@@ -637,9 +415,36 @@ impl TelemetryDoc {
             self.version,
             fmt_ns(self.elapsed_ns),
         ));
+        // Sorts descending by `key` (ties broken by name for determinism)
+        // and keeps the `top` largest; `None` keeps name order, complete.
+        fn ranked<T, K: Ord>(
+            map: &BTreeMap<String, T>,
+            top: Option<usize>,
+            key: impl Fn(&T) -> K,
+        ) -> (Vec<(&String, &T)>, usize) {
+            let mut rows: Vec<_> = map.iter().collect();
+            let Some(n) = top else {
+                return (rows, 0);
+            };
+            rows.sort_by(|(na, va), (nb, vb)| key(vb).cmp(&key(va)).then(na.cmp(nb)));
+            let omitted = rows.len().saturating_sub(n);
+            rows.truncate(n);
+            (rows, omitted)
+        }
+        let section = |out: &mut String, label: &str, omitted: usize| {
+            if omitted > 0 {
+                out.push_str(&format!(
+                    "{label} (top {} shown, {omitted} omitted):\n",
+                    top.unwrap()
+                ));
+            } else {
+                out.push_str(&format!("{label}:\n"));
+            }
+        };
         if !self.counters.is_empty() {
-            out.push_str("counters:\n");
-            for (name, value) in &self.counters {
+            let (rows, omitted) = ranked(&self.counters, top, |&v| v);
+            section(&mut out, "counters", omitted);
+            for (name, value) in rows {
                 out.push_str(&format!("  {name} = {value}\n"));
             }
         }
@@ -651,8 +456,9 @@ impl TelemetryDoc {
             }
         }
         if !self.hists.is_empty() {
-            out.push_str("histograms:\n");
-            for (name, hist) in &self.hists {
+            let (rows, omitted) = ranked(&self.hists, top, |h| h.count);
+            section(&mut out, "histograms", omitted);
+            for (name, hist) in rows {
                 out.push_str(&format!(
                     "  {name}: count={} p50={} p95={} p99={} max={}\n",
                     hist.count,
@@ -664,8 +470,9 @@ impl TelemetryDoc {
             }
         }
         if !self.spans.is_empty() {
-            out.push_str("spans:\n");
-            for (name, span) in &self.spans {
+            let (rows, omitted) = ranked(&self.spans, top, |s| s.self_ns);
+            section(&mut out, "spans", omitted);
+            for (name, span) in rows {
                 out.push_str(&format!(
                     "  {name}: count={} total={} self={}\n",
                     span.count,
@@ -675,7 +482,8 @@ impl TelemetryDoc {
             }
         }
         out.push_str(&format!("events: {}\n", self.events.len()));
-        for event in self.events.iter().take(20) {
+        let event_cap = top.unwrap_or(20);
+        for event in self.events.iter().take(event_cap) {
             let fields: Vec<String> = event.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
             out.push_str(&format!(
                 "  #{} {} [{}] {}\n",
@@ -685,8 +493,8 @@ impl TelemetryDoc {
                 fields.join(" "),
             ));
         }
-        if self.events.len() > 20 {
-            out.push_str(&format!("  ... {} more\n", self.events.len() - 20));
+        if self.events.len() > event_cap {
+            out.push_str(&format!("  ... {} more\n", self.events.len() - event_cap));
         }
         out
     }
@@ -1105,6 +913,36 @@ mod tests {
             }
             other => panic!("expected Malformed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn summary_top_ranks_and_truncates() {
+        let mut t = Telemetry::enabled();
+        t.counter_add("small", 1);
+        t.counter_add("large", 1_000);
+        t.counter_add("medium", 50);
+        t.span_record("cheap", 1, 10, 10);
+        t.span_record("hot", 1, 9_000, 9_000);
+        t.span_record("warm", 1, 500, 500);
+        let meta = RunMeta::default();
+        let doc = TelemetryDoc::parse(&render_jsonl(&meta, &t.report().unwrap())).unwrap();
+        let full = doc.summary();
+        assert!(full.contains("small"));
+        assert!(full.contains("cheap"));
+        let top = doc.summary_top(Some(2));
+        // The two largest counters survive, the smallest is dropped and
+        // the truncation is labelled.
+        assert!(top.contains("large"));
+        assert!(top.contains("medium"));
+        assert!(!top.contains("small"));
+        assert!(top.contains("counters (top 2 shown, 1 omitted):"));
+        // Spans rank by self time: hot and warm survive, cheap is dropped.
+        assert!(top.contains("hot"));
+        assert!(top.contains("warm"));
+        assert!(!top.contains("cheap"));
+        // Ranking is descending: large before medium, hot before warm.
+        assert!(top.find("large").unwrap() < top.find("medium").unwrap());
+        assert!(top.find("hot").unwrap() < top.find("warm").unwrap());
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! End-to-end tests of the hot-path profiler and the perf-regression gate:
+//! the profiler must be invisible to the simulation (bit-identical results
+//! on or off, for every collector) while attributing every touch, and
+//! `repro bench diff` must pass a self-compare and flag an artificially
+//! injected 20% throughput slowdown in a `BENCH_profile.json`-shaped file.
+
+use experiments::diff_bench_files;
+use hybrid_mem::{MemoryConfig, MemoryKind};
+use kingsguard::{HeapConfig, KingsguardHeap};
+use telemetry::{TouchProfile, DEFAULT_SAMPLE_EVERY, STAGE_COUNT};
+use workloads::{benchmark, SyntheticMutator, WorkloadConfig};
+
+const SCALE: u64 = 2048;
+
+fn collectors() -> Vec<HeapConfig> {
+    vec![
+        HeapConfig::gen_immix_dram(),
+        HeapConfig::gen_immix_pcm(),
+        HeapConfig::kg_n(),
+        HeapConfig::kg_w(),
+        HeapConfig::kg_a(advice::AdviceTable::all_cold()),
+        HeapConfig::kg_d(),
+    ]
+}
+
+/// Every simulated-state statistic the acceptance bar cares about.
+fn fingerprint(report: &kingsguard::RunReport) -> Vec<u64> {
+    vec![
+        report.memory.writes(MemoryKind::Pcm),
+        report.memory.writes(MemoryKind::Dram),
+        report.memory.reads(MemoryKind::Pcm),
+        report.memory.reads(MemoryKind::Dram),
+        report.gc.remset_insertions,
+        report.gc.nursery.collections,
+        report.gc.observer.collections,
+        report.gc.major.collections,
+        report.gc.reference_writes,
+        report.gc.primitive_writes,
+        report.gc.writes_to_mature_objects,
+        report.gc.pcm_to_dram_rescues,
+    ]
+}
+
+fn run_live(
+    heap_config: &HeapConfig,
+    profiler_cadence: Option<u64>,
+) -> (kingsguard::RunReport, Option<TouchProfile>) {
+    let profile = benchmark("lusearch").unwrap();
+    let budget = profile.scaled_heap_bytes(SCALE).max(2 << 20) as usize;
+    let mutator = SyntheticMutator::new(
+        profile,
+        WorkloadConfig {
+            scale: SCALE,
+            seed: 11,
+        },
+    );
+    let mut heap = KingsguardHeap::new(
+        heap_config.clone().with_heap_budget(budget),
+        MemoryConfig::architecture_independent(),
+    );
+    if let Some(cadence) = profiler_cadence {
+        heap.enable_hot_path_profiler(cadence);
+    }
+    mutator.run(&mut heap);
+    let touch_profile = heap.hot_path_profile();
+    (heap.finish(), touch_profile)
+}
+
+#[test]
+fn hot_path_profiler_is_invisible_for_every_collector() {
+    for heap_config in collectors() {
+        let (disabled, no_profile) = run_live(&heap_config, None);
+        let (enabled, touch_profile) = run_live(&heap_config, Some(DEFAULT_SAMPLE_EVERY));
+        assert_eq!(
+            fingerprint(&disabled),
+            fingerprint(&enabled),
+            "the hot-path profiler perturbed the simulation under {}",
+            heap_config.label()
+        );
+        assert!(no_profile.is_none(), "a disabled profiler must report nothing");
+        let profile = touch_profile
+            .unwrap_or_else(|| panic!("{}: enabled run produced no profile", heap_config.label()));
+        assert!(profile.touches > 0, "{}", heap_config.label());
+        assert_eq!(profile.stages.len(), STAGE_COUNT, "{}", heap_config.label());
+        assert!(
+            profile.stages.iter().any(|s| s.events > 0),
+            "{}: no stage saw any events",
+            heap_config.label()
+        );
+    }
+}
+
+#[test]
+fn profiler_event_counts_do_not_depend_on_the_sampling_cadence() {
+    let config = HeapConfig::kg_w();
+    let (_, coarse) = run_live(&config, Some(1 << 20));
+    let (_, fine) = run_live(&config, Some(3));
+    let events = |p: &TouchProfile| -> Vec<u64> { p.stages.iter().map(|s| s.events).collect() };
+    let coarse = coarse.unwrap();
+    let fine = fine.unwrap();
+    assert_eq!(
+        events(&coarse),
+        events(&fine),
+        "event counts must be exact regardless of how often touches are timed"
+    );
+    assert_eq!(coarse.touches, fine.touches);
+    assert!(fine.sampled_touches > coarse.sampled_touches);
+}
+
+/// A `BENCH_profile.json`-shaped document with known throughput leaves.
+const BENCH_FIXTURE: &str = r#"{
+  "bench": "profile",
+  "samples": 5,
+  "sample_every": 64,
+  "wall_ns": 80000000,
+  "touches": 100000,
+  "touches_per_sec": 1250000.0,
+  "stages": {
+    "page-map": { "events": 100000, "self_ns": 8000000, "events_per_sec": 12500000.0 },
+    "cache-model": { "events": 200000, "self_ns": 16000000, "events_per_sec": 12500000.0 }
+  }
+}
+"#;
+
+fn temp_file(tag: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("kgbench-test-{tag}-{}.json", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn bench_diff_passes_a_self_compare_and_flags_an_injected_20_percent_slowdown() {
+    let baseline = temp_file("base", BENCH_FIXTURE);
+    // Self-compare: zero drift, zero regressions.
+    let same = diff_bench_files(&baseline, &baseline, 15.0).expect("diff must parse its own output");
+    assert!(same.passes(), "a self-compare must pass:\n{}", same.report());
+    assert_eq!(same.regressions(), 0);
+
+    // Inject a 20% slowdown into one throughput leaf: 12.5M -> 10M events/sec.
+    let slowed = BENCH_FIXTURE.replace(
+        "\"page-map\": { \"events\": 100000, \"self_ns\": 8000000, \"events_per_sec\": 12500000.0 }",
+        "\"page-map\": { \"events\": 100000, \"self_ns\": 10000000, \"events_per_sec\": 10000000.0 }",
+    );
+    assert_ne!(slowed, BENCH_FIXTURE, "the injection must change the document");
+    let regressed = temp_file("slow", &slowed);
+    let diff = diff_bench_files(&baseline, &regressed, 15.0).expect("diff must parse");
+    assert!(
+        !diff.passes(),
+        "a 20% throughput drop must fail the 15% gate:\n{}",
+        diff.report()
+    );
+    assert!(
+        diff.rows
+            .iter()
+            .any(|row| row.regressed && row.metric.contains("page-map") && row.metric.contains("per_sec")),
+        "the regression must point at the slowed stage:\n{}",
+        diff.report()
+    );
+    // The same drop is tolerated at a 25% bar.
+    let lenient = diff_bench_files(&baseline, &regressed, 25.0).expect("diff must parse");
+    assert!(lenient.passes(), "{}", lenient.report());
+
+    std::fs::remove_file(&baseline).ok();
+    std::fs::remove_file(&regressed).ok();
+}
